@@ -1,0 +1,75 @@
+"""Ablation: GC policy (Section IV-D).
+
+The paper triggers a synchronized manual GC every 20 timesteps after
+observing that default (unsynchronized) GC fires at memory thresholds on
+different partitions at different times, forcing everyone else to idle.
+Sweep: disabled / synchronized-every-20 / synchronized-every-5.  More
+frequent synchronized GC pays more total pause; disabling pays none (the
+pause model is the experimental knob — Python itself has no stop-the-world
+collector, see DESIGN.md substitutions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MemeTrackingComputation
+from repro.analysis import render_table
+from repro.core import EngineConfig, run_application
+from repro.runtime import CostModel, GCModel
+from repro.storage import GoFS
+
+from conftest import INSTANCES, SCALE, emit
+
+POLICIES = [
+    ("disabled", GCModel.disabled()),
+    ("sync-20", GCModel(interval=20, pause_per_gib_s=30.0, min_pause_s=0.0)),
+    ("sync-5", GCModel(interval=5, pause_per_gib_s=30.0, min_pause_s=0.0)),
+]
+
+
+def test_ablation_gc_policy(benchmark, datasets, partitioned, tmp_path_factory):
+    pg = partitioned("WIKI", 6)
+    collection = datasets["WIKI"]["tweets"]
+    store = str(tmp_path_factory.mktemp("gc") / "wiki")
+    GoFS.write_collection(store, pg, collection)
+
+    def run_all():
+        rows = []
+        series = {}
+        for name, gc in POLICIES:
+            res = run_application(
+                MemeTrackingComputation(0),
+                pg,
+                collection,
+                sources=GoFS.partition_views(store),
+                config=EngineConfig(cost_model=CostModel.for_scale(SCALE), gc_model=gc),
+            )
+            s = np.asarray(res.metrics.timestep_series())
+            gc_total = sum(res.metrics.gc_s.values())
+            series[name] = s
+            rows.append(
+                {
+                    "policy": name,
+                    "sim_wall_s": round(res.total_wall_s, 4),
+                    "gc_pause_total_s": round(gc_total, 4),
+                    "spikes": int(np.sum(s > 1.5 * np.median(s))),
+                }
+            )
+        return rows, series
+
+    rows, series = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("ablation_gc", render_table(rows, title="Ablation — GC policy (MEME/WIKI, 6 partitions)"))
+
+    by_name = {r["policy"]: r for r in rows}
+    assert by_name["disabled"]["gc_pause_total_s"] == 0.0
+    # Every-5 pays roughly 4x the pauses of every-20 (9 vs 2 trigger points).
+    assert by_name["sync-5"]["gc_pause_total_s"] > 2 * by_name["sync-20"]["gc_pause_total_s"]
+    assert (
+        by_name["disabled"]["sim_wall_s"]
+        < by_name["sync-20"]["sim_wall_s"]
+        < by_name["sync-5"]["sim_wall_s"]
+    )
+    # sync-20 spikes exactly at t=20 and t=40.
+    s20 = series["sync-20"]
+    baseline = np.median(s20)
+    assert s20[20] > 1.4 * baseline and s20[40] > 1.4 * baseline

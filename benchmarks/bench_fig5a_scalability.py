@@ -1,0 +1,146 @@
+"""Fig 5a (Section IV-B): total time for {HASH, MEME, TDSP} × {CARN, WIKI}
+× {3, 6, 9} partitions.
+
+Paper's shape:
+
+* TDSP and MEME strong-scale from 3 → 6 partitions (1.67–1.88×, near the
+  ideal 2×); CARN keeps scaling to 9 better than WIKI (whose edge cuts grow
+  steeply with k);
+* HASH scales the least — its timesteps do little compute, so communication
+  and synchronization overheads dominate;
+* TDSP on WIKI is unexpectedly *fast*: it converges after ~4 timesteps
+  instead of processing all 50 (small-world convergence).
+
+Data is served from GoFS stores (one per graph × k × workload) so instance
+loading scales with the partition count, as on the real platform.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    HashtagAggregationComputation,
+    MemeTrackingComputation,
+    TDSPComputation,
+)
+from repro.analysis import render_table
+from repro.core import EngineConfig, run_application
+from repro.runtime import CostModel
+from repro.storage import GoFS
+
+from conftest import INSTANCES, SCALE, emit
+
+#: Per-event overheads scaled to bench size (see CostModel.for_scale).
+CONFIG = EngineConfig(cost_model=CostModel.for_scale(SCALE))
+
+PARTITIONS = (3, 6, 9)
+RESULTS: dict[tuple[str, str], dict[int, float]] = {}
+TIMESTEPS: dict[tuple[str, str], dict[int, int]] = {}
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory, datasets, partitioned):
+    """Lazy GoFS store per (graph, workload, k)."""
+    root = tmp_path_factory.mktemp("gofs")
+    written: dict[tuple[str, str, int], str] = {}
+
+    def get(graph: str, workload: str, k: int) -> str:
+        key = (graph, workload, k)
+        if key not in written:
+            path = str(root / f"{graph}_{workload}_{k}")
+            GoFS.write_collection(path, partitioned(graph, k), datasets[graph][workload])
+            written[key] = path
+        return written[key]
+
+    return get
+
+
+def make_computation(algo: str, pg):
+    if algo == "TDSP":
+        # Paper-faithful Algorithm 2: re-root from all of F each timestep.
+        return TDSPComputation(0, halt_when_stalled=True, root_pruning=False)
+    if algo == "MEME":
+        return MemeTrackingComputation(0)
+    return HashtagAggregationComputation.for_partitioned_graph(pg, 0)
+
+
+def run_config(algo, graph, k, datasets, partitioned, stores):
+    workload = "road" if algo == "TDSP" else "tweets"
+    pg = partitioned(graph, k)
+    views = GoFS.partition_views(stores(graph, workload, k))
+    res = run_application(
+        make_computation(algo, pg),
+        pg,
+        datasets[graph][workload],
+        sources=views,
+        config=CONFIG,
+    )
+    return res
+
+
+@pytest.mark.parametrize("algo", ["HASH", "MEME", "TDSP"])
+@pytest.mark.parametrize("graph", ["CARN", "WIKI"])
+def test_fig5a_total_time(benchmark, algo, graph, datasets, partitioned, stores):
+    def run_all():
+        out = {}
+        steps = {}
+        for k in PARTITIONS:
+            res = run_config(algo, graph, k, datasets, partitioned, stores)
+            out[k] = res.total_wall_s
+            steps[k] = res.timesteps_executed
+        return out, steps
+
+    times, steps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    RESULTS[(algo, graph)] = times
+    TIMESTEPS[(algo, graph)] = steps
+    benchmark.extra_info.update({f"sim_wall_{k}p": times[k] for k in PARTITIONS})
+
+    # Per-config shape: 6 partitions beat 3 for the heavy algorithms.
+    if algo in ("MEME", "TDSP"):
+        assert times[6] < times[3], f"{algo}/{graph} did not scale 3→6: {times}"
+
+
+def test_fig5a_summary_table(benchmark):
+    """Render the figure's bars and check the cross-algorithm shape."""
+    assert len(RESULTS) == 6, "run the per-config benches first"
+
+    def build_rows():
+        rows = []
+        for (algo, graph), times in sorted(RESULTS.items()):
+            rows.append(
+                {
+                    "algo": algo,
+                    "graph": graph,
+                    "3p (s)": round(times[3], 4),
+                    "6p (s)": round(times[6], 4),
+                    "9p (s)": round(times[9], 4),
+                    "speedup 3→6": round(times[3] / times[6], 2),
+                    "speedup 3→9": round(times[3] / times[9], 2),
+                    "timesteps": TIMESTEPS[(algo, graph)][6],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    emit(
+        "fig5a",
+        render_table(
+            rows,
+            title=f"Fig 5a — total simulated time (scale={SCALE}, instances={INSTANCES})",
+        ),
+    )
+
+    t = RESULTS
+    # TDSP on WIKI converges in a few timesteps (paper: 4 of 50) and is far
+    # cheaper than TDSP on CARN.
+    assert TIMESTEPS[("TDSP", "WIKI")][6] <= 8
+    assert TIMESTEPS[("TDSP", "CARN")][6] >= 25
+    assert t[("TDSP", "WIKI")][6] < t[("TDSP", "CARN")][6]
+    # HASH benefits least from more partitions: its 3→6 speedup trails the
+    # best heavy-algorithm speedup on the same graph.
+    for graph in ("CARN", "WIKI"):
+        hash_speedup = t[("HASH", graph)][3] / t[("HASH", graph)][6]
+        heavy = max(
+            t[("MEME", graph)][3] / t[("MEME", graph)][6],
+            t[("TDSP", graph)][3] / t[("TDSP", graph)][6],
+        )
+        assert hash_speedup < heavy + 0.15

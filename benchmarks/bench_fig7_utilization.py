@@ -1,0 +1,131 @@
+"""Fig 7 (Section IV-D): algorithm progress vs per-partition utilization.
+
+* **7a** — vertices whose TDSP value is finalized per timestep, per
+  partition (CARN, 6 partitions): the frontier moves as a *wave*; some
+  partitions stay inactive until late timesteps (paper: partition 6 first
+  finalizes at t=26).
+* **7b** — compute / partition-overhead / sync-overhead fractions per
+  partition for that run: early-active partitions show high compute
+  utilization, skew leaves others idling at the barrier.
+* **7c** — vertices newly colored by MEME per timestep (WIKI, 6
+  partitions): much more uniform, since SIR seeds are spread randomly.
+* **7d** — utilization fractions for the MEME run: partitions holding more
+  memes are busier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MemeTrackingComputation, TDSPComputation
+from repro.analysis import (
+    frontier_matrix,
+    render_series,
+    render_table,
+    utilization_rows,
+)
+from repro.core import EngineConfig, run_application
+from repro.runtime import CostModel
+from repro.storage import GoFS
+
+from conftest import INSTANCES, SCALE, emit
+
+K = 6
+
+
+def first_active_timesteps(M: np.ndarray) -> np.ndarray:
+    """First timestep at which each partition finalizes/colors anything."""
+    out = np.full(M.shape[1], M.shape[0], dtype=np.int64)
+    for p in range(M.shape[1]):
+        nz = np.nonzero(M[:, p])[0]
+        if len(nz):
+            out[p] = nz[0]
+    return out
+
+
+def run_case(case, datasets, partitioned, tmp_root):
+    graph = "CARN" if case == "TDSP" else "WIKI"
+    workload = "road" if case == "TDSP" else "tweets"
+    pg = partitioned(graph, K)
+    collection = datasets[graph][workload]
+    store = str(tmp_root / f"{case}_{graph}")
+    GoFS.write_collection(store, pg, collection)
+    comp = (
+        TDSPComputation(0, halt_when_stalled=True, root_pruning=False)
+        if case == "TDSP"
+        else MemeTrackingComputation(0)
+    )
+    res = run_application(
+        comp,
+        pg,
+        collection,
+        sources=GoFS.partition_views(store),
+        config=EngineConfig(cost_model=CostModel.for_scale(SCALE)),
+    )
+    return pg, res
+
+
+def test_fig7ab_tdsp_wave_and_utilization(benchmark, datasets, partitioned, tmp_path_factory):
+    tmp_root = tmp_path_factory.mktemp("fig7_tdsp")
+
+    def run():
+        return run_case("TDSP", datasets, partitioned, tmp_root)
+
+    pg, res = benchmark.pedantic(run, rounds=1, iterations=1)
+    M = frontier_matrix(res, pg)
+    util = utilization_rows(res)
+
+    lines = [f"Fig 7a — TDSP/CARN new finalized vertices per timestep (6 partitions, scale={SCALE})"]
+    for p in range(K):
+        lines.append(render_series(M[:, p], label=f"partition {p}", fmt="{:d}"))
+    emit("fig7a", "\n".join(lines))
+    emit("fig7b", render_table([u.as_row() for u in util], title="Fig 7b — TDSP/CARN utilization per partition"))
+
+    # The wave: partitions activate at staggered timesteps, some quite late.
+    first = first_active_timesteps(M)
+    assert first.min() == 0, "source partition finalizes at t=0"
+    assert first.max() >= 5, f"no wave: first activations {first.tolist()}"
+    assert len(np.unique(first)) >= 3, "activations not staggered"
+    # Every vertex finalized exactly once across the run.
+    assert M.sum() == pg.template.num_vertices
+    # Utilization skew: late partitions idle at the barrier while early ones
+    # compute; fractions always sum to 1.
+    fracs = [u.compute_fraction for u in util]
+    for u in util:
+        assert (
+            u.compute_fraction + u.partition_overhead_fraction + u.sync_overhead_fraction
+            == pytest.approx(1.0)
+        )
+    assert max(fracs) > 1.5 * min(fracs), f"no utilization skew: {fracs}"
+    # Late-activating partitions compute less than the earliest ones.
+    latest, earliest = int(np.argmax(first)), int(np.argmin(first))
+    assert util[latest].compute_s < util[earliest].compute_s * 1.5
+    benchmark.extra_info["first_active"] = first.tolist()
+
+
+def test_fig7cd_meme_progress_and_utilization(benchmark, datasets, partitioned, tmp_path_factory):
+    tmp_root = tmp_path_factory.mktemp("fig7_meme")
+
+    def run():
+        return run_case("MEME", datasets, partitioned, tmp_root)
+
+    pg, res = benchmark.pedantic(run, rounds=1, iterations=1)
+    M = frontier_matrix(res, pg, num_timesteps=INSTANCES)
+    util = utilization_rows(res)
+
+    lines = [f"Fig 7c — MEME/WIKI newly colored vertices per timestep (6 partitions, scale={SCALE})"]
+    for p in range(K):
+        lines.append(render_series(M[:, p], label=f"partition {p}", fmt="{:d}"))
+    emit("fig7c", "\n".join(lines))
+    emit("fig7d", render_table([u.as_row() for u in util], title="Fig 7d — MEME/WIKI utilization per partition"))
+
+    # More uniform progress than the TDSP wave: every partition colors
+    # something within the first few timesteps (random SIR seeds).
+    first = first_active_timesteps(M)
+    assert first.max() <= 5, f"MEME progress not uniform: {first.tolist()}"
+    # Partitions that color more vertices spend more compute time
+    # (Section IV-D: partitions with more memes have higher utilization).
+    colored_per_partition = M.sum(axis=0).astype(float)
+    compute_per_partition = np.asarray([u.compute_s for u in util])
+    corr = np.corrcoef(colored_per_partition, compute_per_partition)[0, 1]
+    assert corr > 0.3, f"colored-vs-compute correlation too weak: {corr:.2f}"
+    benchmark.extra_info["correlation"] = float(corr)

@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures: the paper's four dataset configurations.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE`` — template vertex count (default 20000);
+* ``REPRO_BENCH_INSTANCES`` — graph instances per collection (default 50).
+
+Every bench prints the same rows/series its paper artifact reports and
+appends them to ``benchmarks/results/<bench>.txt`` so the tables survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.generators import paper_datasets
+from repro.partition import MetisLikePartitioner, partition_graph
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "20000"))
+INSTANCES = int(os.environ.get("REPRO_BENCH_INSTANCES", "50"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(bench_name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{bench_name}.txt"
+    with path.open("a") as fh:
+        fh.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """The four dataset configurations (Section IV-A) at bench scale."""
+    return paper_datasets(SCALE, INSTANCES, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def partitioned():
+    """Cache of (graph name, k) → PartitionedGraph, METIS-like partitioning."""
+    cache: dict[tuple[str, int], object] = {}
+    data = paper_datasets(SCALE, INSTANCES, seed=SEED)
+
+    def get(name: str, k: int):
+        key = (name, k)
+        if key not in cache:
+            cache[key] = partition_graph(
+                data[name]["template"], k, MetisLikePartitioner(seed=SEED)
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_dir():
+    """Truncate old result files once per session."""
+    if RESULTS_DIR.exists():
+        for f in RESULTS_DIR.glob("*.txt"):
+            f.unlink()
+    yield

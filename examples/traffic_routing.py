@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Time-aware routing on a city road network (the paper's Section I motivation).
+
+Reproduces the paper's Fig 5a worked example at city scale: a static
+shortest path computed on the *current* traffic snapshot can be badly wrong
+once traffic changes mid-journey, while TDSP plans with the full time-series
+and may even *wait* at an intersection for congestion to clear.
+
+The script:
+
+* generates a CARN-like road network and 30 five-minute traffic snapshots;
+* computes (a) naive SSSP on snapshot 0 and (b) TDSP over the series;
+* reports how optimistic the naive estimates are, and which destinations'
+  time-aware routes involve waiting (arrival exactly at a window boundary).
+
+Run:  python examples/traffic_routing.py
+"""
+
+import numpy as np
+
+from repro import (
+    SSSPComputation,
+    TDSPComputation,
+    partition_graph,
+    road_latency_collection,
+    road_network,
+    run_application,
+)
+from repro.algorithms import sssp_labels_from_result, tdsp_labels_from_result
+from repro.analysis import frontier_totals, render_series
+
+SCALE = 4_000
+INSTANCES = 30
+DELTA = 5.0  # minutes per snapshot
+PARTITIONS = 4
+
+
+def main() -> None:
+    template = road_network(SCALE, seed=7)
+    # Wider latency spread than the bench default, so mid-window blocking —
+    # the phenomenon that separates TDSP from SSSP — is common.
+    collection = road_latency_collection(
+        template, INSTANCES, delta=DELTA, seed=7, low=0.05 * DELTA, high=0.9 * DELTA
+    )
+    pg = partition_graph(template, PARTITIONS)
+    depot = 0
+
+    naive = run_application(
+        SSSPComputation(depot, "latency"), pg, collection, timestep_range=(0, 1)
+    )
+    naive_eta = sssp_labels_from_result(naive, template.num_vertices)
+
+    tdsp = run_application(
+        TDSPComputation(depot, halt_when_stalled=True), pg, collection
+    )
+    true_eta = tdsp_labels_from_result(tdsp, template.num_vertices)
+
+    both = np.isfinite(naive_eta) & np.isfinite(true_eta)
+    optimism = true_eta[both] - naive_eta[both]
+    print(f"road network: {template.num_vertices} intersections, "
+          f"{template.num_edges} road segments, {PARTITIONS} partitions")
+    print(f"reachable within {INSTANCES * DELTA:.0f} min: {int(both.sum())} intersections")
+    print(f"\nnaive snapshot-0 ETAs are optimistic by "
+          f"{optimism.mean():.1f} min on average "
+          f"(p95 {np.percentile(optimism, 95):.1f} min, max {optimism.max():.1f} min)")
+    worst = np.argsort(optimism)[-5:][::-1]
+    ids = np.nonzero(both)[0][worst]
+    print("worst five destinations (naive ETA → actual time-aware ETA, minutes):")
+    for v in ids:
+        print(f"  intersection {v:6d}: {naive_eta[v]:6.1f} → {true_eta[v]:6.1f}")
+
+    # Waiting: a time-aware arrival pinned to a window boundary means the
+    # optimal plan idles at some intersection until traffic changes.
+    boundary = np.isclose(true_eta[both] % DELTA, 0.0)
+    print(f"\nroutes whose optimal plan includes waiting at a boundary: "
+          f"{int(boundary.sum())}")
+
+    print("\nintersections newly reached per 5-minute window:")
+    print(render_series(frontier_totals(tdsp), label="  frontier", fmt="{:d}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""repro — Distributed Programming over Time-series Graphs (TI-BSP / GoFFish).
+
+A from-scratch Python reproduction of Simmhan et al., *Distributed
+Programming over Time-series Graphs* (2015): the time-series graph data
+model, the Temporally Iterative BSP (TI-BSP) programming abstraction over a
+subgraph-centric model, the paper's three algorithms (Hashtag Aggregation,
+Meme Tracking, Time-Dependent Shortest Path), the GoFS storage substrate,
+partitioners, a simulated/multiprocess cluster runtime, and a vertex-centric
+Pregel baseline.
+
+Quickstart
+----------
+>>> from repro import (road_network, road_latency_collection,
+...                    partition_graph, run_application, TDSPComputation)
+>>> template = road_network(2_000, seed=1)
+>>> collection = road_latency_collection(template, 20, seed=2)
+>>> pg = partition_graph(template, 4)
+>>> result = run_application(TDSPComputation(source=0), pg, collection)
+>>> result.timesteps_executed > 0
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .algorithms import (
+    BFSComputation,
+    HashtagAggregationComputation,
+    MemeTrackingComputation,
+    PageRankComputation,
+    SSSPComputation,
+    TDSPComputation,
+    TopNComputation,
+    WCCComputation,
+)
+from .core import (
+    AppResult,
+    ComputeContext,
+    EndOfTimestepContext,
+    EngineConfig,
+    MergeContext,
+    Message,
+    Pattern,
+    TIBSPEngine,
+    TimeSeriesComputation,
+    run_application,
+)
+from .generators import (
+    paper_datasets,
+    road_latency_collection,
+    road_network,
+    smallworld_network,
+    tweet_collection,
+)
+from .graph import (
+    AttributeSchema,
+    AttributeSpec,
+    GraphInstance,
+    GraphTemplate,
+    GraphTemplateBuilder,
+    Subgraph,
+    TimeSeriesGraphCollection,
+    build_collection,
+)
+from .partition import (
+    BFSPartitioner,
+    HashPartitioner,
+    MetisLikePartitioner,
+    PartitionedGraph,
+    partition_graph,
+)
+from .runtime import CostModel, GCModel
+from .storage import GoFS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # algorithms
+    "BFSComputation",
+    "HashtagAggregationComputation",
+    "MemeTrackingComputation",
+    "PageRankComputation",
+    "SSSPComputation",
+    "TDSPComputation",
+    "TopNComputation",
+    "WCCComputation",
+    # core
+    "AppResult",
+    "ComputeContext",
+    "EndOfTimestepContext",
+    "EngineConfig",
+    "MergeContext",
+    "Message",
+    "Pattern",
+    "TIBSPEngine",
+    "TimeSeriesComputation",
+    "run_application",
+    # generators
+    "paper_datasets",
+    "road_latency_collection",
+    "road_network",
+    "smallworld_network",
+    "tweet_collection",
+    # graph
+    "AttributeSchema",
+    "AttributeSpec",
+    "GraphInstance",
+    "GraphTemplate",
+    "GraphTemplateBuilder",
+    "Subgraph",
+    "TimeSeriesGraphCollection",
+    "build_collection",
+    # partition
+    "BFSPartitioner",
+    "HashPartitioner",
+    "MetisLikePartitioner",
+    "PartitionedGraph",
+    "partition_graph",
+    # runtime & storage
+    "CostModel",
+    "GCModel",
+    "GoFS",
+    "__version__",
+]

@@ -1,0 +1,77 @@
+"""Time-series graph algorithms (paper Section III) and single-graph baselines.
+
+The paper's three algorithms:
+
+* :class:`~repro.algorithms.hashtag.HashtagAggregationComputation` —
+  eventually dependent;
+* :class:`~repro.algorithms.meme.MemeTrackingComputation` — sequentially
+  dependent temporal BFS;
+* :class:`~repro.algorithms.tdsp.TDSPComputation` — sequentially dependent
+  time-dependent shortest path.
+
+Plus subgraph-centric single-graph algorithms (SSSP/BFS/WCC/PageRank), the
+independent-pattern Top-N example, and centralized reference
+implementations used as correctness anchors.
+"""
+
+from .evolution import (
+    CommunityEvolutionComputation,
+    CommunityEvolutionSummary,
+    community_events,
+)
+from .hashtag import (
+    HashtagAggregationComputation,
+    HashtagSummary,
+    largest_subgraph_in_partition,
+)
+from .reachability import (
+    ReachedFrontier,
+    TemporalReachabilityComputation,
+    reached_timesteps_from_result,
+)
+from .meme import MemeFrontier, MemeTrackingComputation, colored_timesteps_from_result
+from .pagerank import PageRankComputation, PageRankResult, pagerank_from_result
+from .sssp import BFSComputation, SSSPComputation, SSSPResult, sssp_labels_from_result
+from .statistics import (
+    AttributeStats,
+    InstanceStatisticsComputation,
+    stats_series_from_result,
+)
+from .tdsp import TDSPComputation, TDSPFrontier, tdsp_labels_from_result
+from .top_n import TopNComputation, TopNResult
+from .wcc import WCCComputation, WCCResult, wcc_labels_from_result
+from . import reference
+
+__all__ = [
+    "CommunityEvolutionComputation",
+    "CommunityEvolutionSummary",
+    "community_events",
+    "ReachedFrontier",
+    "TemporalReachabilityComputation",
+    "reached_timesteps_from_result",
+    "HashtagAggregationComputation",
+    "HashtagSummary",
+    "largest_subgraph_in_partition",
+    "MemeFrontier",
+    "MemeTrackingComputation",
+    "colored_timesteps_from_result",
+    "PageRankComputation",
+    "PageRankResult",
+    "pagerank_from_result",
+    "BFSComputation",
+    "SSSPComputation",
+    "SSSPResult",
+    "sssp_labels_from_result",
+    "TDSPComputation",
+    "TDSPFrontier",
+    "tdsp_labels_from_result",
+    "AttributeStats",
+    "InstanceStatisticsComputation",
+    "stats_series_from_result",
+    "TopNComputation",
+    "TopNResult",
+    "WCCComputation",
+    "WCCResult",
+    "wcc_labels_from_result",
+    "reference",
+]

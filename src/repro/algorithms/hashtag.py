@@ -1,0 +1,120 @@
+"""Hashtag Aggregation — paper Section III-A (eventually dependent pattern).
+
+Computes the statistical summary of one hashtag over a social network's
+time-series: the per-timestep occurrence count, the total across time, and
+the rate of change.
+
+Per the paper: in every timestep each subgraph counts the hashtag's
+occurrences among its vertices and ships the count to the Merge step.  In
+Merge, each subgraph assembles its per-timestep ``hash[]`` list from its own
+messages (ordered by timestep) and sends it to the largest subgraph of the
+first partition, which aggregates all lists element-wise in the next merge
+superstep — mimicking a ``Master.Compute``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.computation import TimeSeriesComputation
+from ..core.context import ComputeContext, MergeContext
+from ..core.patterns import Pattern
+from ..partition.base import PartitionedGraph
+
+__all__ = ["HashtagAggregationComputation", "HashtagSummary", "largest_subgraph_in_partition"]
+
+
+def largest_subgraph_in_partition(pg: PartitionedGraph, partition_id: int = 0) -> int:
+    """Global id of the largest subgraph in ``partition_id`` (the paper's master)."""
+    part = pg.partitions[partition_id]
+    if not part.subgraphs:
+        raise ValueError(f"partition {partition_id} has no subgraphs")
+    return max(part.subgraphs, key=lambda sg: sg.num_vertices).subgraph_id
+
+
+@dataclass(frozen=True)
+class HashtagSummary:
+    """The aggregated result emitted by the master subgraph at Merge."""
+
+    hashtag: object
+    counts: np.ndarray  #: occurrences per timestep
+    total: int  #: occurrences across all timesteps
+    rate_of_change: np.ndarray  #: first difference of counts
+
+    @property
+    def peak_timestep(self) -> int:
+        """Timestep with the highest occurrence count."""
+        return int(np.argmax(self.counts)) if len(self.counts) else -1
+
+
+class HashtagAggregationComputation(TimeSeriesComputation):
+    """TI-BSP hashtag statistics.
+
+    Parameters
+    ----------
+    hashtag:
+        The hashtag value to count.
+    master_subgraph:
+        Global subgraph id performing the final aggregation; use
+        :meth:`for_partitioned_graph` to pick the paper's choice (the
+        largest subgraph of partition 0).
+    tweets_attr:
+        Vertex attribute holding tweet containers (occurrences counted with
+        multiplicity).
+    """
+
+    pattern = Pattern.EVENTUALLY_DEPENDENT
+
+    def __init__(self, hashtag, master_subgraph: int = 0, tweets_attr: str = "tweets") -> None:
+        self.hashtag = hashtag
+        self.master_subgraph = int(master_subgraph)
+        self.tweets_attr = tweets_attr
+
+    @classmethod
+    def for_partitioned_graph(cls, pg: PartitionedGraph, hashtag, **kwargs):
+        """Build with the paper's master: largest subgraph in partition 0."""
+        return cls(hashtag, master_subgraph=largest_subgraph_in_partition(pg, 0), **kwargs)
+
+    # -- timestep phase -----------------------------------------------------------------
+
+    def compute(self, ctx: ComputeContext) -> None:
+        if ctx.superstep == 0:
+            tweets = ctx.instance.vertex_column(self.tweets_attr)[ctx.subgraph.vertices]
+            tag = self.hashtag
+            count = 0
+            for tw in tweets:
+                if tw:
+                    count += sum(1 for h in tw if h == tag)
+            ctx.send_to_merge((ctx.timestep, count))
+        ctx.vote_to_halt()
+
+    # -- merge phase --------------------------------------------------------------------
+
+    def merge(self, ctx: MergeContext) -> None:
+        if ctx.superstep == 0:
+            # hash[i] = this subgraph's count at timestep i (Section III-A).
+            by_timestep = {t: c for (t, c) in (m.payload for m in ctx.messages)}
+            T = max(by_timestep) + 1 if by_timestep else 0
+            hash_list = np.zeros(T, dtype=np.int64)
+            for t, c in by_timestep.items():
+                hash_list[t] = c
+            ctx.send_to_subgraph(self.master_subgraph, hash_list)
+            if ctx.subgraph.subgraph_id != self.master_subgraph:
+                ctx.vote_to_halt()
+        else:
+            if ctx.subgraph.subgraph_id == self.master_subgraph and ctx.messages:
+                T = max(len(m.payload) for m in ctx.messages)
+                counts = np.zeros(T, dtype=np.int64)
+                for m in ctx.messages:
+                    counts[: len(m.payload)] += m.payload
+                ctx.output(
+                    HashtagSummary(
+                        hashtag=self.hashtag,
+                        counts=counts,
+                        total=int(counts.sum()),
+                        rate_of_change=np.diff(counts) if T > 1 else np.zeros(0, dtype=np.int64),
+                    )
+                )
+            ctx.vote_to_halt()

@@ -1,0 +1,189 @@
+"""Meme Tracking — paper Algorithm 1 (sequentially dependent pattern).
+
+Tracks how a meme µ spreads over a social network across time: a temporal
+BFS over space and time.  Vertices carrying µ at instance 0 are the seeds
+(immediately *colored*); at every later instance, an uncolored vertex joins
+the colored set when it carries µ in its tweets *and* is adjacent (through a
+chain of currently-meme-carrying vertices) to the colored set.
+
+Within a timestep, MemeBFS traverses each subgraph along contiguous
+meme-carrying vertices until it reaches a remote edge or a meme-less vertex;
+remote neighbors are notified so their subgraph resumes the traversal in the
+next superstep.  The newly colored frontier is emitted per timestep
+(``PrintHorizon``) and the accumulated colored set rolls forward to the next
+instance.
+
+Deviation from the paper's pseudocode (documented in DESIGN.md): Algorithm 1
+ships the colored set ``C*`` via ``SendToNextTimestep``; we keep it in
+resident subgraph state and send only a continuation token, as with TDSP.
+Remote notifications are deduplicated per (destination subgraph) and batched
+as numpy arrays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.computation import TimeSeriesComputation
+from ..core.context import ComputeContext, EndOfTimestepContext
+from ..core.patterns import Pattern
+
+__all__ = ["MemeTrackingComputation", "MemeFrontier", "colored_timesteps_from_result"]
+
+
+@dataclass(frozen=True)
+class MemeFrontier:
+    """Per-subgraph, per-timestep output: vertices colored for the first time."""
+
+    timestep: int
+    vertices: np.ndarray  #: global vertex indices newly colored this timestep
+
+    @property
+    def count(self) -> int:
+        return len(self.vertices)
+
+
+class MemeTrackingComputation(TimeSeriesComputation):
+    """TI-BSP meme tracking for a single meme.
+
+    Parameters
+    ----------
+    meme:
+        The meme value to track (hashtag id / string).
+    tweets_attr:
+        Vertex attribute holding each vertex's tweets for the instance
+        interval (any container supporting ``in``; ``None`` = no tweets).
+    """
+
+    pattern = Pattern.SEQUENTIALLY_DEPENDENT
+
+    def __init__(self, meme, tweets_attr: str = "tweets") -> None:
+        self.meme = meme
+        self.tweets_attr = tweets_attr
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _init_state(self, ctx: ComputeContext) -> None:
+        sg, st = ctx.subgraph, ctx.state
+        st["colored"] = np.zeros(sg.num_vertices, dtype=bool)
+        st["colored_at"] = np.full(sg.num_vertices, -1, dtype=np.int64)
+        # Colored vertices that may still spread locally (boundary of C*).
+        st["local_roots"] = np.empty(0, dtype=np.int64)
+
+    def _has_meme_mask(self, ctx: ComputeContext) -> np.ndarray:
+        """Which local vertices carry the meme in the current instance."""
+        sg = ctx.subgraph
+        tweets = ctx.instance.vertex_column(self.tweets_attr)[sg.vertices]
+        meme = self.meme
+        return np.fromiter(
+            (tw is not None and meme in tw for tw in tweets),
+            dtype=bool,
+            count=len(tweets),
+        )
+
+    def _meme_bfs(self, ctx: ComputeContext, queue: deque) -> None:
+        """Traverse contiguous meme-carrying vertices; notify remote subgraphs.
+
+        ``queue`` holds local indices that are colored and not yet expanded
+        this timestep.  New colorings are recorded with the current timestep.
+        """
+        sg, st = ctx.subgraph, ctx.state
+        colored, colored_at = st["colored"], st["colored_at"]
+        has_meme = st["has_meme"]
+        expanded = st["expanded"]
+        remote = sg.remote
+        notify: dict[int, set[int]] = {}
+
+        while queue:
+            u = queue.popleft()
+            if expanded[u]:
+                continue
+            expanded[u] = True
+            for w in sg.neighbors(u):
+                if colored[w]:
+                    continue
+                if has_meme[w]:
+                    colored[w] = True
+                    colored_at[w] = ctx.timestep
+                    queue.append(int(w))
+            for row in sg.remote_edges_of(int(u)):
+                dst_sg = int(remote.dst_subgraph[row])
+                notify.setdefault(dst_sg, set()).add(int(remote.dst_global[row]))
+
+        for dst_sg, verts in notify.items():
+            ctx.send_to_subgraph(
+                dst_sg, np.fromiter(verts, dtype=np.int64, count=len(verts))
+            )
+
+    # -- TI-BSP hooks --------------------------------------------------------------------
+
+    def compute(self, ctx: ComputeContext) -> None:
+        sg, st = ctx.subgraph, ctx.state
+        queue: deque = deque()
+        if ctx.superstep == 0:
+            if "colored" not in st:
+                self._init_state(ctx)
+            st["has_meme"] = self._has_meme_mask(ctx)
+            # Each vertex is expanded at most once per timestep, regardless of
+            # how many supersteps touch it.
+            st["expanded"] = np.zeros(sg.num_vertices, dtype=bool)
+            colored, colored_at = st["colored"], st["colored_at"]
+            if ctx.timestep == 0:
+                # Seeds: all vertices carrying the meme now (Alg 1, line 4).
+                seeds = np.nonzero(st["has_meme"] & ~colored)[0]
+                colored[seeds] = True
+                colored_at[seeds] = 0
+                queue.extend(int(v) for v in seeds)
+            else:
+                # Resume from the colored set's active boundary (C*).
+                queue.extend(int(v) for v in st["local_roots"])
+        else:
+            colored, colored_at = st["colored"], st["colored_at"]
+            has_meme = st["has_meme"]
+            for msg in ctx.messages:
+                locs = sg.local_of(np.asarray(msg.payload, dtype=np.int64))
+                for lv in np.atleast_1d(locs):
+                    lv = int(lv)
+                    if not colored[lv] and has_meme[lv]:
+                        colored[lv] = True
+                        colored_at[lv] = ctx.timestep
+                        queue.append(lv)
+        if queue:
+            self._meme_bfs(ctx, queue)
+        ctx.vote_to_halt()
+
+    def end_of_timestep(self, ctx: EndOfTimestepContext) -> None:
+        sg, st = ctx.subgraph, ctx.state
+        colored, colored_at = st["colored"], st["colored_at"]
+        newly = colored_at == ctx.timestep
+        if newly.any():
+            ctx.output(MemeFrontier(ctx.timestep, sg.vertices[newly].copy()))
+        # Boundary of the colored set: colored vertices with an uncolored
+        # local neighbor or a remote edge — the only useful next-step roots.
+        if "slot_src" not in st:
+            st["slot_src"] = np.repeat(
+                np.arange(sg.num_vertices, dtype=np.int64), np.diff(sg.indptr)
+            )
+            has_remote = np.zeros(sg.num_vertices, dtype=bool)
+            has_remote[sg.remote.src_local] = True
+            st["has_remote"] = has_remote
+        border = np.zeros(sg.num_vertices, dtype=bool)
+        if len(sg.indices):
+            np.logical_or.at(border, st["slot_src"], ~colored[sg.indices])
+        st["local_roots"] = np.nonzero(colored & (border | st["has_remote"]))[0]
+        # Meme tracking runs the full time range (spread can resume at any
+        # later instance), so no vote_to_halt_timestep; keep the app alive.
+        ctx.send_to_next_timestep(int(newly.sum()))
+
+
+def colored_timesteps_from_result(result) -> dict[int, int]:
+    """Vertex → first-colored timestep, assembled from an :class:`AppResult`."""
+    colored: dict[int, int] = {}
+    for _t, _sg, rec in result.outputs:
+        if isinstance(rec, MemeFrontier):
+            for v in rec.vertices:
+                colored.setdefault(int(v), rec.timestep)
+    return colored

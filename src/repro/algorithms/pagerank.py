@@ -1,0 +1,115 @@
+"""Subgraph-centric PageRank ("SubgraphRank") on one graph instance.
+
+Synchronous PageRank where each superstep is one global power iteration:
+internal rank flow is computed vectorially inside each subgraph, while flow
+over remote edges is aggregated per destination subgraph and shipped as one
+bulk array message — the message-count reduction that makes subgraph-centric
+PageRank beat vertex-centric implementations (the paper cites SubgraphRank
+[12]).
+
+Dangling vertices (out-degree 0) contribute nothing, as in Pregel's original
+formulation; the reference implementation mirrors this so results compare to
+high precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.computation import TimeSeriesComputation
+from ..core.context import ComputeContext, EndOfTimestepContext
+from ..core.patterns import Pattern
+
+__all__ = ["PageRankComputation", "PageRankResult", "pagerank_from_result"]
+
+
+@dataclass(frozen=True)
+class PageRankResult:
+    """Per-subgraph output: final PageRank of its vertices."""
+
+    vertices: np.ndarray
+    ranks: np.ndarray
+
+
+class PageRankComputation(TimeSeriesComputation):
+    """Fixed-iteration synchronous PageRank.
+
+    Parameters
+    ----------
+    iterations:
+        Number of power iterations (= number of supersteps after the first).
+    damping:
+        Damping factor ``d`` (rank = (1-d)/N + d·incoming).
+    """
+
+    pattern = Pattern.INDEPENDENT
+
+    def __init__(self, iterations: int = 30, damping: float = 0.85) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = int(iterations)
+        self.damping = float(damping)
+
+    def _push(self, ctx: ComputeContext) -> None:
+        """Compute this iteration's outgoing flow: local into state, remote out."""
+        sg, st = ctx.subgraph, ctx.state
+        contrib = np.where(st["out_deg"] > 0, st["pr"] / np.maximum(st["out_deg"], 1), 0.0)
+        incoming = np.zeros(sg.num_vertices)
+        if len(sg.indices):
+            np.add.at(incoming, sg.indices, contrib[st["slot_src"]])
+        st["pending_local"] = incoming
+        remote = sg.remote
+        if len(remote):
+            flows = contrib[remote.src_local]
+            # Aggregate per (destination subgraph, destination vertex).
+            order = np.lexsort((remote.dst_global, remote.dst_subgraph))
+            d_sg = remote.dst_subgraph[order]
+            d_v = remote.dst_global[order]
+            f = flows[order]
+            for dst in np.unique(d_sg):
+                sel = d_sg == dst
+                verts, inverse = np.unique(d_v[sel], return_inverse=True)
+                sums = np.zeros(len(verts))
+                np.add.at(sums, inverse, f[sel])
+                ctx.send_to_subgraph(int(dst), (verts, sums))
+
+    def compute(self, ctx: ComputeContext) -> None:
+        sg, st = ctx.subgraph, ctx.state
+        n_global = ctx.instance.template.num_vertices
+        if ctx.superstep == 0:
+            st["pr"] = np.full(sg.num_vertices, 1.0 / n_global)
+            st["slot_src"] = np.repeat(
+                np.arange(sg.num_vertices, dtype=np.int64), np.diff(sg.indptr)
+            )
+            out_deg = np.diff(sg.indptr).astype(np.float64)
+            if len(sg.remote):
+                np.add.at(out_deg, sg.remote.src_local, 1.0)
+            st["out_deg"] = out_deg
+            self._push(ctx)
+            return
+        # Fold in remote flow from the previous iteration and update ranks.
+        incoming = st["pending_local"]
+        for msg in ctx.messages:
+            verts, sums = msg.payload
+            incoming[sg.local_of(np.asarray(verts, dtype=np.int64))] += sums
+        st["pr"] = (1.0 - self.damping) / n_global + self.damping * incoming
+        if ctx.superstep >= self.iterations:
+            ctx.vote_to_halt()
+        else:
+            self._push(ctx)
+
+    def end_of_timestep(self, ctx: EndOfTimestepContext) -> None:
+        sg, st = ctx.subgraph, ctx.state
+        if sg.num_vertices and "pr" in st:
+            ctx.output(PageRankResult(sg.vertices.copy(), st["pr"].copy()))
+
+
+def pagerank_from_result(result, num_vertices: int) -> np.ndarray:
+    """Assemble the global rank vector from an :class:`AppResult`."""
+    pr = np.zeros(num_vertices)
+    for _t, _sg, rec in result.outputs:
+        if isinstance(rec, PageRankResult):
+            pr[rec.vertices] = rec.ranks
+    return pr

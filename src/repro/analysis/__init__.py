@@ -1,0 +1,21 @@
+"""Analysis and reporting: the series/tables behind Figures 5–7."""
+
+from .export import result_summary, write_csv, write_result_json, write_series_csv
+from .report import render_bar_chart, render_series, render_table
+from .timeline import frontier_matrix, frontier_totals, timestep_times
+from .utilization import UtilizationRow, utilization_rows
+
+__all__ = [
+    "result_summary",
+    "write_csv",
+    "write_result_json",
+    "write_series_csv",
+    "render_bar_chart",
+    "render_series",
+    "render_table",
+    "frontier_matrix",
+    "frontier_totals",
+    "timestep_times",
+    "UtilizationRow",
+    "utilization_rows",
+]

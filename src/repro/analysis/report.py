@@ -1,0 +1,56 @@
+"""Plain-text rendering of tables and series for benches and the CLI.
+
+Benchmarks print the same rows/series the paper's tables and figures report;
+these helpers keep that output aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "render_bar_chart"]
+
+
+def render_table(rows: Sequence[Mapping], title: str | None = None) -> str:
+    """Align a list of dict rows into a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(rows[0].keys())
+    cells = [[str(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(values: Iterable[float], *, label: str = "", fmt: str = "{:.4f}") -> str:
+    """One-line rendering of a numeric series (e.g. time per timestep)."""
+    body = " ".join(fmt.format(v) for v in values)
+    return f"{label}: {body}" if label else body
+
+
+def render_bar_chart(
+    values: Sequence[float],
+    labels: Sequence[str] | None = None,
+    *,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """ASCII horizontal bars — a terminal stand-in for the paper's figures."""
+    values = list(values)
+    if not values:
+        return title or "(empty)"
+    peak = max(values) or 1.0
+    labels = list(labels) if labels is not None else [str(i) for i in range(len(values))]
+    lw = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        bar = "#" * max(0, int(round(width * v / peak)))
+        lines.append(f"{label.rjust(lw)} |{bar} {v:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Vertex-centric baseline ("Giraph"/Pregel substitute) and Fig 5b harness."""
+
+from .comparison import Fig5bRow, fig5b_comparison
+from .pregel import PregelEngine, PregelResult, VertexComputation, VertexContext
+from .vertex_adapter import (
+    AdaptedVertexContext,
+    VertexCentricAdapter,
+    vertex_values_from_result,
+)
+from .vertex_algorithms import VertexBFS, VertexPageRank, VertexSSSP
+
+__all__ = [
+    "Fig5bRow",
+    "fig5b_comparison",
+    "AdaptedVertexContext",
+    "VertexCentricAdapter",
+    "vertex_values_from_result",
+    "PregelEngine",
+    "PregelResult",
+    "VertexComputation",
+    "VertexContext",
+    "VertexBFS",
+    "VertexPageRank",
+    "VertexSSSP",
+]

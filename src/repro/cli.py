@@ -1,0 +1,213 @@
+"""Command-line interface: run the paper's experiments from a terminal.
+
+Subcommands::
+
+    tibsp datasets   — Table 1: generated dataset statistics
+    tibsp edgecuts   — Table 2: edge-cut % for 3/6/9 partitions
+    tibsp run        — run one algorithm on one dataset configuration
+    tibsp fig5b      — the Giraph-vs-GoFFish comparison
+    tibsp store      — write a dataset into a GoFS store directory
+
+All subcommands accept ``--scale`` (template vertices) and ``--seed``; they
+print the same rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    render_series,
+    render_table,
+    utilization_rows,
+    write_result_json,
+)
+from .algorithms import (
+    CommunityEvolutionComputation,
+    HashtagAggregationComputation,
+    InstanceStatisticsComputation,
+    MemeTrackingComputation,
+    TDSPComputation,
+    TemporalReachabilityComputation,
+    largest_subgraph_in_partition,
+    stats_series_from_result,
+)
+from .baselines import fig5b_comparison
+from .core import EngineConfig, run_application
+from .generators import (
+    PeriodicExistencePopulator,
+    make_collection,
+    paper_datasets,
+    road_network,
+    smallworld_network,
+)
+from .graph import AttributeSchema, AttributeSpec, GraphTemplate
+from .partition import MetisLikePartitioner, compute_stats, partition_graph
+from .runtime import GCModel, GreedyRebalancer
+from .storage import GoFS
+
+__all__ = ["main"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=int, default=20_000, help="template vertex count")
+    p.add_argument("--seed", type=int, default=0, help="generator seed")
+    p.add_argument("--instances", type=int, default=50, help="number of graph instances")
+
+
+def _datasets(args: argparse.Namespace) -> int:
+    carn = road_network(args.scale, seed=args.seed)
+    wiki = smallworld_network(args.scale, seed=args.seed)
+    print(render_table([carn.stats(), wiki.stats()], title="Generated graph templates (Table 1 analogue)"))
+    return 0
+
+
+def _edgecuts(args: argparse.Namespace) -> int:
+    rows = []
+    for tpl in (road_network(args.scale, seed=args.seed), smallworld_network(args.scale, seed=args.seed)):
+        for k in (3, 6, 9):
+            pg = partition_graph(tpl, k, MetisLikePartitioner(seed=args.seed))
+            rows.append(compute_stats(pg).as_row())
+    print(render_table(rows, title="Edge cut % across partitions (Table 2 analogue)"))
+    return 0
+
+
+def _evolving_collection(args: argparse.Namespace):
+    """A template + collection with periodic is_exists edge schedules."""
+    base = (road_network if args.graph == "CARN" else smallworld_network)(
+        args.scale, seed=args.seed
+    )
+    template = GraphTemplate(
+        base.num_vertices,
+        base.edge_src,
+        base.edge_dst,
+        directed=base.directed,
+        edge_schema=AttributeSchema([AttributeSpec("is_exists", "bool", default=True)]),
+        name=base.name,
+    )
+    populator = PeriodicExistencePopulator(template, seed=args.seed)
+    return template, make_collection(template, args.instances, populator)
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.algorithm in ("reach", "evolve"):
+        template, collection = _evolving_collection(args)
+    else:
+        data = paper_datasets(args.scale, args.instances, seed=args.seed)[args.graph]
+        template = data["template"]
+        collection = data["road" if args.algorithm in ("tdsp", "stats") else "tweets"]
+    pg = partition_graph(template, args.partitions, MetisLikePartitioner(seed=args.seed))
+    config = EngineConfig(
+        executor=args.executor,
+        gc_model=GCModel() if args.gc else GCModel.disabled(),
+        rebalancer=GreedyRebalancer() if args.rebalance else None,
+    )
+    if args.algorithm == "tdsp":
+        comp = TDSPComputation(source=args.source, halt_when_stalled=True)
+    elif args.algorithm == "meme":
+        comp = MemeTrackingComputation(meme=0)
+    elif args.algorithm == "hash":
+        comp = HashtagAggregationComputation.for_partitioned_graph(pg, 0)
+    elif args.algorithm == "reach":
+        comp = TemporalReachabilityComputation(source=args.source)
+    elif args.algorithm == "evolve":
+        comp = CommunityEvolutionComputation(
+            template.num_vertices, largest_subgraph_in_partition(pg, 0)
+        )
+    else:  # stats
+        comp = InstanceStatisticsComputation(
+            "latency", on="edges", range_low=0.0, range_high=0.2 * collection.delta
+        )
+    result = run_application(comp, pg, collection, config=config)
+    print(render_table([result.metrics.summary()], title=f"{args.algorithm} on {args.graph}"))
+    print(render_series(result.metrics.timestep_series(), label="time per timestep (s)"))
+    print(render_table([r.as_row() for r in utilization_rows(result)], title="Per-partition utilization"))
+    if args.algorithm == "evolve":
+        (_sg, summary), = result.merge_outputs
+        print(render_series(summary.num_communities, label="communities per timestep", fmt="{:d}"))
+    elif args.algorithm == "stats":
+        series = stats_series_from_result(result)
+        print(render_series(
+            [series[t].mean for t in sorted(series)], label="mean latency per timestep"
+        ))
+    if args.rebalance:
+        print(f"migrations applied: {sum(result.metrics.migrations.values())}")
+    if args.export:
+        path = write_result_json(args.export, result, algorithm=args.algorithm, graph=args.graph)
+        print(f"run summary written to {path}")
+    return 0
+
+
+def _fig5b(args: argparse.Namespace) -> int:
+    data = paper_datasets(args.scale, args.instances, seed=args.seed)
+    rows = []
+    for name in ("CARN", "WIKI"):
+        pg = partition_graph(data[name]["template"], args.partitions, MetisLikePartitioner(seed=args.seed))
+        rows.append(fig5b_comparison(pg, data[name]["road"]).as_row())
+    print(render_table(rows, title="Giraph vs GoFFish (Fig 5b analogue)"))
+    return 0
+
+
+def _store(args: argparse.Namespace) -> int:
+    data = paper_datasets(args.scale, args.instances, seed=args.seed)[args.graph]
+    kind = "road" if args.workload == "road" else "tweets"
+    pg = partition_graph(data["template"], args.partitions, MetisLikePartitioner(seed=args.seed))
+    manifest = GoFS.write_collection(args.root, pg, data[kind])
+    print(f"wrote GoFS store to {args.root}: {manifest['num_timesteps']} instances, "
+          f"{manifest['num_partitions']} partitions, packing={manifest['packing']}, "
+          f"binning={manifest['binning']}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (also the ``tibsp`` console script)."""
+    parser = argparse.ArgumentParser(prog="tibsp", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="Table 1: dataset statistics")
+    _add_common(p)
+    p.set_defaults(func=_datasets)
+
+    p = sub.add_parser("edgecuts", help="Table 2: edge-cut percentages")
+    _add_common(p)
+    p.set_defaults(func=_edgecuts)
+
+    p = sub.add_parser("run", help="run one algorithm")
+    _add_common(p)
+    p.add_argument(
+        "algorithm", choices=["tdsp", "meme", "hash", "reach", "evolve", "stats"]
+    )
+    p.add_argument("--graph", choices=["CARN", "WIKI"], default="CARN")
+    p.add_argument("--partitions", type=int, default=6)
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--gc", action="store_true", help="enable the GC pause model")
+    p.add_argument(
+        "--executor", choices=["serial", "thread"], default="serial",
+        help="cluster backend (process needs GoFS sources; use the API)",
+    )
+    p.add_argument(
+        "--rebalance", action="store_true", help="enable greedy dynamic rebalancing"
+    )
+    p.add_argument("--export", metavar="PATH", help="write a JSON run summary")
+    p.set_defaults(func=_run)
+
+    p = sub.add_parser("fig5b", help="Giraph vs GoFFish comparison")
+    _add_common(p)
+    p.add_argument("--partitions", type=int, default=6)
+    p.set_defaults(func=_fig5b)
+
+    p = sub.add_parser("store", help="write a GoFS store directory")
+    _add_common(p)
+    p.add_argument("root", help="store directory")
+    p.add_argument("--graph", choices=["CARN", "WIKI"], default="CARN")
+    p.add_argument("--workload", choices=["road", "tweets"], default="road")
+    p.add_argument("--partitions", type=int, default=6)
+    p.set_defaults(func=_store)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""TI-BSP core: the paper's programming abstraction (Sections II-C/D).
+
+Users subclass :class:`~repro.core.computation.TimeSeriesComputation`,
+declare a :class:`~repro.core.patterns.Pattern`, and run it with
+:class:`~repro.core.engine.TIBSPEngine` (or the
+:func:`~repro.core.engine.run_application` convenience wrapper).
+"""
+
+from .computation import TimeSeriesComputation
+from .context import ComputeContext, EndOfTimestepContext, MergeContext
+from .engine import EngineConfig, TIBSPEngine, run_application
+from .messages import Message, MessageKind, SendBuffer, group_by_destination
+from .patterns import Pattern
+from .results import AppResult
+from .temporal import pipelined_makespan, run_temporally_parallel
+
+__all__ = [
+    "TimeSeriesComputation",
+    "ComputeContext",
+    "EndOfTimestepContext",
+    "MergeContext",
+    "EngineConfig",
+    "TIBSPEngine",
+    "run_application",
+    "Message",
+    "MessageKind",
+    "SendBuffer",
+    "group_by_destination",
+    "Pattern",
+    "AppResult",
+    "run_temporally_parallel",
+    "pipelined_makespan",
+]

@@ -1,0 +1,370 @@
+"""The TI-BSP engine: timesteps (outer loop) × supersteps (inner loop).
+
+Section II-D: a TI-BSP application is a set of BSP iterations, each called a
+*timestep* because it operates on one graph instance; within a timestep the
+subgraph-centric BSP runs barriered *supersteps*.  The execution order of
+timesteps and the messaging between them realizes the design pattern:
+
+* **sequentially dependent** — timesteps run strictly in order; temporal
+  messages collected during timestep *t* are delivered at superstep 0 of
+  timestep *t+1*;
+* **independent** — each timestep's BSP runs exactly once with the
+  application inputs; no temporal messages;
+* **eventually dependent** — like independent, plus a Merge BSP after the
+  last timestep that receives everything sent via ``send_to_merge``.
+
+Timestep ranges behave like the paper's For loop (fixed range of instances)
+or While loop: the run ends early when every subgraph voted
+``vote_to_halt_timestep`` during some timestep *and* no temporal messages
+were emitted in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..graph.collection import TimeSeriesGraphCollection
+from ..partition.base import PartitionedGraph
+from ..runtime.cluster import Cluster, LocalCluster
+from ..runtime.cost import CostModel
+from ..runtime.gc_model import GCModel
+from ..runtime.host import HostStepResult, InstanceSource, RunMeta
+from ..runtime.metrics import PHASE_COMPUTE, PHASE_MERGE, MetricsCollector, StepRecord
+from ..runtime.process_cluster import ProcessCluster
+from .computation import TimeSeriesComputation
+from .messages import Message, MessageKind, group_by_destination
+from .patterns import Pattern
+from .results import AppResult
+
+__all__ = ["EngineConfig", "TIBSPEngine", "run_application"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine knobs.
+
+    Attributes
+    ----------
+    executor:
+        ``"serial"`` (default), ``"thread"``, or ``"process"``.
+    cost_model:
+        Communication cost model for the simulated wall-clock.
+    gc_model:
+        GC pause model (disabled by default; Fig 6 benches enable it).
+    max_supersteps:
+        Safety bound per timestep BSP (and for the merge BSP).
+    collect_states:
+        Whether to fetch per-subgraph state dicts at the end of the run
+        (disable for process clusters with huge state).
+    rebalancer:
+        Optional dynamic-rebalancing policy (see
+        :mod:`repro.runtime.rebalance`): between timesteps, subgraphs may
+        migrate from busy to idle partitions.  In-process executors with
+        shared-collection sources only.
+    """
+
+    executor: str = "serial"
+    cost_model: CostModel = field(default_factory=CostModel)
+    gc_model: GCModel = field(default_factory=GCModel.disabled)
+    max_supersteps: int = 100_000
+    collect_states: bool = True
+    rebalancer: object | None = None
+
+
+class TIBSPEngine:
+    """Runs :class:`~repro.core.computation.TimeSeriesComputation` applications.
+
+    Parameters
+    ----------
+    pg:
+        The partitioned graph (topology + subgraph decomposition).
+    collection:
+        The time-series graph collection to iterate over.
+    config:
+        Engine configuration.
+    sources:
+        Optional per-partition instance sources (e.g. GoFS views).  Required
+        for the process executor; defaults to shared-collection sources for
+        in-process executors.
+    """
+
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        collection: TimeSeriesGraphCollection,
+        config: EngineConfig | None = None,
+        sources: Sequence[InstanceSource] | None = None,
+    ) -> None:
+        self.pg = pg
+        self.collection = collection
+        self.config = config or EngineConfig()
+        self.sources = sources
+        self._sg_part = np.asarray([sg.partition_id for sg in pg.subgraphs], dtype=np.int64)
+        self._all_sgids = frozenset(sg.subgraph_id for sg in pg.subgraphs)
+
+    # -- cluster construction ------------------------------------------------------
+
+    def _make_cluster(self, computation: TimeSeriesComputation, meta: RunMeta) -> Cluster:
+        cfg = self.config
+        if cfg.executor == "process":
+            if self.sources is None:
+                raise ValueError(
+                    "the process executor needs per-partition instance sources "
+                    "(lazy/generator or GoFS-backed) so workers can load data "
+                    "in their own address space"
+                )
+            return ProcessCluster(
+                self.pg, computation, meta, self.sources, cost_model=cfg.cost_model
+            )
+        return LocalCluster(
+            self.pg,
+            computation,
+            meta,
+            collection=self.collection,
+            sources=self.sources,
+            cost_model=cfg.cost_model,
+            executor=cfg.executor,
+        )
+
+    # -- routing helpers --------------------------------------------------------------
+
+    def _split_by_partition(
+        self, deliveries: dict[int, list[Message]]
+    ) -> list[dict[int, list[Message]]]:
+        """Split a global delivery map into per-partition maps."""
+        per_part: list[dict[int, list[Message]]] = [{} for _ in range(self.pg.num_partitions)]
+        for sgid, msgs in deliveries.items():
+            per_part[int(self._sg_part[sgid])][sgid] = msgs
+        return per_part
+
+    @staticmethod
+    def _as_input_messages(inputs: Iterable[tuple[int, Any]] | None) -> dict[int, list[Message]]:
+        grouped: dict[int, list[Message]] = {}
+        for sgid, payload in inputs or ():
+            grouped.setdefault(int(sgid), []).append(
+                Message(payload, None, -1, MessageKind.APP_INPUT)
+            )
+        return grouped
+
+    # -- main entry ----------------------------------------------------------------------
+
+    def run(
+        self,
+        computation: TimeSeriesComputation,
+        inputs: Iterable[tuple[int, Any]] | None = None,
+        timestep_range: tuple[int, int] | None = None,
+    ) -> AppResult:
+        """Execute ``computation`` over the collection.
+
+        Parameters
+        ----------
+        computation:
+            The TI-BSP application.
+        inputs:
+            Application input messages as ``(subgraph_id, payload)`` pairs.
+            Sequentially dependent: delivered at superstep 0 of the first
+            timestep.  Independent / eventually dependent: delivered at
+            superstep 0 of *every* timestep (there is no notion of a
+            previous instance — Section II-D).
+        timestep_range:
+            Half-open ``(start, stop)`` range of timesteps; defaults to the
+            whole collection (the paper's For-loop mode over ``ti..tj``).
+        """
+        pattern = computation.pattern
+        start, stop = timestep_range or (0, len(self.collection))
+        if not 0 <= start <= stop <= len(self.collection):
+            raise ValueError(f"timestep range [{start}, {stop}) out of bounds")
+
+        meta = RunMeta(
+            pattern=pattern,
+            num_timesteps=stop,
+            delta=self.collection.delta,
+            t0=self.collection.t0,
+        )
+        metrics = MetricsCollector(
+            self.pg.num_partitions, barrier_s=self.config.cost_model.barrier_cost(self.pg.num_partitions)
+        )
+        result = AppResult(metrics=metrics)
+        input_msgs = self._as_input_messages(inputs)
+
+        cluster = self._make_cluster(computation, meta)
+        try:
+            temporal_inbox: dict[int, list[Message]] = {}
+            for t in range(start, stop):
+                halted_early = self._run_timestep(
+                    cluster, metrics, result, pattern, t, start, input_msgs, temporal_inbox
+                )
+                result.timesteps_executed += 1
+                if halted_early:
+                    # Only count as early when timesteps actually remained.
+                    result.halted_early = t < stop - 1
+                    break
+            if pattern.has_merge:
+                self._run_merge(cluster, metrics, result)
+            if self.config.collect_states:
+                result.states = cluster.final_states()
+        finally:
+            cluster.shutdown()
+        return result
+
+    # -- one timestep ---------------------------------------------------------------------
+
+    def _record(self, metrics: MetricsCollector, phase: str, t: int, s: int, results: list[HostStepResult]) -> None:
+        for r in results:
+            metrics.record_step(
+                StepRecord(
+                    phase=phase,
+                    timestep=t,
+                    superstep=s,
+                    partition=r.partition,
+                    compute_s=r.compute_s,
+                    send_s=r.send_s,
+                    subgraphs_computed=r.subgraphs_computed,
+                    messages_sent=r.messages_sent,
+                    bytes_sent=r.bytes_sent,
+                )
+            )
+
+    def _run_timestep(
+        self,
+        cluster: Cluster,
+        metrics: MetricsCollector,
+        result: AppResult,
+        pattern: Pattern,
+        t: int,
+        start: int,
+        input_msgs: dict[int, list[Message]],
+        temporal_inbox: dict[int, list[Message]],
+    ) -> bool:
+        """Run one BSP timestep.  Returns True when the app halted early."""
+        if self.config.rebalancer is not None and t > start:
+            self._rebalance(cluster, metrics, t)
+        gc = self.config.gc_model
+        if gc.enabled:
+            resident = cluster.resident_bytes()
+            pauses = [gc.pause_at(t - start, b) for b in resident]
+        else:
+            pauses = [0.0] * self.pg.num_partitions
+
+        for r in cluster.begin_timestep(t, pauses):
+            metrics.record_load(t, r.partition, r.load_s)
+            if r.gc_pause_s:
+                metrics.record_gc(t, r.partition, r.gc_pause_s)
+
+        # Superstep-0 deliveries per the pattern (Section II-D message rules).
+        if pattern is Pattern.SEQUENTIALLY_DEPENDENT:
+            deliveries = input_msgs if t == start else temporal_inbox
+        else:
+            deliveries = input_msgs
+        temporal_buffer: list[tuple[int, Message]] = []
+        halt_votes: set[int] = set()
+
+        superstep = 0
+        while True:
+            if superstep >= self.config.max_supersteps:
+                raise RuntimeError(
+                    f"timestep {t} exceeded max_supersteps={self.config.max_supersteps}; "
+                    "is the computation failing to vote to halt?"
+                )
+            step_results = cluster.run_superstep(t, superstep, self._split_by_partition(deliveries))
+            self._record(metrics, PHASE_COMPUTE, t, superstep, step_results)
+
+            sends: list[tuple[int, Message]] = []
+            for r in step_results:
+                sends.extend(r.sends)
+                temporal_buffer.extend(r.temporal_sends)
+                result.outputs.extend(r.outputs)
+                halt_votes |= r.halt_timestep_votes
+            deliveries = group_by_destination(sends)
+            superstep += 1
+            if not deliveries and all(r.all_halted for r in step_results):
+                break
+
+        eot_results = cluster.end_of_timestep(t)
+        self._record(metrics, PHASE_COMPUTE, t, superstep, eot_results)
+        for r in eot_results:
+            temporal_buffer.extend(r.temporal_sends)
+            result.outputs.extend(r.outputs)
+            halt_votes |= r.halt_timestep_votes
+
+        temporal_inbox.clear()
+        temporal_inbox.update(group_by_destination(temporal_buffer))
+        # While-loop termination: all subgraphs voted AND no temporal messages.
+        return halt_votes >= self._all_sgids and not temporal_inbox
+
+    # -- dynamic rebalancing ---------------------------------------------------------------
+
+    def _rebalance(self, cluster: Cluster, metrics: MetricsCollector, t: int) -> None:
+        """Ask the policy for moves based on the previous timestep's load."""
+        from ..runtime.cluster import LocalCluster
+        from ..runtime.host import CollectionInstanceSource
+        from ..runtime.rebalance import apply_migrations
+
+        if not isinstance(cluster, LocalCluster):
+            raise NotImplementedError(
+                "dynamic rebalancing requires an in-process executor"
+            )
+        if self.sources is not None and not all(
+            isinstance(s, CollectionInstanceSource) for s in self.sources
+        ):
+            # Partitioned sources (GoFS views) only hold their own rows; a
+            # migrated subgraph would silently read schema defaults.
+            raise NotImplementedError(
+                "dynamic rebalancing requires whole-instance sources "
+                "(shared collection), not partitioned GoFS views"
+            )
+        busy = np.zeros(self.pg.num_partitions)
+        for r in metrics.step_records:
+            if r.timestep == t - 1:
+                busy[r.partition] += r.busy_s
+        partition_subgraphs = [
+            [(sg.subgraph_id, sg.num_vertices) for sg in host.partition.subgraphs]
+            for host in cluster.hosts
+        ]
+        moves = self.config.rebalancer.decide(busy, partition_subgraphs)
+        if not moves:
+            return
+        cost = apply_migrations(cluster, moves, self._sg_part, self.config.cost_model)
+        # Keep the hosts' shared routing array and the engine's in sync
+        # (apply_migrations updated the engine's copy; mirror onto hosts').
+        cluster.hosts[0].subgraph_partition[:] = self._sg_part
+        metrics.record_migration(t, len(moves), cost)
+
+    # -- merge phase ---------------------------------------------------------------------
+
+    def _run_merge(self, cluster: Cluster, metrics: MetricsCollector, result: AppResult) -> None:
+        deliveries: dict[int, list[Message]] = {}
+        superstep = 0
+        while True:
+            if superstep >= self.config.max_supersteps:
+                raise RuntimeError("merge phase exceeded max_supersteps")
+            step_results = cluster.run_merge_superstep(
+                superstep, self._split_by_partition(deliveries)
+            )
+            self._record(metrics, PHASE_MERGE, -1, superstep, step_results)
+            sends: list[tuple[int, Message]] = []
+            for r in step_results:
+                sends.extend(r.sends)
+                result.merge_outputs.extend((sg, rec) for (_t, sg, rec) in r.outputs)
+            deliveries = group_by_destination(sends)
+            superstep += 1
+            if not deliveries and all(r.all_halted for r in step_results):
+                break
+
+
+def run_application(
+    computation: TimeSeriesComputation,
+    pg: PartitionedGraph,
+    collection: TimeSeriesGraphCollection,
+    *,
+    inputs: Iterable[tuple[int, Any]] | None = None,
+    timestep_range: tuple[int, int] | None = None,
+    config: EngineConfig | None = None,
+    sources: Sequence[InstanceSource] | None = None,
+) -> AppResult:
+    """One-call convenience wrapper around :class:`TIBSPEngine`."""
+    engine = TIBSPEngine(pg, collection, config=config, sources=sources)
+    return engine.run(computation, inputs=inputs, timestep_range=timestep_range)

@@ -1,0 +1,113 @@
+"""Messages and message buffers for TI-BSP execution.
+
+BSP semantics (Section II-C/D): messages generated in one superstep are
+transmitted *in bulk* between supersteps and are visible to the destination
+subgraph's ``compute`` in the next superstep.  The TI-BSP extension adds
+temporal messages (delivered at superstep 0 of the next *timestep*) and merge
+messages (delivered to the Merge phase after all timesteps finish).
+
+A message's ``kind`` tells the receiving ``compute`` how to interpret it —
+the paper derives the same information from ``superstep == 0`` /
+``timestep == 0`` context, which also works here, but the explicit kind keeps
+mixed deliveries unambiguous.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["MessageKind", "Message", "SendBuffer", "group_by_destination"]
+
+
+class MessageKind(enum.Enum):
+    """Provenance of a delivered message."""
+
+    APP_INPUT = "app_input"  #: application input, delivered at the very first superstep
+    SUPERSTEP = "superstep"  #: from another subgraph in the previous superstep
+    TEMPORAL = "temporal"  #: from the previous timestep (sequentially dependent)
+    MERGE = "merge"  #: collected for / exchanged during the Merge phase
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message envelope.
+
+    Attributes
+    ----------
+    payload:
+        Arbitrary application data.  For performance-sensitive algorithms,
+        prefer numpy arrays over large Python object graphs (bulk transfer,
+        cheap pickling) — the mpi4py idiom from the HPC guides.
+    source_subgraph:
+        Global subgraph id of the sender, or ``None`` for application inputs.
+    timestep:
+        Timestep at which the message was *sent* (``-1`` for app inputs).
+    kind:
+        :class:`MessageKind` provenance tag.
+    """
+
+    payload: Any
+    source_subgraph: int | None = None
+    timestep: int = -1
+    kind: MessageKind = MessageKind.SUPERSTEP
+
+    def approx_size(self) -> int:
+        """Rough payload size in bytes, used by the messaging cost model."""
+        p = self.payload
+        if hasattr(p, "nbytes"):
+            return int(p.nbytes)
+        if isinstance(p, (bytes, bytearray, str)):
+            return len(p)
+        if isinstance(p, (list, tuple, set, frozenset, dict)):
+            return 16 * max(1, len(p))
+        return 16
+
+
+@dataclass
+class SendBuffer:
+    """Per-compute-call collection of outgoing messages and votes.
+
+    One buffer is attached to each :class:`~repro.core.context.ComputeContext`;
+    the host drains it after the user's ``compute``/``end_of_timestep``/
+    ``merge`` returns.  Destinations are global subgraph ids.
+    """
+
+    superstep_sends: list[tuple[int, Message]] = field(default_factory=list)
+    temporal_sends: list[tuple[int, Message]] = field(default_factory=list)
+    merge_sends: list[Message] = field(default_factory=list)
+    voted_halt: bool = False
+    voted_halt_timestep: bool = False
+    outputs: list[Any] = field(default_factory=list)
+
+    def total_messages(self) -> int:
+        return len(self.superstep_sends) + len(self.temporal_sends) + len(self.merge_sends)
+
+    def total_bytes(self) -> int:
+        """Approximate bytes across all buffered messages (cost model input)."""
+        return sum(
+            m.approx_size()
+            for _, m in self.superstep_sends
+        ) + sum(m.approx_size() for _, m in self.temporal_sends) + sum(
+            m.approx_size() for m in self.merge_sends
+        )
+
+    def extend(self, other: "SendBuffer") -> None:
+        """Merge another buffer into this one (used when batching subgraphs)."""
+        self.superstep_sends.extend(other.superstep_sends)
+        self.temporal_sends.extend(other.temporal_sends)
+        self.merge_sends.extend(other.merge_sends)
+        self.voted_halt = self.voted_halt and other.voted_halt
+        self.voted_halt_timestep = self.voted_halt_timestep and other.voted_halt_timestep
+        self.outputs.extend(other.outputs)
+
+
+def group_by_destination(
+    sends: Iterable[tuple[int, Message]]
+) -> dict[int, list[Message]]:
+    """Bulk-route: group (destination subgraph, message) pairs by destination."""
+    grouped: dict[int, list[Message]] = {}
+    for dst, msg in sends:
+        grouped.setdefault(dst, []).append(msg)
+    return grouped

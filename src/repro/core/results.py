@@ -1,0 +1,70 @@
+"""Application results returned by the TI-BSP engine."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..runtime.metrics import MetricsCollector
+
+__all__ = ["AppResult"]
+
+
+@dataclass
+class AppResult:
+    """Everything a TI-BSP run produced.
+
+    Attributes
+    ----------
+    outputs:
+        Records emitted via ``ctx.output`` during compute/end_of_timestep,
+        as ``(timestep, subgraph_id, record)`` tuples in emission order.
+    merge_outputs:
+        Records emitted during the Merge phase, as ``(subgraph_id, record)``.
+    states:
+        Final per-subgraph state dicts (subgraph id → dict).
+    metrics:
+        The :class:`~repro.runtime.metrics.MetricsCollector` for the run.
+    timesteps_executed:
+        Number of timesteps actually run (may be fewer than the collection's
+        length when the application halted early — e.g. TDSP on small-world
+        graphs, Section IV-B).
+    halted_early:
+        True when the While-style halt condition ended the run.
+    simulated_makespan:
+        For temporally parallel runs (see :mod:`repro.core.temporal`): the
+        pipelined wall-clock with concurrent timesteps.  ``None`` for
+        ordinary runs, where :attr:`total_wall_s` is the makespan.
+    """
+
+    outputs: list[tuple[int, int, Any]] = field(default_factory=list)
+    merge_outputs: list[tuple[int, Any]] = field(default_factory=list)
+    states: dict[int, dict] = field(default_factory=dict)
+    metrics: MetricsCollector | None = None
+    timesteps_executed: int = 0
+    halted_early: bool = False
+    simulated_makespan: float | None = None
+
+    def outputs_by_timestep(self) -> dict[int, list[Any]]:
+        """Group output records by the timestep that emitted them."""
+        grouped: dict[int, list[Any]] = defaultdict(list)
+        for t, _sg, rec in self.outputs:
+            grouped[t].append(rec)
+        return dict(grouped)
+
+    def outputs_by_subgraph(self) -> dict[int, list[Any]]:
+        """Group output records by emitting subgraph."""
+        grouped: dict[int, list[Any]] = defaultdict(list)
+        for _t, sg, rec in self.outputs:
+            grouped[sg].append(rec)
+        return dict(grouped)
+
+    def all_output_records(self) -> list[Any]:
+        """Just the records, in emission order."""
+        return [rec for _t, _sg, rec in self.outputs]
+
+    @property
+    def total_wall_s(self) -> float:
+        """Simulated application makespan (0.0 when metrics are absent)."""
+        return self.metrics.total_wall() if self.metrics else 0.0

@@ -1,0 +1,84 @@
+"""Workload generators (paper Section IV-A substitutes).
+
+Templates: :func:`~repro.generators.road.road_network` (CARN-like) and
+:func:`~repro.generators.smallworld.smallworld_network` (WIKI-like).
+Instance data: :mod:`~repro.generators.latency` (TDSP road latencies),
+:mod:`~repro.generators.sir` (SIR meme tweets), plus background/traffic
+populators.  Everything is seeded and lazily regenerable (picklable), so
+process-cluster workers synthesize their instances locally.
+"""
+
+from ..graph.collection import TimeSeriesGraphCollection
+from ..graph.template import GraphTemplate
+from .evolving import PeriodicExistencePopulator
+from .hashtags import BackgroundHashtagPopulator, TrafficPopulator
+from .latency import UniformLatencyPopulator, road_latency_collection
+from .populate import CompositePopulator, PopulatedInstanceProvider, make_collection
+from .road import grid_dimensions, road_network
+from .sir import SIRTweetPopulator, simulate_sir, tweet_collection
+from .smallworld import preferential_attachment_edges, smallworld_network
+from .snap import load_snap_edgelist
+
+__all__ = [
+    "PeriodicExistencePopulator",
+    "BackgroundHashtagPopulator",
+    "TrafficPopulator",
+    "UniformLatencyPopulator",
+    "road_latency_collection",
+    "CompositePopulator",
+    "PopulatedInstanceProvider",
+    "make_collection",
+    "grid_dimensions",
+    "road_network",
+    "SIRTweetPopulator",
+    "simulate_sir",
+    "tweet_collection",
+    "preferential_attachment_edges",
+    "smallworld_network",
+    "load_snap_edgelist",
+    "paper_datasets",
+]
+
+
+def paper_datasets(
+    scale: int = 20_000,
+    num_instances: int = 50,
+    *,
+    seed: int = 0,
+    delta: float = 5.0,
+    carn_hit_probability: float = 0.5,
+    wiki_hit_probability: float = 0.1,
+) -> dict[str, dict[str, object]]:
+    """Build the paper's four dataset configurations at a given scale.
+
+    Returns ``{"CARN": {...}, "WIKI": {...}}``, each with keys ``template``,
+    ``road`` (latency collection for TDSP) and ``tweets`` (SIR collection
+    for MEME/HASH) — mirroring Section IV-A's "four graph datasets (CARN and
+    WIKI using Road and Tweet Generators)".
+
+    The paper used hit probabilities of 30 % (CARN) / 2 % (WIKI), *chosen to
+    get stable propagation across 50 timesteps* on multi-million-vertex
+    graphs.  At our default 20 k-vertex scale those values die out, so the
+    defaults here (50 % / 10 %) are re-tuned by the same criterion — see
+    EXPERIMENTS.md.
+    """
+    carn = road_network(scale, seed=seed)
+    wiki = smallworld_network(scale, seed=seed)
+    out: dict[str, dict[str, object]] = {}
+    for tpl, hit in ((carn, carn_hit_probability), (wiki, wiki_hit_probability)):
+        out[tpl.name] = {
+            "template": tpl,
+            "road": road_latency_collection(tpl, num_instances, delta=delta, seed=seed),
+            # seeds_per_meme=20 spreads the epidemic across all partitions at
+            # bench scale (Fig 7c needs every partition to see colorings, as
+            # the paper's 2.4M-vertex WIKI did with few seeds).
+            "tweets": tweet_collection(
+                tpl,
+                num_instances,
+                hit_probability=hit,
+                seeds_per_meme=20,
+                delta=delta,
+                seed=seed,
+            ),
+        }
+    return out

@@ -1,0 +1,71 @@
+"""Auxiliary populators: background hashtags and traffic values.
+
+:class:`BackgroundHashtagPopulator` appends random, non-propagating hashtags
+to the ``tweets`` column (ambient chatter on top of the SIR memes) — useful
+for making Hashtag Aggregation's counting non-trivial and for negative
+tests (a tracked meme must not be confused with noise).
+
+:class:`TrafficPopulator` fills the ``traffic`` vertex attribute used by the
+Top-N example (per-instance random volumes, like the road latencies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.instance import GraphInstance
+
+__all__ = ["BackgroundHashtagPopulator", "TrafficPopulator"]
+
+
+class BackgroundHashtagPopulator:
+    """Append i.i.d. random hashtags to each vertex's tweets.
+
+    Must run *after* a populator that sets the tweets column (compose with
+    :class:`~repro.generators.populate.CompositePopulator`); treats a missing
+    column as all-empty.
+
+    Parameters
+    ----------
+    hashtags:
+        Pool of background hashtag ids (keep disjoint from tracked memes).
+    rate:
+        Expected number of background hashtags per vertex per instance.
+    """
+
+    def __init__(self, hashtags: list[int], *, rate: float = 0.2, seed: int = 0, attr: str = "tweets") -> None:
+        if not hashtags:
+            raise ValueError("need at least one background hashtag")
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self.hashtags = np.asarray(hashtags, dtype=np.int64)
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.attr = attr
+
+    def __call__(self, instance: GraphInstance, timestep: int) -> None:
+        rng = np.random.default_rng(self.seed + timestep)
+        n = instance.template.num_vertices
+        tweets = instance.vertex_values.column(self.attr)
+        counts = rng.poisson(self.rate, n)
+        for v in np.nonzero(counts)[0]:
+            extra = tuple(rng.choice(self.hashtags, size=counts[v]))
+            base = tweets[v] if tweets[v] is not None else ()
+            tweets[v] = tuple(base) + extra
+
+
+class TrafficPopulator:
+    """Per-instance uniform random traffic volumes on vertices."""
+
+    def __init__(self, low: float = 0.0, high: float = 100.0, *, seed: int = 0, attr: str = "traffic") -> None:
+        if high < low:
+            raise ValueError("need low <= high")
+        self.low = float(low)
+        self.high = float(high)
+        self.seed = int(seed)
+        self.attr = attr
+
+    def __call__(self, instance: GraphInstance, timestep: int) -> None:
+        rng = np.random.default_rng(self.seed + timestep)
+        n = instance.template.num_vertices
+        instance.vertex_values.set_column(self.attr, rng.uniform(self.low, self.high, n))

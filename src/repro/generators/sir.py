@@ -1,0 +1,167 @@
+"""Tweet data generator: SIR epidemic propagation of memes (Section IV-A).
+
+    "We use the SIR model of epidemiology for generating tweets containing
+    memes (#hashtags) for each edge of the graph.  Memes in the tweets
+    propagate from vertices across instances with a hit probability of 30 %
+    for CARN and 2 % for WIKI."
+
+Each meme spreads as an independent Susceptible → Infected → Recovered
+process on the template: at every timestep an infected vertex infects each
+susceptible neighbor with probability ``hit_probability``, and recovers
+after ``infectious_period`` timesteps.  While infected, a vertex *tweets*
+the meme — so the ``tweets`` vertex attribute of instance ``t`` contains the
+memes the vertex carries during ``[t, t+1)``.
+
+The full epidemic schedule is simulated once at construction (arrays of
+infection/recovery timesteps per meme), so instance population is a cheap,
+deterministic lookup — lazily regenerable on any host or process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.collection import TimeSeriesGraphCollection
+from ..graph.instance import GraphInstance
+from ..graph.template import GraphTemplate
+from .populate import make_collection
+
+__all__ = ["SIRTweetPopulator", "simulate_sir", "tweet_collection"]
+
+
+def simulate_sir(
+    template: GraphTemplate,
+    *,
+    hit_probability: float,
+    num_timesteps: int,
+    seeds: np.ndarray,
+    infectious_period: int = 3,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Simulate one meme's SIR epidemic.
+
+    Returns ``(infected_at, recovered_at)`` arrays: vertex ``v`` is
+    infectious (tweets the meme) during ``infected_at[v] ≤ t <
+    recovered_at[v]``; never-infected vertices have ``infected_at = -1``.
+    Propagation follows out-edges (a tweet reaches the poster's audience).
+    """
+    if not 0.0 <= hit_probability <= 1.0:
+        raise ValueError("hit_probability must be in [0, 1]")
+    n = template.num_vertices
+    infected_at = np.full(n, -1, dtype=np.int64)
+    recovered_at = np.full(n, -1, dtype=np.int64)
+    infected_at[seeds] = 0
+    recovered_at[seeds] = infectious_period
+    frontier = list(dict.fromkeys(int(s) for s in seeds))
+    for t in range(1, num_timesteps):
+        next_frontier: list[int] = []
+        for v in frontier:
+            if not infected_at[v] <= t - 1 < recovered_at[v]:
+                continue  # recovered; stop spreading
+            for w in template.out_neighbors(v):
+                w = int(w)
+                if infected_at[w] == -1 and rng.random() < hit_probability:
+                    infected_at[w] = t
+                    recovered_at[w] = t + infectious_period
+                    next_frontier.append(w)
+            if t < recovered_at[v]:
+                next_frontier.append(v)  # still infectious next step
+        frontier = next_frontier
+        if not frontier:
+            break
+    return infected_at, recovered_at
+
+
+class SIRTweetPopulator:
+    """Fill the ``tweets`` vertex column from precomputed SIR schedules.
+
+    Parameters
+    ----------
+    template:
+        The graph template the epidemics run on.
+    memes:
+        Meme identifiers (ints keep payloads compact).
+    hit_probability:
+        Per-edge, per-timestep infection probability (the paper's 30 % /
+        2 % knob).
+    num_timesteps:
+        Horizon of the simulated schedules.
+    seeds_per_meme:
+        Number of initially infected vertices per meme.
+    infectious_period:
+        Timesteps a vertex stays infectious (and keeps tweeting the meme).
+    seed:
+        RNG seed for seeds and propagation.
+    """
+
+    def __init__(
+        self,
+        template: GraphTemplate,
+        memes: list[int],
+        *,
+        hit_probability: float = 0.1,
+        num_timesteps: int = 50,
+        seeds_per_meme: int = 5,
+        infectious_period: int = 3,
+        seed: int = 0,
+        attr: str = "tweets",
+    ) -> None:
+        self.memes = list(memes)
+        self.attr = attr
+        self.num_timesteps = int(num_timesteps)
+        rng = np.random.default_rng(seed)
+        n = template.num_vertices
+        self.infected_at = np.empty((len(memes), n), dtype=np.int64)
+        self.recovered_at = np.empty((len(memes), n), dtype=np.int64)
+        for i in range(len(memes)):
+            seeds = rng.choice(n, size=min(seeds_per_meme, n), replace=False)
+            inf, rec = simulate_sir(
+                template,
+                hit_probability=hit_probability,
+                num_timesteps=num_timesteps,
+                seeds=seeds,
+                infectious_period=infectious_period,
+                rng=rng,
+            )
+            self.infected_at[i] = inf
+            self.recovered_at[i] = rec
+
+    def active_mask(self, meme_index: int, timestep: int) -> np.ndarray:
+        """Vertices tweeting meme ``meme_index`` at ``timestep``."""
+        inf = self.infected_at[meme_index]
+        rec = self.recovered_at[meme_index]
+        return (inf != -1) & (inf <= timestep) & (timestep < rec)
+
+    def __call__(self, instance: GraphInstance, timestep: int) -> None:
+        n = instance.template.num_vertices
+        tweets = np.empty(n, dtype=object)
+        tweets[:] = [()] * n  # the empty tuple is a singleton; cells are replaced below
+        for i, meme in enumerate(self.memes):
+            active = np.nonzero(self.active_mask(i, timestep))[0]
+            for v in active:
+                tweets[v] = tweets[v] + (meme,)
+        instance.vertex_values.set_column(self.attr, tweets)
+
+
+def tweet_collection(
+    template: GraphTemplate,
+    num_instances: int = 50,
+    *,
+    memes: list[int] | None = None,
+    hit_probability: float = 0.1,
+    seeds_per_meme: int = 5,
+    infectious_period: int = 3,
+    delta: float = 5.0,
+    seed: int = 0,
+) -> TimeSeriesGraphCollection:
+    """The paper's tweet workload for Meme Tracking and Hashtag Aggregation."""
+    populator = SIRTweetPopulator(
+        template,
+        memes if memes is not None else [0, 1, 2],
+        hit_probability=hit_probability,
+        num_timesteps=num_instances,
+        seeds_per_meme=seeds_per_meme,
+        infectious_period=infectious_period,
+        seed=seed,
+    )
+    return make_collection(template, num_instances, populator, delta=delta)

@@ -1,0 +1,249 @@
+"""Typed attribute schemas and columnar attribute tables.
+
+The paper (Section II-A) gives every vertex of a graph template the same set of
+typed attributes ``{id, alpha_1 .. alpha_m}`` and every edge the set
+``{id, beta_1 .. beta_n}``.  Graph *instances* then carry a value for each
+attribute.  We store instance values column-wise as numpy arrays (one array per
+attribute), following the vectorization idiom of the HPC guides: algorithms
+read whole columns (e.g. the ``latency`` column for all edges) instead of
+per-object field accesses.
+
+Set- or list-valued attributes (such as the tweet lists used by meme tracking)
+use ``object`` dtype columns, which trades vectorization for flexibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["AttributeSpec", "AttributeSchema", "AttributeTable"]
+
+#: Shorthand names accepted by :class:`AttributeSpec` for common dtypes.
+_DTYPE_ALIASES: dict[str, np.dtype] = {
+    "int": np.dtype(np.int64),
+    "long": np.dtype(np.int64),
+    "float": np.dtype(np.float64),
+    "double": np.dtype(np.float64),
+    "bool": np.dtype(np.bool_),
+    "object": np.dtype(object),
+    "str": np.dtype(object),
+}
+
+
+def _resolve_dtype(dtype: Any) -> np.dtype:
+    """Normalize a dtype specification to a concrete :class:`numpy.dtype`."""
+    if isinstance(dtype, str) and dtype in _DTYPE_ALIASES:
+        return _DTYPE_ALIASES[dtype]
+    return np.dtype(dtype)
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """A single typed attribute in a template schema.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within its schema.  The name ``id`` is
+        reserved — identifiers live on the template, not in instance tables.
+    dtype:
+        Numpy dtype (or an alias such as ``"float"``, ``"int"``, ``"object"``).
+    default:
+        Fill value used when a new column is allocated.  ``None`` selects a
+        dtype-appropriate zero (or ``None`` for object columns).
+    """
+
+    name: str
+    dtype: Any = "float"
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"attribute name must be a non-empty string, got {self.name!r}")
+        if self.name == "id":
+            raise ValueError("'id' is reserved: identifiers are stored on the template")
+        object.__setattr__(self, "dtype", _resolve_dtype(self.dtype))
+
+    @property
+    def is_object(self) -> bool:
+        """True when this attribute stores arbitrary Python objects."""
+        return self.dtype == np.dtype(object)
+
+    def fill_value(self) -> Any:
+        """The value new cells of this attribute are initialized with."""
+        if self.default is not None:
+            return self.default
+        if self.is_object:
+            return None
+        return np.zeros(1, dtype=self.dtype)[0]
+
+    def allocate(self, n: int) -> np.ndarray:
+        """Allocate a fresh column of length ``n`` filled with the default."""
+        col = np.empty(n, dtype=self.dtype)
+        col.fill(self.fill_value())
+        return col
+
+
+class AttributeSchema:
+    """An ordered collection of :class:`AttributeSpec`.
+
+    Shared by a graph template and all of its instances; instances allocate
+    one :class:`AttributeTable` per schema.
+    """
+
+    __slots__ = ("_specs",)
+
+    def __init__(self, specs: Iterable[AttributeSpec | tuple | str] = ()) -> None:
+        self._specs: dict[str, AttributeSpec] = {}
+        for spec in specs:
+            self.add(spec)
+
+    @staticmethod
+    def _coerce(spec: AttributeSpec | tuple | str) -> AttributeSpec:
+        if isinstance(spec, AttributeSpec):
+            return spec
+        if isinstance(spec, str):
+            return AttributeSpec(spec)
+        return AttributeSpec(*spec)
+
+    def add(self, spec: AttributeSpec | tuple | str) -> AttributeSpec:
+        """Add an attribute; raises ``ValueError`` on duplicate names."""
+        spec = self._coerce(spec)
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate attribute {spec.name!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __getitem__(self, name: str) -> AttributeSpec:
+        return self._specs[name]
+
+    def __iter__(self) -> Iterator[AttributeSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributeSchema):
+            return NotImplemented
+        return list(self._specs.values()) == list(other._specs.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = ", ".join(f"{s.name}:{s.dtype}" for s in self)
+        return f"AttributeSchema({names})"
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._specs)
+
+    def create_table(self, n: int) -> "AttributeTable":
+        """Allocate an :class:`AttributeTable` with ``n`` rows."""
+        return AttributeTable(self, n)
+
+
+class AttributeTable:
+    """Columnar storage of attribute values for ``n`` graph elements.
+
+    Columns are numpy arrays keyed by attribute name.  Rows correspond to the
+    template's dense element indices (vertex index or edge index), so a
+    subgraph can slice columns with fancy indexing.
+    """
+
+    __slots__ = ("schema", "n", "_columns")
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        n: int,
+        columns: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        if n < 0:
+            raise ValueError("row count must be non-negative")
+        self.schema = schema
+        self.n = int(n)
+        self._columns: dict[str, np.ndarray] = {}
+        if columns is not None:
+            for name, col in columns.items():
+                self.set_column(name, col)
+
+    def _materialize(self, name: str) -> np.ndarray:
+        spec = self.schema[name]  # KeyError for unknown attributes
+        col = self._columns.get(name)
+        if col is None:
+            col = spec.allocate(self.n)
+            self._columns[name] = col
+        return col
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the full column for ``name`` (allocated lazily)."""
+        return self._materialize(name)
+
+    def set_column(self, name: str, values: np.ndarray | list) -> None:
+        """Replace the whole column for ``name``; length must equal ``n``."""
+        spec = self.schema[name]
+        arr = np.asarray(values, dtype=spec.dtype)
+        if arr.shape != (self.n,):
+            raise ValueError(
+                f"column {name!r} has shape {arr.shape}, expected ({self.n},)"
+            )
+        # Copy so callers cannot alias internal state by accident.
+        self._columns[name] = arr.copy()
+
+    def get(self, name: str, index: int) -> Any:
+        """Scalar read of attribute ``name`` at element ``index``."""
+        return self.column(name)[index]
+
+    def set(self, name: str, index: int, value: Any) -> None:
+        """Scalar write of attribute ``name`` at element ``index``."""
+        self.column(name)[index] = value
+
+    def take(self, name: str, indices: np.ndarray) -> np.ndarray:
+        """Vectorized gather of ``name`` at ``indices`` (returns a copy)."""
+        return self.column(name)[np.asarray(indices)]
+
+    @property
+    def materialized_names(self) -> list[str]:
+        """Names of columns that have been allocated so far."""
+        return list(self._columns)
+
+    def approx_nbytes(self) -> int:
+        """Approximate resident bytes of materialized columns.
+
+        Object columns are estimated at 64 bytes per row (pointer + small
+        boxed value); used by the GC pause model, so precision is not
+        critical.
+        """
+        total = 0
+        for name, col in self._columns.items():
+            if self.schema[name].is_object:
+                total += 64 * self.n
+            else:
+                total += col.nbytes
+        return total
+
+    def copy(self) -> "AttributeTable":
+        """Deep-ish copy: numeric columns are copied; object cells are shared."""
+        out = AttributeTable(self.schema, self.n)
+        for name, col in self._columns.items():
+            out._columns[name] = col.copy()
+        return out
+
+    def equals(self, other: "AttributeTable") -> bool:
+        """Value equality over materialized columns (used by tests/serde)."""
+        if self.n != other.n or self.schema != other.schema:
+            return False
+        names = set(self._columns) | set(other._columns)
+        for name in names:
+            a, b = self.column(name), other.column(name)
+            if self.schema[name].is_object:
+                if any(x != y for x, y in zip(a, b)):
+                    return False
+            elif not np.array_equal(a, b):
+                return False
+        return True

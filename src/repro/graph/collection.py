@@ -1,0 +1,146 @@
+"""Time-series graph collection: Γ = ⟨Ĝ, G, t0, δ⟩.
+
+Section II-A: a collection bundles the time-invariant template ``Ĝ`` with a
+time-ordered set of instances ``G`` starting at ``t0`` with constant period
+``δ`` between successive instances (time-series graphs are periodic).
+
+Instances may be held in memory (:class:`ListInstanceProvider`) or loaded
+lazily from storage (see :mod:`repro.storage.gofs`), so a collection with
+thousands of instances need not fit in memory — mirroring GoFS's incremental
+slice loading.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Protocol, Sequence
+
+from .instance import GraphInstance
+from .template import GraphTemplate
+
+__all__ = [
+    "InstanceProvider",
+    "ListInstanceProvider",
+    "CallableInstanceProvider",
+    "TimeSeriesGraphCollection",
+]
+
+
+class InstanceProvider(Protocol):
+    """Anything that can produce graph instances by timestep index."""
+
+    def __len__(self) -> int: ...
+
+    def get(self, timestep: int) -> GraphInstance: ...
+
+
+class ListInstanceProvider:
+    """In-memory provider backed by a plain list of instances."""
+
+    def __init__(self, instances: Sequence[GraphInstance]) -> None:
+        self._instances = list(instances)
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def get(self, timestep: int) -> GraphInstance:
+        if not 0 <= timestep < len(self._instances):
+            raise IndexError(f"timestep {timestep} out of range [0, {len(self._instances)})")
+        return self._instances[timestep]
+
+
+class CallableInstanceProvider:
+    """Lazy provider delegating to ``factory(timestep) -> GraphInstance``.
+
+    Used both by on-the-fly workload generation (instances synthesized on
+    demand, never all resident) and by the storage layer (instances read from
+    slice files when first touched).
+    """
+
+    def __init__(self, count: int, factory: Callable[[int], GraphInstance]) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._count = int(count)
+        self._factory = factory
+
+    def __len__(self) -> int:
+        return self._count
+
+    def get(self, timestep: int) -> GraphInstance:
+        if not 0 <= timestep < self._count:
+            raise IndexError(f"timestep {timestep} out of range [0, {self._count})")
+        return self._factory(timestep)
+
+
+class TimeSeriesGraphCollection:
+    """The paper's Γ = ⟨Ĝ, G, t0, δ⟩.
+
+    Parameters
+    ----------
+    template:
+        The shared topology ``Ĝ``.
+    instances:
+        Either a sequence of :class:`GraphInstance` or an
+        :class:`InstanceProvider` for lazy access.
+    t0:
+        Timestamp of the first instance.
+    delta:
+        Constant period between successive instances (``δ > 0``).
+    """
+
+    __slots__ = ("template", "t0", "delta", "_provider")
+
+    def __init__(
+        self,
+        template: GraphTemplate,
+        instances: Sequence[GraphInstance] | InstanceProvider,
+        *,
+        t0: float = 0.0,
+        delta: float = 1.0,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.template = template
+        self.t0 = float(t0)
+        self.delta = float(delta)
+        if isinstance(instances, (list, tuple)):
+            self._provider: InstanceProvider = ListInstanceProvider(instances)
+        else:
+            self._provider = instances  # already a provider
+
+    def __len__(self) -> int:
+        """Number of instances (timesteps) in the collection."""
+        return len(self._provider)
+
+    def instance(self, timestep: int) -> GraphInstance:
+        """Instance at 0-based ``timestep`` (``g^{t0 + timestep * delta}``)."""
+        inst = self._provider.get(timestep)
+        if inst.template is not self.template and not inst.template.equals(self.template):
+            raise ValueError("instance template differs from collection template")
+        return inst
+
+    def timestamp_of(self, timestep: int) -> float:
+        """Absolute time of ``timestep``: ``t0 + timestep * delta``."""
+        return self.t0 + timestep * self.delta
+
+    def timestep_at(self, timestamp: float) -> int:
+        """Inverse of :meth:`timestamp_of` (nearest not-after timestep)."""
+        return int((timestamp - self.t0) // self.delta)
+
+    def __iter__(self) -> Iterator[GraphInstance]:
+        for k in range(len(self)):
+            yield self.instance(k)
+
+    def window(self, start: int, stop: int) -> "TimeSeriesGraphCollection":
+        """Sub-collection over timesteps ``[start, stop)`` (lazy view)."""
+        if not 0 <= start <= stop <= len(self):
+            raise IndexError(f"window [{start}, {stop}) out of range")
+        provider = CallableInstanceProvider(stop - start, lambda k: self.instance(start + k))
+        return TimeSeriesGraphCollection(
+            self.template, provider, t0=self.timestamp_of(start), delta=self.delta
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TimeSeriesGraphCollection({self.template.name!r}, "
+            f"instances={len(self)}, t0={self.t0}, delta={self.delta})"
+        )

@@ -1,0 +1,51 @@
+"""Graph partitioning substrate (paper Section II-C, IV-A).
+
+Partitioners map vertices to hosts; :func:`~repro.partition.subgraphs.decompose`
+then discovers each partition's subgraphs (weakly connected components over
+local edges) and builds the :class:`~repro.partition.base.PartitionedGraph`
+the TI-BSP engine executes on.
+
+The default :class:`MetisLikePartitioner` is a from-scratch multilevel k-way
+partitioner standing in for METIS (see DESIGN.md, substitutions).
+"""
+
+import numpy as np
+
+from ..graph.template import GraphTemplate
+from .base import Partition, PartitionedGraph, Partitioner, validate_assignment
+from .bfsp import BFSPartitioner
+from .hashp import HashPartitioner
+from .metis_like import MetisLikePartitioner
+from .stats import PartitionStats, compute_stats, edge_cut_fraction
+from .subgraphs import decompose, subgraph_labels
+
+__all__ = [
+    "Partition",
+    "PartitionedGraph",
+    "Partitioner",
+    "validate_assignment",
+    "BFSPartitioner",
+    "HashPartitioner",
+    "MetisLikePartitioner",
+    "PartitionStats",
+    "compute_stats",
+    "edge_cut_fraction",
+    "decompose",
+    "subgraph_labels",
+    "partition_graph",
+]
+
+
+def partition_graph(
+    template: GraphTemplate,
+    num_partitions: int,
+    partitioner: Partitioner | None = None,
+) -> PartitionedGraph:
+    """One-call convenience: assign vertices and decompose into subgraphs.
+
+    Uses :class:`MetisLikePartitioner` when no partitioner is given, matching
+    the paper's METIS setup.
+    """
+    partitioner = partitioner or MetisLikePartitioner()
+    assignment = partitioner.assign(template, num_partitions)
+    return decompose(template, np.asarray(assignment), num_partitions)

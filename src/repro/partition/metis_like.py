@@ -1,0 +1,240 @@
+"""Multilevel k-way partitioner (METIS-style).
+
+The paper partitions its datasets with METIS (k-way, load factor 1.03,
+minimizing edge cuts).  METIS is not available offline, so we implement the
+same multilevel scheme from scratch:
+
+1. **Coarsening** — repeated heavy-edge matching contracts the graph until it
+   is small (vertex weights accumulate so balance is preserved);
+2. **Initial partitioning** — balanced BFS region growing on the coarsest
+   graph, followed by aggressive FM refinement;
+3. **Uncoarsening** — labels are projected back level by level, with boundary
+   FM refinement (see :mod:`repro.partition.refine`) at each level.
+
+This reproduces Table 2's qualitative behaviour: near-zero cuts on road
+networks, large and k-increasing cuts on small-world graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.template import GraphTemplate
+from .refine import edge_cut_weight, refine
+
+__all__ = ["MetisLikePartitioner", "coarsen_graph", "heavy_edge_matching"]
+
+
+@dataclass(eq=False)
+class _Level:
+    """One level of the multilevel hierarchy."""
+
+    adj: sp.csr_matrix  # symmetric weighted adjacency, zero diagonal
+    vertex_weights: np.ndarray
+    coarse_map: np.ndarray | None  # fine vertex -> coarse vertex (None at finest)
+
+
+def _symmetric_weighted_adjacency(template: GraphTemplate) -> sp.csr_matrix:
+    """Undirected unit-weight adjacency with multi-edges collapsed."""
+    n = template.num_vertices
+    src, dst = template.undirected_edge_view()
+    keep = src != dst  # self-loops are irrelevant to cuts
+    src, dst = src[keep], dst[keep]
+    data = np.ones(2 * len(src), dtype=np.float64)
+    rows = np.concatenate([src, dst])
+    cols = np.concatenate([dst, src])
+    adj = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    adj.sum_duplicates()
+    return adj
+
+
+def heavy_edge_matching(adj: sp.csr_matrix, rng: np.random.Generator) -> np.ndarray:
+    """Match each vertex with its heaviest unmatched neighbor.
+
+    Returns ``coarse_map``: fine vertex → coarse vertex id (dense).  Unmatched
+    vertices map to singleton coarse vertices.
+    """
+    n = adj.shape[0]
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    for u in order:
+        if match[u] != -1:
+            continue
+        lo, hi = indptr[u], indptr[u + 1]
+        best, best_w = -1, -1.0
+        for j in range(lo, hi):
+            v = indices[j]
+            if match[v] == -1 and v != u and data[j] > best_w:
+                best, best_w = v, data[j]
+        if best != -1:
+            match[u] = best
+            match[best] = u
+        else:
+            match[u] = u  # singleton
+    # Assign coarse ids: one per matched pair / singleton, in vertex order.
+    coarse_map = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for u in range(n):
+        if coarse_map[u] == -1:
+            coarse_map[u] = next_id
+            coarse_map[match[u]] = next_id
+            next_id += 1
+    return coarse_map
+
+
+def coarsen_graph(
+    adj: sp.csr_matrix, vertex_weights: np.ndarray, coarse_map: np.ndarray
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Contract a graph along ``coarse_map`` (sums edge and vertex weights)."""
+    n = adj.shape[0]
+    nc = int(coarse_map.max()) + 1 if n else 0
+    proj = sp.coo_matrix(
+        (np.ones(n), (np.arange(n), coarse_map)), shape=(n, nc)
+    ).tocsr()
+    coarse = (proj.T @ adj @ proj).tocsr()
+    coarse.setdiag(0)
+    coarse.eliminate_zeros()
+    cw = np.zeros(nc, dtype=np.float64)
+    np.add.at(cw, coarse_map, vertex_weights)
+    return coarse, cw
+
+
+def _initial_partition(
+    adj: sp.csr_matrix, vertex_weights: np.ndarray, k: int, rng: np.random.Generator, cap: float
+) -> np.ndarray:
+    """Balanced weighted BFS region growing on the coarsest graph."""
+    n = adj.shape[0]
+    assignment = np.full(n, -1, dtype=np.int64)
+    sizes = np.zeros(k, dtype=np.float64)
+    indptr, indices = adj.indptr, adj.indices
+    seeds = rng.choice(n, size=min(k, n), replace=False)
+    from collections import deque
+
+    frontiers = [deque() for _ in range(k)]
+    for pid, s in enumerate(seeds):
+        assignment[s] = pid
+        sizes[pid] += vertex_weights[s]
+        frontiers[pid].append(int(s))
+    progress = True
+    while progress:
+        progress = False
+        for pid in np.argsort(sizes, kind="stable"):
+            pid = int(pid)
+            q = frontiers[pid]
+            while q:
+                u = q.popleft()
+                attached = False
+                for v in indices[indptr[u] : indptr[u + 1]]:
+                    v = int(v)
+                    if assignment[v] == -1 and sizes[pid] + vertex_weights[v] <= cap:
+                        assignment[v] = pid
+                        sizes[pid] += vertex_weights[v]
+                        q.append(v)
+                        attached = True
+                        progress = True
+                if attached:
+                    break  # yield to the next-smallest region
+    for v in np.nonzero(assignment == -1)[0]:
+        pid = int(np.argmin(sizes))
+        assignment[v] = pid
+        sizes[pid] += vertex_weights[v]
+    return assignment
+
+
+class MetisLikePartitioner:
+    """Multilevel k-way partitioner with METIS's defaults (imbalance 1.03).
+
+    Parameters
+    ----------
+    seed:
+        RNG seed (matching order, region seeds).
+    imbalance:
+        Allowed vertex-weight imbalance factor.
+    coarsen_until:
+        Stop coarsening once the graph has at most ``max(coarsen_until,
+        30 * k)`` vertices.
+    refine_passes:
+        FM passes applied per uncoarsening level.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        imbalance: float = 1.03,
+        coarsen_until: int = 200,
+        refine_passes: int = 4,
+    ) -> None:
+        self.seed = int(seed)
+        self.imbalance = float(imbalance)
+        self.coarsen_until = int(coarsen_until)
+        self.refine_passes = int(refine_passes)
+
+    def assign(self, template: GraphTemplate, num_partitions: int) -> np.ndarray:
+        k = num_partitions
+        if k <= 0:
+            raise ValueError("num_partitions must be positive")
+        n = template.num_vertices
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if k == 1:
+            return np.zeros(n, dtype=np.int64)
+        if k >= n:
+            return np.arange(n, dtype=np.int64) % k
+
+        rng = np.random.default_rng(self.seed)
+        adj = _symmetric_weighted_adjacency(template)
+        levels: list[_Level] = [_Level(adj, np.ones(n, dtype=np.float64), None)]
+
+        # ---- coarsening phase -------------------------------------------------
+        target = max(self.coarsen_until, 30 * k)
+        while levels[-1].adj.shape[0] > target:
+            top = levels[-1]
+            coarse_map = heavy_edge_matching(top.adj, rng)
+            nc = int(coarse_map.max()) + 1
+            if nc > 0.95 * top.adj.shape[0]:
+                break  # matching stalled (e.g. star graphs); stop coarsening
+            cadj, cw = coarsen_graph(top.adj, top.vertex_weights, coarse_map)
+            levels.append(_Level(cadj, cw, coarse_map))
+
+        # ---- initial partition on the coarsest graph ---------------------------
+        coarsest = levels[-1]
+        total_w = float(coarsest.vertex_weights.sum())
+        cap = self.imbalance * total_w / k
+        assignment = _initial_partition(coarsest.adj, coarsest.vertex_weights, k, rng, cap)
+        assignment = refine(
+            coarsest.adj.indptr,
+            coarsest.adj.indices,
+            coarsest.adj.data,
+            coarsest.vertex_weights,
+            assignment,
+            k,
+            imbalance=self.imbalance,
+            passes=max(self.refine_passes * 2, 8),
+        )
+
+        # ---- uncoarsening with refinement --------------------------------------
+        for li in range(len(levels) - 2, -1, -1):
+            level = levels[li]
+            child = levels[li + 1]
+            assignment = assignment[child.coarse_map]
+            assignment = refine(
+                level.adj.indptr,
+                level.adj.indices,
+                level.adj.data,
+                level.vertex_weights,
+                assignment,
+                k,
+                imbalance=self.imbalance,
+                passes=self.refine_passes,
+            )
+        return assignment
+
+    def edge_cut(self, template: GraphTemplate, assignment: np.ndarray) -> float:
+        """Cut weight of an assignment on this template (unit edge weights)."""
+        adj = _symmetric_weighted_adjacency(template)
+        return edge_cut_weight(adj.indptr, adj.indices, adj.data, np.asarray(assignment))

@@ -1,0 +1,50 @@
+"""Distributed runtime substrate: hosts, clusters, cost/GC models, metrics.
+
+This package is the stand-in for the GoFFish platform's execution layer (one
+partition per VM on EC2): :class:`~repro.runtime.host.ComputeHost` plays the
+VM, :class:`~repro.runtime.cluster.LocalCluster` /
+:class:`~repro.runtime.process_cluster.ProcessCluster` play the cluster, and
+:class:`~repro.runtime.metrics.MetricsCollector` plus
+:class:`~repro.runtime.cost.CostModel` produce the simulated distributed
+wall-clock that reproduces the paper's timing figures (see DESIGN.md).
+"""
+
+from .cluster import Cluster, LocalCluster, build_hosts
+from .cost import CostModel
+from .gc_model import GCModel
+from .host import (
+    CollectionInstanceSource,
+    ComputeHost,
+    HostStepResult,
+    InstanceSource,
+    RunMeta,
+)
+from .metrics import MetricsCollector, PartitionBreakdown, StepRecord
+from .process_cluster import ProcessCluster
+from .elastic import ElasticOutcome, ElasticPolicy, activity_grid, simulate_elastic
+from .rebalance import GreedyRebalancer, Migration, RebalancePolicy, apply_migrations
+
+__all__ = [
+    "Cluster",
+    "LocalCluster",
+    "build_hosts",
+    "CostModel",
+    "GCModel",
+    "CollectionInstanceSource",
+    "ComputeHost",
+    "HostStepResult",
+    "InstanceSource",
+    "RunMeta",
+    "MetricsCollector",
+    "PartitionBreakdown",
+    "StepRecord",
+    "ProcessCluster",
+    "ElasticOutcome",
+    "ElasticPolicy",
+    "activity_grid",
+    "simulate_elastic",
+    "GreedyRebalancer",
+    "Migration",
+    "RebalancePolicy",
+    "apply_migrations",
+]

@@ -1,0 +1,180 @@
+"""Clusters: collections of compute hosts driven through a common protocol.
+
+``LocalCluster`` keeps every host in the driver process and steps them
+serially or on a thread pool.  Serial execution is the default — it gives
+deterministic scheduling and exact per-partition timing, and the *simulated*
+wall-clock (max-over-hosts per superstep, see
+:mod:`repro.runtime.metrics`) is what reproduces the paper's distributed
+timing figures.  The thread pool exploits real cores for numpy-heavy
+computes.  A process-per-partition cluster with genuine address-space
+isolation lives in :mod:`repro.runtime.process_cluster`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.computation import TimeSeriesComputation
+from ..core.messages import Message
+from ..graph.collection import TimeSeriesGraphCollection
+from ..partition.base import PartitionedGraph
+from .cost import CostModel
+from .host import CollectionInstanceSource, ComputeHost, HostStepResult, InstanceSource, RunMeta
+
+__all__ = ["Cluster", "LocalCluster", "build_hosts"]
+
+#: Deliveries addressed to one partition: subgraph id -> messages.
+Deliveries = Mapping[int, Sequence[Message]]
+
+
+def build_hosts(
+    pg: PartitionedGraph,
+    computation: TimeSeriesComputation,
+    meta: RunMeta,
+    sources: Sequence[InstanceSource],
+    cost_model: CostModel,
+) -> list[ComputeHost]:
+    """Construct one :class:`ComputeHost` per partition."""
+    if len(sources) != pg.num_partitions:
+        raise ValueError("need exactly one instance source per partition")
+    # One routing array shared by every host (updated in place by dynamic
+    # rebalancing), and shallow partition copies so migrations never mutate
+    # the caller's PartitionedGraph.
+    sg_part = np.asarray([sg.partition_id for sg in pg.subgraphs], dtype=np.int64)
+    from ..partition.base import Partition
+
+    return [
+        ComputeHost(
+            Partition(p, list(pg.partitions[p].subgraphs)),
+            computation,
+            meta,
+            sources[p],
+            sg_part,
+            cost_model,
+        )
+        for p in range(pg.num_partitions)
+    ]
+
+
+class Cluster:
+    """Protocol base class — see :class:`LocalCluster` for the semantics."""
+
+    num_partitions: int
+
+    def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
+        raise NotImplementedError
+
+    def run_superstep(
+        self, timestep: int, superstep: int, deliveries: Sequence[Deliveries]
+    ) -> list[HostStepResult]:
+        raise NotImplementedError
+
+    def end_of_timestep(self, timestep: int) -> list[HostStepResult]:
+        raise NotImplementedError
+
+    def run_merge_superstep(
+        self, superstep: int, deliveries: Sequence[Deliveries]
+    ) -> list[HostStepResult]:
+        raise NotImplementedError
+
+    def resident_bytes(self) -> list[int]:
+        raise NotImplementedError
+
+    def final_states(self) -> dict[int, dict]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:  # pragma: no cover - trivial default
+        """Release resources (thread pools, worker processes)."""
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class LocalCluster(Cluster):
+    """In-process cluster of :class:`ComputeHost` objects.
+
+    Parameters
+    ----------
+    pg, computation, meta, cost_model:
+        As for :func:`build_hosts`.
+    sources:
+        One instance source per partition; defaults to each host reading the
+        shared ``collection``.
+    collection:
+        Used to build default sources when ``sources`` is not given.
+    executor:
+        ``"serial"`` (deterministic, default) or ``"thread"``.
+    """
+
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        computation: TimeSeriesComputation,
+        meta: RunMeta,
+        *,
+        collection: TimeSeriesGraphCollection | None = None,
+        sources: Sequence[InstanceSource] | None = None,
+        cost_model: CostModel | None = None,
+        executor: str = "serial",
+    ) -> None:
+        cost_model = cost_model or CostModel()
+        if sources is None:
+            if collection is None:
+                raise ValueError("provide either sources or a collection")
+            sources = [CollectionInstanceSource(collection) for _ in range(pg.num_partitions)]
+        self.hosts = build_hosts(pg, computation, meta, sources, cost_model)
+        self.num_partitions = pg.num_partitions
+        if executor not in ("serial", "thread"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self._pool = (
+            ThreadPoolExecutor(max_workers=max(1, self.num_partitions))
+            if executor == "thread"
+            else None
+        )
+
+    def _map(self, fn: Callable[[ComputeHost], HostStepResult]) -> list[HostStepResult]:
+        if self._pool is None:
+            return [fn(h) for h in self.hosts]
+        return list(self._pool.map(fn, self.hosts))
+
+    def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
+        return self._map(
+            lambda h: h.begin_timestep(timestep, gc_pauses[h.partition.partition_id])
+        )
+
+    def run_superstep(
+        self, timestep: int, superstep: int, deliveries: Sequence[Deliveries]
+    ) -> list[HostStepResult]:
+        return self._map(
+            lambda h: h.run_superstep(timestep, superstep, deliveries[h.partition.partition_id])
+        )
+
+    def end_of_timestep(self, timestep: int) -> list[HostStepResult]:
+        return self._map(lambda h: h.end_of_timestep(timestep))
+
+    def run_merge_superstep(
+        self, superstep: int, deliveries: Sequence[Deliveries]
+    ) -> list[HostStepResult]:
+        return self._map(
+            lambda h: h.run_merge_superstep(superstep, deliveries[h.partition.partition_id])
+        )
+
+    def resident_bytes(self) -> list[int]:
+        return [h.resident_bytes() for h in self.hosts]
+
+    def final_states(self) -> dict[int, dict]:
+        states: dict[int, dict] = {}
+        for h in self.hosts:
+            states.update(h.final_states())
+        return states
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,349 @@
+"""Compute host: one partition's worth of subgraphs, state, and execution.
+
+A host is the runtime stand-in for one VM of the paper's cluster: it owns
+every subgraph of one partition, keeps their application state resident
+across supersteps *and* timesteps, loads its graph instances (timed — the
+Fig 6 load spikes), executes the user's ``compute``/``end_of_timestep``/
+``merge`` on its subgraphs, and buffers outgoing messages.
+
+Hosts know nothing about global termination or routing — the engine drives
+them through a narrow call protocol (``begin_timestep`` → ``run_superstep``*
+→ ``end_of_timestep``), which is exactly the protocol a process-based
+cluster forwards over pipes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from ..core.computation import TimeSeriesComputation
+from ..core.context import ComputeContext, EndOfTimestepContext, MergeContext
+from ..core.messages import Message, SendBuffer
+from ..core.patterns import Pattern
+from ..graph.collection import TimeSeriesGraphCollection
+from ..graph.instance import GraphInstance
+from ..partition.base import Partition
+from .cost import CostModel
+
+__all__ = ["InstanceSource", "CollectionInstanceSource", "HostStepResult", "ComputeHost", "RunMeta"]
+
+
+class InstanceSource(Protocol):
+    """Per-host access to graph instances (in-memory, generated, or GoFS)."""
+
+    def instance(self, timestep: int) -> GraphInstance: ...
+
+    def resident_bytes(self) -> int: ...
+
+
+class CollectionInstanceSource:
+    """Instance source backed by a (possibly lazy) collection."""
+
+    def __init__(self, collection: TimeSeriesGraphCollection) -> None:
+        self._collection = collection
+        self._last: GraphInstance | None = None
+
+    def instance(self, timestep: int) -> GraphInstance:
+        self._last = self._collection.instance(timestep)
+        return self._last
+
+    def resident_bytes(self) -> int:
+        if self._last is None:
+            return 0
+        v = self._last.vertex_values
+        e = self._last.edge_values
+        return v.approx_nbytes() + e.approx_nbytes()
+
+
+@dataclass
+class HostStepResult:
+    """What one host reports back to the engine after one protocol call."""
+
+    partition: int
+    sends: list[tuple[int, Message]] = field(default_factory=list)
+    temporal_sends: list[tuple[int, Message]] = field(default_factory=list)
+    outputs: list[tuple[int, int, Any]] = field(default_factory=list)  #: (timestep, sgid, record)
+    halt_timestep_votes: set[int] = field(default_factory=set)
+    all_halted: bool = True
+    subgraphs_computed: int = 0
+    compute_s: float = 0.0
+    send_s: float = 0.0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    load_s: float = 0.0
+    gc_pause_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """Immutable run-wide parameters shared by engine and hosts."""
+
+    pattern: Pattern
+    num_timesteps: int
+    delta: float
+    t0: float
+
+
+class ComputeHost:
+    """Executes a computation over one partition's subgraphs.
+
+    Parameters
+    ----------
+    partition:
+        The partition (subgraphs) this host owns.
+    computation:
+        The user's :class:`TimeSeriesComputation`.
+    meta:
+        Run-wide parameters.
+    source:
+        Where this host gets its graph instances.
+    subgraph_partition:
+        Global array mapping subgraph id → owning partition (for local vs
+        remote message cost classification).
+    cost_model:
+        Communication cost model.
+    """
+
+    def __init__(
+        self,
+        partition: Partition,
+        computation: TimeSeriesComputation,
+        meta: RunMeta,
+        source: InstanceSource,
+        subgraph_partition: np.ndarray,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.partition = partition
+        self.computation = computation
+        self.meta = meta
+        self.source = source
+        self.subgraph_partition = np.asarray(subgraph_partition, dtype=np.int64)
+        self.cost_model = cost_model or CostModel()
+        #: Per-subgraph application state, resident for the whole run.
+        self.states: dict[int, dict] = {sg.subgraph_id: {} for sg in partition.subgraphs}
+        #: State shared by every subgraph of this partition (ctx.partition_state).
+        self.partition_state: dict = {}
+        self._halted: dict[int, bool] = {}
+        self._merge_inbox: dict[int, list[Message]] = {
+            sg.subgraph_id: [] for sg in partition.subgraphs
+        }
+        self._instance: GraphInstance | None = None
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _charge_sends(self, buffer: SendBuffer, result: HostStepResult) -> None:
+        """Classify and cost outgoing messages; move them into the result."""
+        own = self.partition.partition_id
+        local_n = remote_n = remote_b = 0
+        for dst, msg in buffer.superstep_sends:
+            if self.subgraph_partition[dst] == own:
+                local_n += 1
+            else:
+                remote_n += 1
+                remote_b += msg.approx_size()
+        for dst, msg in buffer.temporal_sends:
+            if self.subgraph_partition[dst] == own:
+                local_n += 1
+            else:
+                remote_n += 1
+                remote_b += msg.approx_size()
+        result.sends.extend(buffer.superstep_sends)
+        result.temporal_sends.extend(buffer.temporal_sends)
+        result.messages_sent += local_n + remote_n
+        result.bytes_sent += remote_b
+        result.send_s += self.cost_model.local_send_cost(local_n)
+        result.send_s += self.cost_model.remote_send_cost(remote_n, remote_b)
+
+    def _drain(
+        self,
+        buffer: SendBuffer,
+        result: HostStepResult,
+        sgid: int,
+        timestep: int,
+        *,
+        update_halt: bool,
+    ) -> None:
+        """Move one compute call's buffer into the host result."""
+        self._charge_sends(buffer, result)
+        for m in buffer.merge_sends:
+            self._merge_inbox[sgid].append(m)
+        result.outputs.extend((timestep, sgid, rec) for rec in buffer.outputs)
+        if buffer.voted_halt_timestep:
+            result.halt_timestep_votes.add(sgid)
+        if update_halt:
+            self._halted[sgid] = buffer.voted_halt
+
+    # -- protocol ----------------------------------------------------------------------
+
+    def begin_timestep(self, timestep: int, gc_pause_s: float = 0.0) -> HostStepResult:
+        """Load the instance for ``timestep``; reset per-timestep halt flags."""
+        result = HostStepResult(self.partition.partition_id)
+        start = time.perf_counter()
+        self._instance = self.source.instance(timestep)
+        result.load_s = time.perf_counter() - start
+        result.gc_pause_s = gc_pause_s
+        self._halted = {sg.subgraph_id: False for sg in self.partition.subgraphs}
+        return result
+
+    def resident_bytes(self) -> int:
+        """Bytes of instance data resident on this host (GC model input)."""
+        return self.source.resident_bytes()
+
+    def run_superstep(
+        self,
+        timestep: int,
+        superstep: int,
+        deliveries: Mapping[int, Sequence[Message]],
+    ) -> HostStepResult:
+        """Run ``compute`` on this host's active subgraphs for one superstep.
+
+        A subgraph is active when ``superstep == 0`` (every timestep starts by
+        invoking all subgraphs, Section II-D), when it has incoming messages
+        (reactivation), or when it has not voted to halt.
+        """
+        assert self._instance is not None, "begin_timestep must be called first"
+        result = HostStepResult(self.partition.partition_id)
+        for sg in self.partition.subgraphs:
+            sgid = sg.subgraph_id
+            msgs = deliveries.get(sgid, ())
+            if superstep > 0 and self._halted[sgid] and not msgs:
+                continue
+            buffer = SendBuffer()
+            ctx = ComputeContext(
+                sg,
+                self._instance,
+                timestep,
+                superstep,
+                msgs,
+                self.states[sgid],
+                self.meta.pattern,
+                self.meta.num_timesteps,
+                self.meta.delta,
+                self.meta.t0,
+                buffer,
+                self.partition_state,
+            )
+            start = time.perf_counter()
+            self.computation.compute(ctx)
+            result.compute_s += time.perf_counter() - start
+            result.subgraphs_computed += 1
+            self._drain(buffer, result, sgid, timestep, update_halt=True)
+        result.all_halted = all(self._halted.values())
+        return result
+
+    def end_of_timestep(self, timestep: int) -> HostStepResult:
+        """Invoke ``end_of_timestep`` on every subgraph of this partition."""
+        assert self._instance is not None
+        result = HostStepResult(self.partition.partition_id)
+        for sg in self.partition.subgraphs:
+            sgid = sg.subgraph_id
+            buffer = SendBuffer()
+            ctx = EndOfTimestepContext(
+                sg,
+                self._instance,
+                timestep,
+                self.states[sgid],
+                self.meta.pattern,
+                self.meta.num_timesteps,
+                self.meta.delta,
+                self.meta.t0,
+                buffer,
+                self.partition_state,
+            )
+            start = time.perf_counter()
+            self.computation.end_of_timestep(ctx)
+            result.compute_s += time.perf_counter() - start
+            self._drain(buffer, result, sgid, timestep, update_halt=False)
+        result.all_halted = True
+        return result
+
+    def run_merge_superstep(
+        self, superstep: int, deliveries: Mapping[int, Sequence[Message]]
+    ) -> HostStepResult:
+        """Run one superstep of the Merge BSP (eventually dependent pattern).
+
+        At superstep 0 every subgraph receives the messages it sent to merge
+        across all timesteps (in timestep order); afterwards, messages from
+        other subgraphs' merge supersteps.
+        """
+        result = HostStepResult(self.partition.partition_id)
+        if superstep == 0:
+            self._halted = {sg.subgraph_id: False for sg in self.partition.subgraphs}
+        for sg in self.partition.subgraphs:
+            sgid = sg.subgraph_id
+            if superstep == 0:
+                msgs: Sequence[Message] = sorted(
+                    self._merge_inbox[sgid], key=lambda m: m.timestep
+                )
+            else:
+                msgs = deliveries.get(sgid, ())
+                if self._halted[sgid] and not msgs:
+                    continue
+            buffer = SendBuffer()
+            ctx = MergeContext(
+                sg,
+                superstep,
+                msgs,
+                self.states[sgid],
+                self.meta.pattern,
+                self.meta.num_timesteps,
+                self.meta.delta,
+                self.meta.t0,
+                buffer,
+                self.partition_state,
+            )
+            start = time.perf_counter()
+            self.computation.merge(ctx)
+            result.compute_s += time.perf_counter() - start
+            result.subgraphs_computed += 1
+            self._drain(buffer, result, sgid, -1, update_halt=True)
+        result.all_halted = all(self._halted.values())
+        return result
+
+    def final_states(self) -> dict[int, dict]:
+        """Per-subgraph application state at the end of the run."""
+        return self.states
+
+    # -- temporal parallelism support -----------------------------------------------
+
+    def drain_merge_inbox(self) -> dict[int, list[Message]]:
+        """Remove and return buffered merge messages (per subgraph id).
+
+        Used by the temporally parallel runner, which executes timesteps on
+        several clusters and must gather their merge messages onto one
+        cluster before the Merge phase.
+        """
+        drained = {sgid: msgs for sgid, msgs in self._merge_inbox.items() if msgs}
+        self._merge_inbox = {sg.subgraph_id: [] for sg in self.partition.subgraphs}
+        return drained
+
+    def absorb_merge_inbox(self, inbox: dict[int, list[Message]]) -> None:
+        """Add merge messages drained from another host's copy of our subgraphs."""
+        for sgid, msgs in inbox.items():
+            if sgid in self._merge_inbox:
+                self._merge_inbox[sgid].extend(msgs)
+
+    # -- dynamic rebalancing support ---------------------------------------------------
+
+    def evict_subgraph(self, sgid: int):
+        """Remove a subgraph (and its state) from this host for migration."""
+        for i, sg in enumerate(self.partition.subgraphs):
+            if sg.subgraph_id == sgid:
+                del self.partition.subgraphs[i]
+                state = self.states.pop(sgid)
+                merge = self._merge_inbox.pop(sgid, [])
+                self._halted.pop(sgid, None)
+                return sg, state, merge
+        raise KeyError(f"subgraph {sgid} not on partition {self.partition.partition_id}")
+
+    def adopt_subgraph(self, sg, state: dict, merge_inbox: list[Message]) -> None:
+        """Install a migrated subgraph (topology + resident state)."""
+        self.partition.subgraphs.append(sg)
+        self.partition.subgraphs.sort(key=lambda s: s.subgraph_id)
+        self.states[sg.subgraph_id] = state
+        self._merge_inbox[sg.subgraph_id] = list(merge_inbox)
+        self._halted[sg.subgraph_id] = True

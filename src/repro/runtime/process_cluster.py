@@ -1,0 +1,166 @@
+"""Process-per-partition cluster: real distributed-memory execution.
+
+Each partition's :class:`~repro.runtime.host.ComputeHost` lives in its own
+OS process with a private address space — the closest single-machine
+analogue of the paper's one-partition-per-VM deployment.  The driver talks
+to workers over pipes using the same protocol as
+:class:`~repro.runtime.cluster.LocalCluster`: commands are broadcast, then
+results gathered (a scatter/gather round per superstep, which *is* the BSP
+barrier).
+
+Everything crossing a pipe is pickled, so computations, instance sources and
+message payloads must be picklable — module-level classes and numpy arrays,
+per the mpi4py guide's advice to prefer array payloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Sequence
+
+import numpy as np
+
+from ..core.computation import TimeSeriesComputation
+from ..partition.base import PartitionedGraph
+from .cluster import Cluster, Deliveries
+from .cost import CostModel
+from .host import ComputeHost, HostStepResult, InstanceSource, RunMeta
+
+__all__ = ["ProcessCluster", "WorkerError"]
+
+
+class WorkerError(RuntimeError):
+    """Raised in the driver when a worker process's command failed."""
+
+
+def _worker_main(conn, partition, computation, meta, source, sg_part, cost_model) -> None:
+    """Worker loop: owns one host, serves engine commands until ``stop``.
+
+    Failures while executing a command (e.g. the user's ``compute`` raising)
+    are shipped back as ``("error", traceback_text)`` so the driver can
+    re-raise with context instead of dying on a broken pipe.
+    """
+    import traceback
+
+    host = ComputeHost(partition, computation, meta, source, sg_part, cost_model)
+    try:
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            if op == "stop":
+                conn.send(None)
+                break
+            try:
+                if op == "begin":
+                    reply = host.begin_timestep(cmd[1], cmd[2])
+                elif op == "superstep":
+                    reply = host.run_superstep(cmd[1], cmd[2], cmd[3])
+                elif op == "eot":
+                    reply = host.end_of_timestep(cmd[1])
+                elif op == "merge":
+                    reply = host.run_merge_superstep(cmd[1], cmd[2])
+                elif op == "resident":
+                    reply = host.resident_bytes()
+                elif op == "states":
+                    reply = host.final_states()
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(f"unknown worker command {op!r}")
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+            else:
+                conn.send(reply)
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - driver died
+        pass
+    finally:
+        conn.close()
+
+
+class ProcessCluster(Cluster):
+    """One worker process per partition, driven over pipes.
+
+    Parameters mirror :class:`~repro.runtime.cluster.LocalCluster`, except
+    instance ``sources`` are mandatory: each worker must be able to produce
+    its instances *inside its own process* (a lazy generator-backed source or
+    a GoFS view — not a pre-materialized shared list, which would defeat the
+    isolation).
+    """
+
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        computation: TimeSeriesComputation,
+        meta: RunMeta,
+        sources: Sequence[InstanceSource],
+        *,
+        cost_model: CostModel | None = None,
+        mp_context: str = "fork",
+    ) -> None:
+        if len(sources) != pg.num_partitions:
+            raise ValueError("need exactly one instance source per partition")
+        cost_model = cost_model or CostModel()
+        sg_part = np.asarray([sg.partition_id for sg in pg.subgraphs], dtype=np.int64)
+        ctx = mp.get_context(mp_context)
+        self.num_partitions = pg.num_partitions
+        self._conns = []
+        self._procs = []
+        for p in range(pg.num_partitions):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, pg.partitions[p], computation, meta, sources[p], sg_part, cost_model),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    # -- scatter/gather ---------------------------------------------------------------
+
+    def _broadcast(self, make_cmd) -> list[HostStepResult]:
+        for p, conn in enumerate(self._conns):
+            conn.send(make_cmd(p))
+        replies = [conn.recv() for conn in self._conns]
+        for p, reply in enumerate(replies):
+            if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "error":
+                raise WorkerError(f"partition {p} worker failed:\n{reply[1]}")
+        return replies
+
+    def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
+        return self._broadcast(lambda p: ("begin", timestep, gc_pauses[p]))
+
+    def run_superstep(
+        self, timestep: int, superstep: int, deliveries: Sequence[Deliveries]
+    ) -> list[HostStepResult]:
+        return self._broadcast(lambda p: ("superstep", timestep, superstep, dict(deliveries[p])))
+
+    def end_of_timestep(self, timestep: int) -> list[HostStepResult]:
+        return self._broadcast(lambda p: ("eot", timestep))
+
+    def run_merge_superstep(
+        self, superstep: int, deliveries: Sequence[Deliveries]
+    ) -> list[HostStepResult]:
+        return self._broadcast(lambda p: ("merge", superstep, dict(deliveries[p])))
+
+    def resident_bytes(self) -> list[int]:
+        return self._broadcast(lambda p: ("resident",))
+
+    def final_states(self) -> dict[int, dict]:
+        states: dict[int, dict] = {}
+        for part in self._broadcast(lambda p: ("states",)):
+            states.update(part)
+        return states
+
+    def shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+                conn.recv()
+                conn.close()
+            except (BrokenPipeError, EOFError, OSError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._conns, self._procs = [], []

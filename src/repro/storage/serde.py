@@ -1,0 +1,69 @@
+"""Binary (de)serialization of templates and attribute schemas.
+
+Uses ``numpy.savez_compressed`` containers: topology arrays are stored
+natively, and attribute schemas are embedded as small pickled blobs (schemas
+are trusted local metadata, not user-supplied network input).  Round-trip
+fidelity is asserted by the test suite via ``GraphTemplate.equals``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from ..graph.attributes import AttributeSchema, AttributeSpec
+from ..graph.template import GraphTemplate
+
+__all__ = ["save_template", "load_template", "schema_to_bytes", "schema_from_bytes"]
+
+
+def schema_to_bytes(schema: AttributeSchema) -> bytes:
+    """Serialize a schema as a list of (name, dtype string, default) triples."""
+    triples = [(s.name, s.dtype.str if s.dtype != np.dtype(object) else "object", s.default) for s in schema]
+    return pickle.dumps(triples, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def schema_from_bytes(blob: bytes) -> AttributeSchema:
+    """Inverse of :func:`schema_to_bytes`."""
+    triples = pickle.loads(blob)
+    return AttributeSchema(AttributeSpec(name, dtype, default) for name, dtype, default in triples)
+
+
+def save_template(path: str | Path, template: GraphTemplate) -> None:
+    """Write a template to ``path`` (npz container)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(1),
+        name=np.frombuffer(template.name.encode("utf-8"), dtype=np.uint8),
+        num_vertices=np.int64(template.num_vertices),
+        directed=np.int64(template.directed),
+        edge_src=template.edge_src,
+        edge_dst=template.edge_dst,
+        vertex_ids=template.vertex_ids,
+        edge_ids=template.edge_ids,
+        vertex_schema=np.frombuffer(schema_to_bytes(template.vertex_schema), dtype=np.uint8),
+        edge_schema=np.frombuffer(schema_to_bytes(template.edge_schema), dtype=np.uint8),
+    )
+
+
+def load_template(path: str | Path) -> GraphTemplate:
+    """Read a template written by :func:`save_template`."""
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"])
+        if version != 1:
+            raise ValueError(f"unsupported template format version {version}")
+        return GraphTemplate(
+            int(data["num_vertices"]),
+            data["edge_src"],
+            data["edge_dst"],
+            directed=bool(int(data["directed"])),
+            vertex_ids=data["vertex_ids"],
+            edge_ids=data["edge_ids"],
+            vertex_schema=schema_from_bytes(data["vertex_schema"].tobytes()),
+            edge_schema=schema_from_bytes(data["edge_schema"].tobytes()),
+            name=data["name"].tobytes().decode("utf-8"),
+        )

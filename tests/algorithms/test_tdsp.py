@@ -1,0 +1,236 @@
+"""TDSP correctness: the paper's worked example + reference equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import run_application
+from repro.algorithms.tdsp import TDSPComputation, TDSPFrontier, tdsp_labels_from_result
+from repro.algorithms.reference import (
+    single_source_shortest_paths,
+    time_expanded_dijkstra,
+)
+from repro.graph import (
+    AttributeSchema,
+    AttributeSpec,
+    GraphTemplate,
+    build_collection,
+)
+from repro.partition import HashPartitioner, MetisLikePartitioner, partition_graph
+from tests.conftest import make_random_template
+
+
+def latency_template(n, src, dst, directed=False):
+    return GraphTemplate(
+        n,
+        src,
+        dst,
+        directed=directed,
+        edge_schema=AttributeSchema([AttributeSpec("latency", "float")]),
+    )
+
+
+class TestPaperWorkedExample:
+    """Section III-C / Fig 5a: estimated 7, actual 35, optimal (TDSP) 14.
+
+    Vertices S=0, A=1, E=2, C=3; δ=5 minutes.
+    g0: S→A=5, S→E=2, E→C=5, A→C=30
+    g1: latencies jump (E→C=30, A→C=30)
+    g2: A→C drops to 4.
+    Naive SSSP on g0 estimates S→E→C = 7; following that route actually
+    takes 35 (wait at E until t=5, then 30); the time-aware optimum is
+    S→A (5), wait δ, then A→C in g2 (4) = 14.
+    """
+
+    def setup_method(self):
+        # Edges: 0:(S,A) 1:(S,E) 2:(E,C) 3:(A,C)
+        self.tpl = latency_template(4, [0, 0, 2, 1], [1, 2, 3, 3])
+        lat = {
+            0: [5.0, 2.0, 5.0, 30.0],
+            1: [5.0, 2.0, 30.0, 30.0],
+            2: [5.0, 2.0, 30.0, 4.0],
+        }
+
+        def pop(inst, t):
+            inst.edge_values.set_column("latency", np.asarray(lat[t]))
+
+        self.coll = build_collection(self.tpl, 3, pop, delta=5.0)
+
+    def test_naive_sssp_estimates_7(self):
+        labels = single_source_shortest_paths(
+            self.tpl, 0, self.coll.instance(0).edge_column("latency")
+        )
+        assert labels[3] == pytest.approx(7.0)  # S→E→C on g0
+
+    def test_reference_tdsp_is_14(self):
+        dist = time_expanded_dijkstra(self.coll, 0)
+        assert dist[3] == pytest.approx(14.0)
+        assert dist[1] == pytest.approx(5.0)  # S→A within g0
+        assert dist[2] == pytest.approx(2.0)  # S→E within g0
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_distributed_tdsp_is_14(self, k):
+        pg = partition_graph(self.tpl, k, HashPartitioner())
+        res = run_application(TDSPComputation(0), pg, self.coll)
+        labels = tdsp_labels_from_result(res, 4)
+        assert labels[3] == pytest.approx(14.0)
+        assert labels[0] == 0.0
+
+    def test_frontier_outputs_record_finalization_timestep(self):
+        pg = partition_graph(self.tpl, 2, HashPartitioner())
+        res = run_application(TDSPComputation(0), pg, self.coll)
+        finalized_at = {}
+        for _t, _sg, rec in res.outputs:
+            assert isinstance(rec, TDSPFrontier)
+            for v, l in zip(rec.vertices, rec.labels):
+                finalized_at[int(v)] = (rec.timestep, float(l))
+        assert finalized_at[0] == (0, 0.0)
+        assert finalized_at[1] == (0, 5.0)
+        assert finalized_at[2] == (0, 2.0)
+        assert finalized_at[3] == (2, 14.0)
+
+
+def _random_case(seed, n=30, m=55, T=5, k=3):
+    rng = np.random.default_rng(seed)
+    tpl_raw = make_random_template(n, m, rng)
+    tpl = latency_template(tpl_raw.num_vertices, tpl_raw.edge_src, tpl_raw.edge_dst)
+
+    def pop(inst, t, _seed=seed):
+        r = np.random.default_rng(10_000 + _seed * 100 + t)
+        inst.edge_values.set_column(
+            "latency", r.uniform(0.5, 12.0, inst.template.num_edges)
+        )
+
+    coll = build_collection(tpl, T, pop, delta=5.0)
+    pg = partition_graph(tpl, k, HashPartitioner(seed=seed))
+    return tpl, coll, pg
+
+
+class TestReferenceEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 2**16), k=st.integers(1, 4))
+    def test_matches_time_expanded_dijkstra(self, seed, k):
+        tpl, coll, pg = _random_case(seed, k=k)
+        res = run_application(TDSPComputation(0), pg, coll)
+        got = tdsp_labels_from_result(res, tpl.num_vertices)
+        want = time_expanded_dijkstra(coll, 0)
+        np.testing.assert_allclose(
+            np.nan_to_num(got, posinf=1e18), np.nan_to_num(want, posinf=1e18)
+        )
+
+    def test_metis_partitioning_equivalent(self):
+        tpl, coll, _ = _random_case(5)
+        pg = partition_graph(tpl, 3, MetisLikePartitioner(seed=2))
+        res = run_application(TDSPComputation(0), pg, coll)
+        got = tdsp_labels_from_result(res, tpl.num_vertices)
+        want = time_expanded_dijkstra(coll, 0)
+        np.testing.assert_allclose(
+            np.nan_to_num(got, posinf=1e18), np.nan_to_num(want, posinf=1e18)
+        )
+
+    def test_different_sources(self):
+        tpl, coll, pg = _random_case(7)
+        for source in (0, 5, 17):
+            res = run_application(TDSPComputation(source), pg, coll)
+            got = tdsp_labels_from_result(res, tpl.num_vertices)
+            want = time_expanded_dijkstra(coll, source)
+            np.testing.assert_allclose(
+                np.nan_to_num(got, posinf=1e18), np.nan_to_num(want, posinf=1e18)
+            )
+
+    def test_directed_graph(self):
+        rng = np.random.default_rng(3)
+        raw = make_random_template(25, 60, rng, directed=True)
+        tpl = latency_template(25, raw.edge_src, raw.edge_dst, directed=True)
+
+        def pop(inst, t):
+            r = np.random.default_rng(42 + t)
+            inst.edge_values.set_column("latency", r.uniform(0.5, 12.0, tpl.num_edges))
+
+        coll = build_collection(tpl, 5, pop, delta=5.0)
+        pg = partition_graph(tpl, 3, HashPartitioner(seed=1))
+        res = run_application(TDSPComputation(0), pg, coll)
+        got = tdsp_labels_from_result(res, 25)
+        want = time_expanded_dijkstra(coll, 0)
+        np.testing.assert_allclose(
+            np.nan_to_num(got, posinf=1e18), np.nan_to_num(want, posinf=1e18)
+        )
+
+
+class TestBehaviour:
+    def test_early_halt_when_all_finalized(self):
+        """Small-world-like fast convergence: run ends before the last instance."""
+        # Complete-ish graph with tiny latencies: everything reached at t=0.
+        n = 8
+        src, dst = [], []
+        for i in range(n):
+            for j in range(i + 1, n):
+                src.append(i)
+                dst.append(j)
+        tpl = latency_template(n, src, dst)
+
+        def pop(inst, t):
+            inst.edge_values.set_column("latency", np.full(tpl.num_edges, 0.5))
+
+        coll = build_collection(tpl, 20, pop, delta=5.0)
+        pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+        res = run_application(TDSPComputation(0), pg, coll)
+        assert res.halted_early
+        assert res.timesteps_executed < 20
+
+    def test_unreachable_vertices_inf(self):
+        tpl = latency_template(4, [0], [1])  # vertices 2, 3 isolated
+
+        def pop(inst, t):
+            inst.edge_values.set_column("latency", np.array([1.0]))
+
+        coll = build_collection(tpl, 3, pop, delta=5.0)
+        pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+        res = run_application(TDSPComputation(0), pg, coll)
+        labels = tdsp_labels_from_result(res, 4)
+        assert labels[1] == 1.0
+        assert np.isinf(labels[2]) and np.isinf(labels[3])
+
+    def test_stall_halt_exact_when_latencies_within_window(self):
+        """With all latencies ≤ δ, stall-based halting changes nothing but
+        the number of timesteps executed."""
+        rng = np.random.default_rng(21)
+        raw = make_random_template(30, 55, rng)
+        tpl = latency_template(30, raw.edge_src, raw.edge_dst)
+
+        def pop(inst, t):
+            r = np.random.default_rng(500 + t)
+            inst.edge_values.set_column("latency", r.uniform(0.2, 4.5, tpl.num_edges))
+
+        coll = build_collection(tpl, 12, pop, delta=5.0)
+        pg = partition_graph(tpl, 3, HashPartitioner(seed=1))
+        full = run_application(TDSPComputation(0), pg, coll)
+        stall = run_application(TDSPComputation(0, halt_when_stalled=True), pg, coll)
+        a = tdsp_labels_from_result(full, 30)
+        b = tdsp_labels_from_result(stall, 30)
+        np.testing.assert_allclose(
+            np.nan_to_num(a, posinf=1e18), np.nan_to_num(b, posinf=1e18)
+        )
+        assert stall.timesteps_executed <= full.timesteps_executed
+
+    def test_stall_halt_terminates_on_unreachable_graph(self):
+        """Disconnected vertices never finalize; stall-halt still ends the run."""
+        tpl = latency_template(4, [0], [1])
+
+        def pop(inst, t):
+            inst.edge_values.set_column("latency", np.array([1.0]))
+
+        coll = build_collection(tpl, 30, pop, delta=5.0)
+        pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+        res = run_application(TDSPComputation(0, halt_when_stalled=True), pg, coll)
+        assert res.timesteps_executed <= 3
+        labels = tdsp_labels_from_result(res, 4)
+        assert labels[1] == 1.0 and np.isinf(labels[2])
+
+    def test_labels_within_horizon(self):
+        tpl, coll, pg = _random_case(11)
+        res = run_application(TDSPComputation(0), pg, coll)
+        labels = tdsp_labels_from_result(res, tpl.num_vertices)
+        finite = labels[np.isfinite(labels)]
+        assert np.all(finite <= len(coll) * coll.delta)
+        assert np.all(finite >= 0)

@@ -1,0 +1,89 @@
+"""Tests for CSV/JSON export of run artifacts."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    result_summary,
+    write_csv,
+    write_result_json,
+    write_series_csv,
+)
+from repro.algorithms import TDSPComputation
+from repro.core import run_application
+from repro.generators import road_latency_collection
+from repro.partition import HashPartitioner, partition_graph
+from tests.conftest import make_grid_template
+
+
+@pytest.fixture
+def run():
+    tpl = make_grid_template(4, 6)
+    coll = road_latency_collection(tpl, 5, seed=3)
+    pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+    return run_application(TDSPComputation(0), pg, coll)
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": np.float64(2.5)}, {"a": 3, "b": np.int64(4)}]
+        path = write_csv(tmp_path / "t.csv", rows)
+        with path.open() as fh:
+            got = list(csv.DictReader(fh))
+        assert got == [{"a": "1", "b": "2.5"}, {"a": "3", "b": "4"}]
+
+    def test_explicit_columns(self, tmp_path):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        path = write_csv(tmp_path / "t.csv", rows, columns=["c", "a"])
+        assert path.read_text().splitlines()[0] == "c,a"
+
+    def test_empty(self, tmp_path):
+        path = write_csv(tmp_path / "e.csv", [])
+        assert path.read_text() == ""
+
+    def test_creates_parents(self, tmp_path):
+        path = write_csv(tmp_path / "x" / "y.csv", [{"a": 1}])
+        assert path.exists()
+
+
+class TestWriteSeriesCsv:
+    def test_aligned_columns(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "s.csv", {"x": [1.0, 2.0, 3.0], "y": [9.0]}
+        )
+        lines = path.read_text().splitlines()
+        assert lines[0] == "timestep,x,y"
+        assert lines[1] == "0,1.0,9.0"
+        assert lines[3] == "2,3.0,"
+
+    def test_numpy_arrays(self, tmp_path):
+        path = write_series_csv(tmp_path / "s.csv", {"x": np.arange(3)})
+        assert path.read_text().splitlines()[-1] == "2,2"
+
+
+class TestResultSummary:
+    def test_fields(self, run):
+        s = result_summary(run)
+        assert s["timesteps_executed"] == run.timesteps_executed
+        assert s["num_outputs"] == len(run.outputs)
+        assert len(s["timestep_series_s"]) == run.timesteps_executed
+        assert len(s["partitions"]) == 2
+        assert s["metrics"]["supersteps"] > 0
+
+    def test_json_serializable(self, run, tmp_path):
+        path = write_result_json(tmp_path / "r.json", run, label="tdsp-test")
+        data = json.loads(path.read_text())
+        assert data["label"] == "tdsp-test"
+        assert data["timesteps_executed"] == run.timesteps_executed
+        # Round-trips cleanly (all plain types).
+        json.dumps(data)
+
+    def test_no_metrics(self):
+        from repro.core import AppResult
+
+        s = result_summary(AppResult(timesteps_executed=2))
+        assert "metrics" not in s
+        assert s["timesteps_executed"] == 2

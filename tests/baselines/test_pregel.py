@@ -1,0 +1,151 @@
+"""Tests for the vertex-centric Pregel engine and its algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import reference as ref
+from repro.baselines import (
+    PregelEngine,
+    VertexBFS,
+    VertexComputation,
+    VertexPageRank,
+    VertexSSSP,
+    fig5b_comparison,
+)
+from repro.generators import road_latency_collection
+from repro.graph import build_collection
+from repro.partition import partition_graph
+from tests.conftest import make_grid_template, make_random_template, populate_random
+
+
+class TestEngineSemantics:
+    def test_message_delivered_next_superstep(self):
+        tpl = make_grid_template(1, 3)  # path 0-1-2
+
+        class Hop(VertexComputation):
+            def initial_value(self, v):
+                return []
+
+            def compute(self, ctx):
+                ctx.value = ctx.value + [(ctx.superstep, list(ctx.messages))]
+                if ctx.superstep == 0 and ctx.vertex == 0:
+                    ctx.send(1, "hi")
+                ctx.vote_to_halt()
+
+        eng = PregelEngine(tpl, 2)
+        res = eng.run(Hop())
+        log_v1 = res.values[1]
+        assert log_v1[0] == (0, [])
+        assert log_v1[1] == (1, ["hi"])
+
+    def test_halted_vertex_not_recomputed(self):
+        tpl = make_grid_template(1, 2)
+        counts = {0: 0, 1: 0}
+
+        class Count(VertexComputation):
+            def compute(self, ctx):
+                counts[ctx.vertex] += 1
+                if ctx.vertex == 0 and ctx.superstep < 3:
+                    ctx.send(0, "self")
+                ctx.vote_to_halt()
+
+        PregelEngine(tpl, 1).run(Count())
+        assert counts[0] == 4  # kept alive by self-messages
+        assert counts[1] == 1  # halted after superstep 0
+
+    def test_initial_active_restricts_superstep0(self):
+        tpl = make_grid_template(1, 4)
+        seen = []
+
+        class Who(VertexComputation):
+            def compute(self, ctx):
+                seen.append(ctx.vertex)
+                ctx.vote_to_halt()
+
+        PregelEngine(tpl, 2).run(Who(), initial_active=[2])
+        assert seen == [2]
+
+    def test_max_supersteps_guard(self):
+        tpl = make_grid_template(1, 2)
+
+        class Forever(VertexComputation):
+            def compute(self, ctx):
+                ctx.send(ctx.vertex, "again")
+
+        with pytest.raises(RuntimeError, match="max_supersteps"):
+            PregelEngine(tpl, 1, max_supersteps=5).run(Forever())
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            PregelEngine(make_grid_template(2, 2), 0)
+
+    def test_weight_attr_requires_instance(self):
+        with pytest.raises(ValueError, match="instance"):
+            PregelEngine(make_grid_template(2, 2), 1, weight_attr="latency")
+
+    def test_metrics_recorded_per_worker(self):
+        tpl = make_grid_template(3, 3)
+        eng = PregelEngine(tpl, 3)
+        res = eng.run(VertexBFS(0), initial_active=[0])
+        assert res.supersteps > 1
+        assert res.total_wall_s > 0
+        assert len(res.metrics.partition_breakdown()) == 3
+
+
+class TestVertexAlgorithms:
+    def test_bfs_matches_reference(self, rng):
+        tpl = make_random_template(40, 80, rng)
+        res = PregelEngine(tpl, 3).run(VertexBFS(0), initial_active=[0])
+        got = np.array(res.values)
+        want = ref.bfs_levels(tpl, 0)
+        np.testing.assert_allclose(
+            np.nan_to_num(got, posinf=1e18), np.nan_to_num(want, posinf=1e18)
+        )
+
+    def test_sssp_matches_reference(self, rng):
+        tpl = make_random_template(40, 80, rng)
+        coll = build_collection(tpl, 1, populate_random(4))
+        eng = PregelEngine(tpl, 3, instance=coll.instance(0), weight_attr="latency")
+        res = eng.run(VertexSSSP(0), initial_active=[0])
+        got = np.array(res.values)
+        want = ref.single_source_shortest_paths(
+            tpl, 0, coll.instance(0).edge_column("latency")
+        )
+        np.testing.assert_allclose(
+            np.nan_to_num(got, posinf=1e18), np.nan_to_num(want, posinf=1e18)
+        )
+
+    def test_pagerank_matches_reference(self, rng):
+        tpl = make_random_template(30, 70, rng, directed=True)
+        res = PregelEngine(tpl, 2).run(VertexPageRank(12))
+        np.testing.assert_allclose(
+            np.array(res.values), ref.pagerank(tpl, iterations=12), atol=1e-12
+        )
+
+    def test_pagerank_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            VertexPageRank(0)
+
+    def test_bfs_supersteps_track_eccentricity(self):
+        """Vertex-centric BFS needs ~one superstep per hop — the structural
+        disadvantage Fig 5b exploits."""
+        tpl = make_grid_template(1, 30)  # path, eccentricity 29 from vertex 0
+        res = PregelEngine(tpl, 2).run(VertexBFS(0), initial_active=[0])
+        assert res.supersteps >= 29
+
+
+class TestFig5bHarness:
+    def test_ordering_holds(self):
+        tpl = make_grid_template(8, 30, name="CARN-ish")
+        coll = road_latency_collection(tpl, 10, seed=1)
+        pg = partition_graph(tpl, 3)
+        row = fig5b_comparison(pg, coll)
+        # Paper's shape: Giraph's single SSSP is slower than GoFFish's SSSP,
+        # and slower than GoFFish TDSP over the whole collection.
+        assert row.giraph_sssp_1x > row.goffish_sssp_1x
+        assert row.giraph_sssp_1x > row.goffish_tdsp_50x
+        assert row.goffish_tdsp_50x >= row.goffish_sssp_1x
+        assert row.giraph_supersteps > row.goffish_sssp_supersteps
+        assert set(row.as_row()) >= {"graph", "Giraph SSSP 1x (s)"}

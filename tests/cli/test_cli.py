@@ -1,0 +1,90 @@
+"""Smoke tests for the tibsp CLI (tiny scales)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "CARN" in out and "WIKI" in out
+
+    def test_edgecuts(self, capsys):
+        assert main(["edgecuts", "--scale", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "edge_cut_%" in out
+
+    def test_run_tdsp(self, capsys):
+        assert main([
+            "run", "tdsp", "--scale", "400", "--instances", "5",
+            "--partitions", "3", "--graph", "CARN",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "time per timestep" in out
+        assert "Per-partition utilization" in out
+
+    def test_run_meme_with_gc(self, capsys):
+        assert main([
+            "run", "meme", "--scale", "400", "--instances", "5",
+            "--partitions", "3", "--graph", "WIKI", "--gc",
+        ]) == 0
+
+    def test_run_hash(self, capsys):
+        assert main([
+            "run", "hash", "--scale", "300", "--instances", "4", "--partitions", "3",
+        ]) == 0
+
+    def test_fig5b(self, capsys):
+        assert main(["fig5b", "--scale", "300", "--instances", "4", "--partitions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Giraph" in out
+
+    def test_store(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert main([
+            "store", str(root), "--scale", "300", "--instances", "4", "--partitions", "3",
+        ]) == 0
+        assert (root / "manifest.json").exists()
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestNewSubcommands:
+    def test_run_reach(self, capsys):
+        assert main([
+            "run", "reach", "--scale", "400", "--instances", "5", "--partitions", "3",
+        ]) == 0
+        assert "reach on CARN" in capsys.readouterr().out
+
+    def test_run_evolve(self, capsys):
+        assert main([
+            "run", "evolve", "--scale", "400", "--instances", "4",
+            "--partitions", "3", "--graph", "WIKI",
+        ]) == 0
+        assert "communities per timestep" in capsys.readouterr().out
+
+    def test_run_stats(self, capsys):
+        assert main([
+            "run", "stats", "--scale", "300", "--instances", "4", "--partitions", "3",
+        ]) == 0
+        assert "mean latency" in capsys.readouterr().out
+
+    def test_run_with_rebalance_and_export(self, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        assert main([
+            "run", "tdsp", "--scale", "400", "--instances", "5",
+            "--partitions", "3", "--rebalance", "--export", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "migrations applied" in text
+        assert out.exists()
+
+    def test_run_thread_executor(self, capsys):
+        assert main([
+            "run", "meme", "--scale", "300", "--instances", "4",
+            "--partitions", "2", "--executor", "thread",
+        ]) == 0

@@ -1,0 +1,113 @@
+"""Shared fixtures: small graphs, collections, and partitioned graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    AttributeSchema,
+    AttributeSpec,
+    GraphTemplate,
+    build_collection,
+)
+from repro.partition import HashPartitioner, partition_graph
+
+
+def make_grid_template(rows: int, cols: int, *, name: str = "grid", with_attrs: bool = True) -> GraphTemplate:
+    """A rows×cols undirected grid with latency/tweets/traffic schemas."""
+    src, dst = [], []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                src.append(v)
+                dst.append(v + 1)
+            if r + 1 < rows:
+                src.append(v)
+                dst.append(v + cols)
+    vschema = (
+        AttributeSchema(
+            [
+                AttributeSpec("tweets", "object"),
+                AttributeSpec("traffic", "float"),
+                AttributeSpec("flag", "bool"),
+            ]
+        )
+        if with_attrs
+        else None
+    )
+    eschema = AttributeSchema([AttributeSpec("latency", "float")]) if with_attrs else None
+    return GraphTemplate(
+        rows * cols, src, dst, name=name, vertex_schema=vschema, edge_schema=eschema
+    )
+
+
+def make_random_template(
+    n: int,
+    m: int,
+    rng: np.random.Generator,
+    *,
+    directed: bool = False,
+    name: str = "random",
+) -> GraphTemplate:
+    """A random simple graph with latency/tweets schemas (may be disconnected)."""
+    pairs: set[tuple[int, int]] = set()
+    guard = 0
+    while len(pairs) < m and guard < 50 * m:
+        guard += 1
+        a, b = int(rng.integers(n)), int(rng.integers(n))
+        if a == b:
+            continue
+        key = (a, b) if directed else (min(a, b), max(a, b))
+        pairs.add(key)
+    src, dst = zip(*sorted(pairs)) if pairs else ((), ())
+    return GraphTemplate(
+        n,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        directed=directed,
+        vertex_schema=AttributeSchema(
+            [AttributeSpec("tweets", "object"), AttributeSpec("traffic", "float")]
+        ),
+        edge_schema=AttributeSchema([AttributeSpec("latency", "float")]),
+        name=name,
+    )
+
+
+def populate_random(seed: int):
+    """A deterministic populator for grid/random templates."""
+
+    def _pop(inst, t):
+        rng = np.random.default_rng(seed + t)
+        n = inst.template.num_vertices
+        m = inst.template.num_edges
+        inst.edge_values.set_column("latency", rng.uniform(0.5, 8.0, m))
+        inst.vertex_values.set_column("traffic", rng.uniform(0.0, 100.0, n))
+        tweets = np.empty(n, dtype=object)
+        for v in range(n):
+            k = int(rng.integers(0, 3))
+            tweets[v] = tuple(int(x) for x in rng.integers(0, 4, k))
+        inst.vertex_values.set_column("tweets", tweets)
+
+    return _pop
+
+
+@pytest.fixture
+def grid_template() -> GraphTemplate:
+    return make_grid_template(5, 6)
+
+
+@pytest.fixture
+def grid_collection(grid_template):
+    return build_collection(grid_template, 6, populate_random(11), delta=5.0)
+
+
+@pytest.fixture
+def grid_pg(grid_template):
+    return partition_graph(grid_template, 3, HashPartitioner(seed=1))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

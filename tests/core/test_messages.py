@@ -1,0 +1,81 @@
+"""Tests for messages, send buffers, and bulk routing."""
+
+import numpy as np
+
+from repro.core.messages import (
+    Message,
+    MessageKind,
+    SendBuffer,
+    group_by_destination,
+)
+
+
+class TestMessage:
+    def test_defaults(self):
+        m = Message("hello")
+        assert m.kind is MessageKind.SUPERSTEP
+        assert m.source_subgraph is None
+        assert m.timestep == -1
+
+    def test_approx_size_numpy(self):
+        m = Message(np.zeros(10, dtype=np.float64))
+        assert m.approx_size() == 80
+
+    def test_approx_size_bytes_and_str(self):
+        assert Message(b"abcd").approx_size() == 4
+        assert Message("abc").approx_size() == 3
+
+    def test_approx_size_containers(self):
+        assert Message([1, 2, 3]).approx_size() == 48
+        assert Message({}).approx_size() == 16
+
+    def test_approx_size_scalar(self):
+        assert Message(5).approx_size() == 16
+
+    def test_immutable(self):
+        m = Message(1)
+        try:
+            m.payload = 2
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestSendBuffer:
+    def test_counts_and_bytes(self):
+        b = SendBuffer()
+        b.superstep_sends.append((1, Message(np.zeros(4))))
+        b.temporal_sends.append((2, Message(b"xx")))
+        b.merge_sends.append(Message("abc"))
+        assert b.total_messages() == 3
+        assert b.total_bytes() == 32 + 2 + 3
+
+    def test_extend(self):
+        a, b = SendBuffer(), SendBuffer()
+        a.voted_halt = True
+        b.voted_halt = True
+        b.superstep_sends.append((0, Message(1)))
+        b.outputs.append("rec")
+        a.extend(b)
+        assert a.total_messages() == 1
+        assert a.outputs == ["rec"]
+        assert a.voted_halt  # both voted
+
+    def test_extend_halt_requires_both(self):
+        a, b = SendBuffer(), SendBuffer()
+        a.voted_halt = True
+        b.voted_halt = False
+        a.extend(b)
+        assert not a.voted_halt
+
+
+class TestGroupByDestination:
+    def test_grouping_preserves_order(self):
+        msgs = [(2, Message("a")), (1, Message("b")), (2, Message("c"))]
+        grouped = group_by_destination(msgs)
+        assert [m.payload for m in grouped[2]] == ["a", "c"]
+        assert [m.payload for m in grouped[1]] == ["b"]
+
+    def test_empty(self):
+        assert group_by_destination([]) == {}

@@ -1,0 +1,179 @@
+"""Robustness tests: error propagation, makespan scheduling, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    Pattern,
+    TimeSeriesComputation,
+    pipelined_makespan,
+    run_application,
+)
+from repro.graph import build_collection
+from repro.partition import HashPartitioner, partition_graph
+from tests.conftest import make_grid_template
+
+
+@pytest.fixture
+def setup():
+    tpl = make_grid_template(4, 4)
+    coll = build_collection(tpl, 3)
+    pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+    return tpl, coll, pg
+
+
+class TestErrorPropagation:
+    def test_compute_error_surfaces(self, setup):
+        _, coll, pg = setup
+
+        class Boom(TimeSeriesComputation):
+            def compute(self, ctx):
+                raise ValueError("compute exploded")
+
+        with pytest.raises(ValueError, match="compute exploded"):
+            run_application(Boom(), pg, coll)
+
+    def test_end_of_timestep_error_surfaces(self, setup):
+        _, coll, pg = setup
+
+        class Boom(TimeSeriesComputation):
+            def compute(self, ctx):
+                ctx.vote_to_halt()
+
+            def end_of_timestep(self, ctx):
+                raise RuntimeError("eot exploded")
+
+        with pytest.raises(RuntimeError, match="eot exploded"):
+            run_application(Boom(), pg, coll)
+
+    def test_merge_error_surfaces(self, setup):
+        _, coll, pg = setup
+
+        class Boom(TimeSeriesComputation):
+            pattern = Pattern.EVENTUALLY_DEPENDENT
+
+            def compute(self, ctx):
+                ctx.vote_to_halt()
+
+            def merge(self, ctx):
+                raise KeyError("merge exploded")
+
+        with pytest.raises(KeyError, match="merge exploded"):
+            run_application(Boom(), pg, coll)
+
+    def test_thread_executor_error_surfaces(self, setup):
+        _, coll, pg = setup
+
+        class Boom(TimeSeriesComputation):
+            def compute(self, ctx):
+                raise ValueError("threaded boom")
+
+        with pytest.raises(ValueError, match="threaded boom"):
+            run_application(Boom(), pg, coll, config=EngineConfig(executor="thread"))
+
+    def test_error_at_late_timestep(self, setup):
+        """The failure point's timestep is not swallowed by earlier success."""
+        _, coll, pg = setup
+        seen = []
+
+        class LateBoom(TimeSeriesComputation):
+            def compute(self, ctx):
+                seen.append(ctx.timestep)
+                if ctx.timestep == 2:
+                    raise RuntimeError("late")
+                ctx.vote_to_halt()
+
+        with pytest.raises(RuntimeError, match="late"):
+            run_application(LateBoom(), pg, coll)
+        assert max(seen) == 2  # timesteps 0 and 1 completed first
+
+
+class TestPipelinedMakespan:
+    def test_single_worker_is_sum(self):
+        assert pipelined_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_perfect_split(self):
+        assert pipelined_makespan([1.0, 1.0, 1.0, 1.0], 2) == pytest.approx(2.0)
+
+    def test_lpt_handles_skew(self):
+        # One big timestep dominates: makespan = the big one.
+        assert pipelined_makespan([10.0, 1.0, 1.0, 1.0], 4) == pytest.approx(10.0)
+        assert pipelined_makespan([10.0, 1.0, 1.0, 1.0], 2) == pytest.approx(10.0)
+
+    def test_merge_added(self):
+        assert pipelined_makespan([2.0, 2.0], 2, merge_wall=1.0) == pytest.approx(3.0)
+
+    def test_empty_walls(self):
+        assert pipelined_makespan([], 3, merge_wall=0.5) == pytest.approx(0.5)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            pipelined_makespan([1.0], 0)
+
+    def test_never_below_max_wall_or_mean_load(self):
+        rng = np.random.default_rng(0)
+        walls = rng.uniform(0.1, 5.0, 20).tolist()
+        for w in (1, 2, 3, 7):
+            m = pipelined_makespan(walls, w)
+            assert m >= max(walls) - 1e-12
+            assert m >= sum(walls) / w - 1e-12
+
+
+class TestEdgeCases:
+    def test_zero_timestep_range(self, setup):
+        _, coll, pg = setup
+
+        class Noop(TimeSeriesComputation):
+            def compute(self, ctx):
+                ctx.vote_to_halt()
+
+        res = run_application(Noop(), pg, coll, timestep_range=(1, 1))
+        assert res.timesteps_executed == 0
+        assert res.outputs == []
+
+    def test_single_vertex_graph(self):
+        from repro.graph import GraphTemplate
+
+        tpl = GraphTemplate(1, [], [])
+        coll = build_collection(tpl, 2)
+        pg = partition_graph(tpl, 1, HashPartitioner())
+
+        class Emit(TimeSeriesComputation):
+            def compute(self, ctx):
+                ctx.output(ctx.subgraph.num_vertices)
+                ctx.vote_to_halt()
+
+        res = run_application(Emit(), pg, coll)
+        assert res.all_output_records() == [1, 1]
+
+    def test_message_to_own_subgraph(self, setup):
+        """Self-messages are delivered like any other (next superstep)."""
+        _, coll, pg = setup
+
+        class SelfPing(TimeSeriesComputation):
+            def compute(self, ctx):
+                if ctx.superstep == 0:
+                    ctx.send_to_subgraph(ctx.subgraph.subgraph_id, "me")
+                else:
+                    assert [m.payload for m in ctx.messages] == ["me"]
+                    ctx.output("got")
+                ctx.vote_to_halt()
+
+        res = run_application(SelfPing(), pg, coll, timestep_range=(0, 1))
+        assert len(res.all_output_records()) == pg.num_subgraphs
+
+    def test_large_payload_cost_accounted(self, setup):
+        _, coll, pg = setup
+        target = pg.subgraphs[-1].subgraph_id
+
+        class BigSend(TimeSeriesComputation):
+            def compute(self, ctx):
+                if ctx.superstep == 0 and ctx.subgraph.subgraph_id == 0:
+                    ctx.send_to_subgraph(target, np.zeros(1_000_000))
+                ctx.vote_to_halt()
+
+        res = run_application(BigSend(), pg, coll, timestep_range=(0, 1))
+        # 8 MB over ~117 MiB/s ≈ 65 ms of modeled send time.
+        sender = [r for r in res.metrics.step_records if r.bytes_sent > 0]
+        assert sender and sender[0].send_s > 0.01

@@ -1,0 +1,61 @@
+"""Tests for the SNAP edge-list loader."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.generators import load_snap_edgelist
+
+
+SNAP_SAMPLE = """\
+# Directed graph (each unordered pair of nodes is saved once)
+# Comments galore
+10\t20
+20\t30
+10\t20
+30\t10
+5\t5
+"""
+
+
+class TestLoader:
+    def test_basic_parse(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text(SNAP_SAMPLE)
+        tpl = load_snap_edgelist(path, directed=True)
+        # ids {5, 10, 20, 30} compacted; self-loop and duplicate dropped.
+        assert tpl.num_vertices == 4
+        assert tpl.num_edges == 3
+        assert np.array_equal(tpl.vertex_ids, [5, 10, 20, 30])
+        assert tpl.directed
+
+    def test_undirected_dedup_reversed(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1\t2\n2\t1\n")
+        tpl = load_snap_edgelist(path, directed=False)
+        assert tpl.num_edges == 1
+
+    def test_directed_keeps_reversed(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1\t2\n2\t1\n")
+        tpl = load_snap_edgelist(path, directed=True)
+        assert tpl.num_edges == 2
+
+    def test_no_dedup(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1\t2\n1\t2\n")
+        tpl = load_snap_edgelist(path, deduplicate=False)
+        assert tpl.num_edges == 2
+
+    def test_gzip(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("1\t2\n2\t3\n")
+        tpl = load_snap_edgelist(path)
+        assert tpl.num_vertices == 3 and tpl.num_edges == 2
+
+    def test_default_name_from_path(self, tmp_path):
+        path = tmp_path / "roadNet-CA.txt"
+        path.write_text("1\t2\n")
+        assert load_snap_edgelist(path).name == "roadNet-CA"

@@ -1,0 +1,195 @@
+"""Unit tests for attribute specs, schemas, and columnar tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.attributes import AttributeSchema, AttributeSpec, AttributeTable
+
+
+class TestAttributeSpec:
+    def test_dtype_aliases(self):
+        assert AttributeSpec("a", "int").dtype == np.dtype(np.int64)
+        assert AttributeSpec("a", "long").dtype == np.dtype(np.int64)
+        assert AttributeSpec("a", "float").dtype == np.dtype(np.float64)
+        assert AttributeSpec("a", "double").dtype == np.dtype(np.float64)
+        assert AttributeSpec("a", "bool").dtype == np.dtype(np.bool_)
+        assert AttributeSpec("a", "object").dtype == np.dtype(object)
+        assert AttributeSpec("a", "str").dtype == np.dtype(object)
+
+    def test_numpy_dtype_passthrough(self):
+        assert AttributeSpec("a", np.int32).dtype == np.dtype(np.int32)
+
+    def test_default_dtype_is_float(self):
+        assert AttributeSpec("a").dtype == np.dtype(np.float64)
+
+    def test_id_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            AttributeSpec("id")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSpec(42)
+
+    def test_is_object(self):
+        assert AttributeSpec("a", "object").is_object
+        assert not AttributeSpec("a", "float").is_object
+
+    def test_fill_value_defaults(self):
+        assert AttributeSpec("a", "float").fill_value() == 0.0
+        assert AttributeSpec("a", "int").fill_value() == 0
+        assert AttributeSpec("a", "object").fill_value() is None
+
+    def test_fill_value_custom_default(self):
+        assert AttributeSpec("a", "float", default=1.5).fill_value() == 1.5
+
+    def test_allocate(self):
+        col = AttributeSpec("a", "float", default=2.0).allocate(4)
+        assert col.shape == (4,) and np.all(col == 2.0)
+
+    def test_allocate_object(self):
+        col = AttributeSpec("a", "object").allocate(3)
+        assert col.dtype == object and all(x is None for x in col)
+
+
+class TestAttributeSchema:
+    def test_add_and_lookup(self):
+        schema = AttributeSchema([("a", "float"), "b"])
+        assert "a" in schema and "b" in schema and "c" not in schema
+        assert schema["a"].dtype == np.dtype(np.float64)
+        assert schema.names == ["a", "b"]
+        assert len(schema) == 2
+
+    def test_duplicate_rejected(self):
+        schema = AttributeSchema(["a"])
+        with pytest.raises(ValueError, match="duplicate"):
+            schema.add("a")
+
+    def test_accepts_spec_tuple_and_string(self):
+        schema = AttributeSchema()
+        schema.add(AttributeSpec("x", "int"))
+        schema.add(("y", "bool"))
+        schema.add("z")
+        assert schema.names == ["x", "y", "z"]
+
+    def test_equality(self):
+        a = AttributeSchema([("x", "int"), ("y", "float")])
+        b = AttributeSchema([("x", "int"), ("y", "float")])
+        c = AttributeSchema([("y", "float"), ("x", "int")])
+        assert a == b
+        assert a != c  # order matters
+
+    def test_iteration_order(self):
+        schema = AttributeSchema(["b", "a", "c"])
+        assert [s.name for s in schema] == ["b", "a", "c"]
+
+    def test_create_table(self):
+        table = AttributeSchema(["a"]).create_table(5)
+        assert table.n == 5
+
+
+class TestAttributeTable:
+    def make(self, n=4):
+        schema = AttributeSchema(
+            [("x", "float"), ("k", "int", 7), ("o", "object"), ("b", "bool")]
+        )
+        return AttributeTable(schema, n)
+
+    def test_lazy_columns(self):
+        t = self.make()
+        assert t.materialized_names == []
+        t.column("x")
+        assert t.materialized_names == ["x"]
+
+    def test_column_defaults(self):
+        t = self.make()
+        assert np.all(t.column("k") == 7)
+        assert np.all(t.column("x") == 0.0)
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            self.make().column("nope")
+
+    def test_set_column_copies(self):
+        t = self.make()
+        values = np.arange(4, dtype=np.float64)
+        t.set_column("x", values)
+        values[0] = 99.0
+        assert t.get("x", 0) == 0.0  # caller mutation does not alias
+
+    def test_set_column_shape_check(self):
+        with pytest.raises(ValueError, match="shape"):
+            self.make().set_column("x", np.zeros(3))
+
+    def test_set_column_dtype_coercion(self):
+        t = self.make()
+        t.set_column("k", [1, 2, 3, 4])
+        assert t.column("k").dtype == np.dtype(np.int64)
+
+    def test_get_set_scalar(self):
+        t = self.make()
+        t.set("x", 2, 3.5)
+        assert t.get("x", 2) == 3.5
+
+    def test_take(self):
+        t = self.make()
+        t.set_column("x", np.array([1.0, 2.0, 3.0, 4.0]))
+        out = t.take("x", np.array([3, 0]))
+        assert np.array_equal(out, [4.0, 1.0])
+        out[0] = -1  # copy, not view
+        assert t.get("x", 3) == 4.0
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeTable(AttributeSchema(["a"]), -1)
+
+    def test_copy_independent(self):
+        t = self.make()
+        t.set("x", 0, 5.0)
+        c = t.copy()
+        c.set("x", 0, 6.0)
+        assert t.get("x", 0) == 5.0
+
+    def test_equals(self):
+        a, b = self.make(), self.make()
+        assert a.equals(b)
+        a.set("x", 0, 1.0)
+        assert not a.equals(b)
+        b.set("x", 0, 1.0)
+        assert a.equals(b)
+
+    def test_equals_object_columns(self):
+        a, b = self.make(), self.make()
+        a.set("o", 1, (1, 2))
+        assert not a.equals(b)
+        b.set("o", 1, (1, 2))
+        assert a.equals(b)
+
+    def test_equals_different_schema(self):
+        a = AttributeTable(AttributeSchema(["x"]), 2)
+        b = AttributeTable(AttributeSchema(["y"]), 2)
+        assert not a.equals(b)
+
+    def test_approx_nbytes(self):
+        t = self.make(10)
+        assert t.approx_nbytes() == 0
+        t.column("x")
+        assert t.approx_nbytes() == 80
+        t.column("o")
+        assert t.approx_nbytes() == 80 + 640
+
+    def test_constructor_columns(self):
+        schema = AttributeSchema([("x", "float")])
+        t = AttributeTable(schema, 3, columns={"x": np.ones(3)})
+        assert np.all(t.column("x") == 1.0)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=30))
+    def test_roundtrip_column_values(self, values):
+        schema = AttributeSchema([("x", "float")])
+        t = AttributeTable(schema, len(values))
+        t.set_column("x", np.asarray(values))
+        assert np.array_equal(t.column("x"), np.asarray(values))

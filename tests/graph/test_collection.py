@@ -1,0 +1,106 @@
+"""Unit tests for TimeSeriesGraphCollection and instance providers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CallableInstanceProvider,
+    GraphInstance,
+    GraphTemplate,
+    ListInstanceProvider,
+    TimeSeriesGraphCollection,
+)
+
+
+@pytest.fixture
+def tpl():
+    return GraphTemplate(3, [0, 1], [1, 2])
+
+
+def make_collection(tpl, count=4, t0=10.0, delta=2.0):
+    instances = [GraphInstance(tpl, t0 + k * delta) for k in range(count)]
+    return TimeSeriesGraphCollection(tpl, instances, t0=t0, delta=delta)
+
+
+class TestProviders:
+    def test_list_provider(self, tpl):
+        p = ListInstanceProvider([GraphInstance(tpl, 0.0)])
+        assert len(p) == 1
+        assert p.get(0).timestamp == 0.0
+        with pytest.raises(IndexError):
+            p.get(1)
+        with pytest.raises(IndexError):
+            p.get(-1)
+
+    def test_callable_provider(self, tpl):
+        calls = []
+
+        def factory(k):
+            calls.append(k)
+            return GraphInstance(tpl, float(k))
+
+        p = CallableInstanceProvider(3, factory)
+        assert len(p) == 3
+        assert p.get(2).timestamp == 2.0
+        assert calls == [2]  # lazy: only what's accessed
+        with pytest.raises(IndexError):
+            p.get(3)
+
+    def test_callable_provider_negative_count(self, tpl):
+        with pytest.raises(ValueError):
+            CallableInstanceProvider(-1, lambda k: None)
+
+
+class TestCollection:
+    def test_len_and_access(self, tpl):
+        coll = make_collection(tpl)
+        assert len(coll) == 4
+        assert coll.instance(0).timestamp == 10.0
+        assert coll.instance(3).timestamp == 16.0
+
+    def test_timestamp_mapping(self, tpl):
+        coll = make_collection(tpl)
+        assert coll.timestamp_of(2) == 14.0
+        assert coll.timestep_at(14.0) == 2
+        assert coll.timestep_at(15.9) == 2
+
+    def test_iteration(self, tpl):
+        coll = make_collection(tpl)
+        stamps = [inst.timestamp for inst in coll]
+        assert stamps == [10.0, 12.0, 14.0, 16.0]
+
+    def test_delta_must_be_positive(self, tpl):
+        with pytest.raises(ValueError):
+            TimeSeriesGraphCollection(tpl, [], delta=0.0)
+
+    def test_foreign_template_rejected(self, tpl):
+        other = GraphTemplate(4, [0], [1])
+        coll = TimeSeriesGraphCollection(tpl, [GraphInstance(other, 0.0)])
+        with pytest.raises(ValueError, match="template"):
+            coll.instance(0)
+
+    def test_equal_template_by_value_accepted(self, tpl):
+        clone = GraphTemplate(3, [0, 1], [1, 2])
+        coll = TimeSeriesGraphCollection(tpl, [GraphInstance(clone, 0.0)], t0=0.0)
+        assert coll.instance(0).timestamp == 0.0
+
+    def test_window(self, tpl):
+        coll = make_collection(tpl)
+        win = coll.window(1, 3)
+        assert len(win) == 2
+        assert win.t0 == 12.0
+        assert win.instance(0).timestamp == 12.0
+        assert win.instance(1).timestamp == 14.0
+
+    def test_window_bounds(self, tpl):
+        coll = make_collection(tpl)
+        with pytest.raises(IndexError):
+            coll.window(2, 5)
+        with pytest.raises(IndexError):
+            coll.window(-1, 2)
+
+    def test_window_of_window(self, tpl):
+        coll = make_collection(tpl, count=6)
+        inner = coll.window(1, 5).window(1, 3)
+        assert len(inner) == 2
+        assert inner.instance(0).timestamp == coll.instance(2).timestamp

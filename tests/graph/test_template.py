@@ -1,0 +1,138 @@
+"""Unit tests for GraphTemplate topology and CSR adjacency."""
+
+import numpy as np
+import pytest
+
+from repro.graph import AttributeSchema, GraphTemplate
+
+
+def path_template(n=5, directed=False):
+    src = np.arange(n - 1)
+    dst = src + 1
+    return GraphTemplate(n, src, dst, directed=directed, name="path")
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        tpl = path_template(5)
+        assert tpl.num_vertices == 5
+        assert tpl.num_edges == 4
+        assert not tpl.directed
+
+    def test_default_ids(self):
+        tpl = path_template(4)
+        assert np.array_equal(tpl.vertex_ids, np.arange(4))
+        assert np.array_equal(tpl.edge_ids, np.arange(3))
+
+    def test_endpoint_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            GraphTemplate(3, [0], [3])
+        with pytest.raises(ValueError, match="out of range"):
+            GraphTemplate(3, [-1], [0])
+
+    def test_mismatched_endpoint_arrays(self):
+        with pytest.raises(ValueError):
+            GraphTemplate(3, [0, 1], [1])
+
+    def test_negative_vertices(self):
+        with pytest.raises(ValueError):
+            GraphTemplate(-1, [], [])
+
+    def test_bad_vertex_ids_length(self):
+        with pytest.raises(ValueError, match="vertex_ids"):
+            GraphTemplate(3, [0], [1], vertex_ids=np.arange(2))
+
+    def test_bad_edge_ids_length(self):
+        with pytest.raises(ValueError, match="edge_ids"):
+            GraphTemplate(3, [0], [1], edge_ids=np.arange(2))
+
+    def test_empty_graph(self):
+        tpl = GraphTemplate(0, [], [])
+        assert tpl.num_vertices == 0 and tpl.num_edges == 0
+        assert tpl.stats()["avg_degree"] == 0.0
+
+
+class TestUndirectedAdjacency:
+    def test_both_directions_present(self):
+        tpl = path_template(3)
+        assert set(tpl.out_neighbors(1)) == {0, 2}
+        assert set(tpl.out_neighbors(0)) == {1}
+
+    def test_edge_index_shared_both_ways(self):
+        tpl = path_template(3)
+        # Edge 0 is (0,1): must appear once from 0 and once from 1.
+        assert 0 in tpl.out_edges(0)
+        assert 0 in tpl.out_edges(1)
+
+    def test_degrees(self):
+        tpl = path_template(4)
+        assert np.array_equal(tpl.degrees, [1, 2, 2, 1])
+        assert tpl.degree(1) == 2
+
+    def test_self_loop_appears_once(self):
+        tpl = GraphTemplate(2, [0, 0], [0, 1])
+        assert list(tpl.out_neighbors(0)).count(0) == 1
+        assert tpl.degree(0) == 2  # loop + edge to 1
+
+    def test_in_equals_out(self):
+        tpl = path_template(4)
+        assert np.array_equal(np.sort(tpl.in_neighbors(1)), np.sort(tpl.out_neighbors(1)))
+
+
+class TestDirectedAdjacency:
+    def test_out_only_follows_direction(self):
+        tpl = path_template(3, directed=True)
+        assert set(tpl.out_neighbors(0)) == {1}
+        assert set(tpl.out_neighbors(2)) == set()
+
+    def test_in_neighbors(self):
+        tpl = path_template(3, directed=True)
+        assert set(tpl.in_neighbors(1)) == {0}
+        assert set(tpl.in_neighbors(0)) == set()
+
+    def test_degree_is_out_degree(self):
+        tpl = path_template(3, directed=True)
+        assert tpl.degree(2) == 0 and tpl.degree(0) == 1
+
+
+class TestHelpers:
+    def test_subgraph_edges(self):
+        tpl = path_template(5)
+        mask = np.array([True, True, True, False, False])
+        edges = tpl.subgraph_edges(mask)
+        assert set(edges) == {0, 1}  # (0,1) and (1,2)
+
+    def test_undirected_edge_view(self):
+        tpl = path_template(3)
+        s, d = tpl.undirected_edge_view()
+        assert np.array_equal(s, [0, 1]) and np.array_equal(d, [1, 2])
+
+    def test_stats(self):
+        stats = path_template(5).stats()
+        assert stats["vertices"] == 5 and stats["edges"] == 4
+        assert stats["avg_degree"] == pytest.approx(1.6)
+        assert stats["max_degree"] == 2
+
+    def test_equals(self):
+        a, b = path_template(4), path_template(4)
+        assert a.equals(b)
+        c = path_template(5)
+        assert not a.equals(c)
+
+    def test_equals_schema_sensitive(self):
+        a = path_template(3)
+        b = GraphTemplate(3, [0, 1], [1, 2], vertex_schema=AttributeSchema(["x"]))
+        assert not a.equals(b)
+
+    def test_adjacency_csr_consistency(self, rng):
+        # Every (src, dst, edge) triple in CSR matches the edge arrays.
+        n, m = 30, 60
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        tpl = GraphTemplate(n, src, dst, directed=True)
+        indptr, indices, eidx = tpl.adjacency
+        for v in range(n):
+            for slot in range(indptr[v], indptr[v + 1]):
+                e = eidx[slot]
+                assert tpl.edge_src[e] == v
+                assert tpl.edge_dst[e] == indices[slot]

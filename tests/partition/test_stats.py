@@ -1,0 +1,64 @@
+"""Tests for partition statistics (the Table 2 metric and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphTemplate
+from repro.partition import (
+    HashPartitioner,
+    compute_stats,
+    decompose,
+    edge_cut_fraction,
+    partition_graph,
+)
+from tests.conftest import make_grid_template
+
+
+class TestEdgeCutFraction:
+    def test_manual(self):
+        tpl = GraphTemplate(4, [0, 1, 2], [1, 2, 3])  # path 0-1-2-3
+        assert edge_cut_fraction(tpl, np.array([0, 0, 1, 1])) == pytest.approx(1 / 3)
+        assert edge_cut_fraction(tpl, np.array([0, 1, 0, 1])) == 1.0
+        assert edge_cut_fraction(tpl, np.zeros(4, dtype=int)) == 0.0
+
+    def test_empty_graph(self):
+        tpl = GraphTemplate(3, [], [])
+        assert edge_cut_fraction(tpl, np.zeros(3, dtype=int)) == 0.0
+
+
+class TestComputeStats:
+    def test_fields(self):
+        tpl = make_grid_template(6, 6, name="g6")
+        pg = partition_graph(tpl, 3, HashPartitioner(seed=1))
+        stats = compute_stats(pg)
+        assert stats.name == "g6"
+        assert stats.num_partitions == 3
+        assert stats.num_vertices == 36
+        assert sum(stats.vertex_counts) == 36
+        assert stats.num_subgraphs == pg.num_subgraphs
+        assert sum(stats.subgraphs_per_partition) == pg.num_subgraphs
+        assert 0.0 <= stats.edge_cut_fraction <= 1.0
+        assert stats.edge_cut_percent == pytest.approx(100 * stats.edge_cut_fraction)
+        assert 0 < stats.largest_subgraph_fraction <= 1.0
+        assert stats.balance >= 1.0
+
+    def test_as_row_keys(self):
+        tpl = make_grid_template(4, 4)
+        row = compute_stats(partition_graph(tpl, 2)).as_row()
+        assert set(row) == {
+            "graph",
+            "partitions",
+            "edge_cut_%",
+            "balance",
+            "subgraphs",
+            "largest_subgraph_%",
+        }
+
+    def test_perfect_single_partition(self):
+        tpl = make_grid_template(4, 4)
+        pg = decompose(tpl, np.zeros(16, dtype=np.int64), 1)
+        stats = compute_stats(pg)
+        assert stats.edge_cut_fraction == 0.0
+        assert stats.balance == 1.0
+        assert stats.num_subgraphs == 1
+        assert stats.largest_subgraph_fraction == 1.0

@@ -1,0 +1,156 @@
+"""Tests for hosts and cluster backends (serial / thread / process)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig, Pattern, TimeSeriesComputation, run_application
+from repro.generators import make_collection, road_latency_collection
+from repro.graph import build_collection
+from repro.partition import HashPartitioner, partition_graph
+from repro.runtime import CollectionInstanceSource, CostModel, LocalCluster, RunMeta
+from repro.runtime.cluster import build_hosts
+from tests.conftest import make_grid_template
+
+
+class EchoState(TimeSeriesComputation):
+    """Deterministic computation used across all backends."""
+
+    pattern = Pattern.SEQUENTIALLY_DEPENDENT
+
+    def compute(self, ctx):
+        if ctx.superstep == 0:
+            carried = sum(m.payload for m in ctx.messages) if ctx.messages else 0
+            ctx.state["total"] = carried + int(
+                ctx.instance.edge_column("latency")[ctx.subgraph.edge_index].sum()
+            )
+            # Ping a neighbor subgraph to exercise superstep messaging.
+            nbrs = ctx.subgraph.neighbor_subgraphs
+            if len(nbrs):
+                ctx.send_to_subgraph(int(nbrs[0]), 0)
+        ctx.vote_to_halt()
+
+    def end_of_timestep(self, ctx):
+        ctx.send_to_next_timestep(ctx.state["total"])
+        if ctx.timestep == ctx.num_timesteps - 1:
+            ctx.output(ctx.state["total"])
+
+
+def run_backend(executor):
+    tpl = make_grid_template(4, 6)
+    coll = road_latency_collection(tpl, 5, seed=9, delta=5.0)
+    pg = partition_graph(tpl, 3, HashPartitioner(seed=1))
+    sources = None
+    if executor == "process":
+        # Picklable generator-backed per-partition sources.
+        from repro.runtime import InstanceSource
+
+        sources = [CollectionInstanceSource(coll) for _ in range(3)]
+    res = run_application(
+        EchoState(),
+        pg,
+        coll,
+        config=EngineConfig(executor=executor),
+        sources=sources,
+    )
+    return {sg: rec for _t, sg, rec in res.outputs}
+
+
+class TestBackendEquivalence:
+    def test_thread_matches_serial(self):
+        assert run_backend("thread") == run_backend("serial")
+
+    def test_process_matches_serial(self):
+        assert run_backend("process") == run_backend("serial")
+
+
+class TestLocalCluster:
+    def make(self, executor="serial"):
+        tpl = make_grid_template(3, 4)
+        coll = build_collection(tpl, 2)
+        pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, 2, 1.0, 0.0)
+
+        class Noop(TimeSeriesComputation):
+            def compute(self, ctx):
+                ctx.vote_to_halt()
+
+        return LocalCluster(pg, Noop(), meta, collection=coll, executor=executor), pg
+
+    def test_requires_collection_or_sources(self):
+        tpl = make_grid_template(3, 3)
+        pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+        meta = RunMeta(Pattern.INDEPENDENT, 1, 1.0, 0.0)
+
+        class Noop(TimeSeriesComputation):
+            def compute(self, ctx):
+                ctx.vote_to_halt()
+
+        with pytest.raises(ValueError, match="sources or a collection"):
+            LocalCluster(pg, Noop(), meta)
+
+    def test_unknown_executor(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            self.make("warp")
+
+    def test_context_manager_shutdown(self):
+        cluster, _ = self.make("thread")
+        with cluster as c:
+            assert c is cluster
+        assert cluster._pool is None
+
+    def test_protocol_flow(self):
+        cluster, pg = self.make()
+        begin = cluster.begin_timestep(0, [0.0, 0.0])
+        assert {r.partition for r in begin} == {0, 1}
+        step = cluster.run_superstep(0, 0, [{}, {}])
+        assert all(r.all_halted for r in step)
+        assert sum(r.subgraphs_computed for r in step) == pg.num_subgraphs
+        eot = cluster.end_of_timestep(0)
+        assert len(eot) == 2
+        assert len(cluster.resident_bytes()) == 2
+        states = cluster.final_states()
+        assert set(states) == {sg.subgraph_id for sg in pg.subgraphs}
+
+
+class TestBuildHosts:
+    def test_source_count_validated(self):
+        tpl = make_grid_template(3, 3)
+        pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+        coll = build_collection(tpl, 1)
+        meta = RunMeta(Pattern.INDEPENDENT, 1, 1.0, 0.0)
+
+        class Noop(TimeSeriesComputation):
+            def compute(self, ctx):
+                ctx.vote_to_halt()
+
+        with pytest.raises(ValueError, match="one instance source per partition"):
+            build_hosts(pg, Noop(), meta, [CollectionInstanceSource(coll)], CostModel())
+
+
+class TestHostAccounting:
+    def test_remote_vs_local_send_costs(self):
+        """Messages between partitions must cost more than local ones."""
+        tpl = make_grid_template(4, 4)
+        coll = build_collection(tpl, 1)
+        pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+        # Find one subgraph with a remote neighbor and one local pair.
+        sg = next(s for s in pg.subgraphs if len(s.neighbor_subgraphs))
+
+        class SendRemote(TimeSeriesComputation):
+            pattern = Pattern.INDEPENDENT
+
+            def compute(self, ctx):
+                if ctx.superstep == 0 and ctx.subgraph.subgraph_id == sg.subgraph_id:
+                    for nbr in ctx.subgraph.neighbor_subgraphs:
+                        ctx.send_to_subgraph(int(nbr), np.zeros(100))
+                ctx.vote_to_halt()
+
+        cost = CostModel(remote_per_message_s=1e-3, local_per_message_s=1e-9)
+        res = run_application(
+            SendRemote(), pg, coll, config=EngineConfig(cost_model=cost)
+        )
+        sends = [r for r in res.metrics.step_records if r.messages_sent]
+        assert sends, "expected at least one send record"
+        remote_sends = [r for r in sends if r.bytes_sent > 0]
+        assert remote_sends
+        assert all(r.send_s >= 1e-3 for r in remote_sends)

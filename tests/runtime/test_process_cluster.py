@@ -1,0 +1,91 @@
+"""Tests for the process-per-partition cluster (pipes, errors, lifecycle)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig, Pattern, TimeSeriesComputation, run_application
+from repro.generators import road_latency_collection, road_network
+from repro.partition import partition_graph
+from repro.runtime import CollectionInstanceSource, ProcessCluster, RunMeta
+from repro.runtime.process_cluster import WorkerError
+
+
+class EmitSum(TimeSeriesComputation):
+    """Module-level (picklable) computation for worker processes."""
+
+    pattern = Pattern.SEQUENTIALLY_DEPENDENT
+
+    def compute(self, ctx):
+        if ctx.superstep == 0:
+            prev = sum(m.payload for m in ctx.messages) if ctx.messages else 0
+            ctx.state["acc"] = prev + ctx.subgraph.num_vertices
+        ctx.vote_to_halt()
+
+    def end_of_timestep(self, ctx):
+        ctx.send_to_next_timestep(ctx.state["acc"])
+        ctx.output(ctx.state["acc"])
+
+
+class BoomAtTimestep(TimeSeriesComputation):
+    pattern = Pattern.SEQUENTIALLY_DEPENDENT
+
+    def compute(self, ctx):
+        if ctx.timestep == 1:
+            raise ValueError("worker-side failure")
+        ctx.vote_to_halt()
+
+
+@pytest.fixture
+def case():
+    tpl = road_network(500, seed=8)
+    coll = road_latency_collection(tpl, 4, seed=8)
+    pg = partition_graph(tpl, 2)
+    sources = [CollectionInstanceSource(coll) for _ in range(2)]
+    return tpl, coll, pg, sources
+
+
+class TestLifecycle:
+    def test_end_to_end_matches_serial(self, case):
+        tpl, coll, pg, sources = case
+        serial = run_application(EmitSum(), pg, coll)
+        proc = run_application(
+            EmitSum(), pg, coll, sources=sources, config=EngineConfig(executor="process")
+        )
+        assert serial.outputs == proc.outputs
+        assert set(proc.states) == set(serial.states)
+
+    def test_shutdown_idempotent(self, case):
+        tpl, coll, pg, sources = case
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, 4, coll.delta, coll.t0)
+        cluster = ProcessCluster(pg, EmitSum(), meta, sources)
+        cluster.shutdown()
+        cluster.shutdown()  # second call is a no-op
+        assert cluster._procs == []
+
+    def test_source_count_validated(self, case):
+        tpl, coll, pg, sources = case
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, 4, coll.delta, coll.t0)
+        with pytest.raises(ValueError, match="instance source per partition"):
+            ProcessCluster(pg, EmitSum(), meta, sources[:1])
+
+    def test_resident_bytes_roundtrip(self, case):
+        tpl, coll, pg, sources = case
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, 4, coll.delta, coll.t0)
+        with ProcessCluster(pg, EmitSum(), meta, sources) as cluster:
+            cluster.begin_timestep(0, [0.0, 0.0])
+            resident = cluster.resident_bytes()
+            assert len(resident) == 2
+            assert all(b > 0 for b in resident)
+
+
+class TestErrorPropagation:
+    def test_worker_error_reraised_with_traceback(self, case):
+        tpl, coll, pg, sources = case
+        with pytest.raises(WorkerError, match="worker-side failure"):
+            run_application(
+                BoomAtTimestep(),
+                pg,
+                coll,
+                sources=sources,
+                config=EngineConfig(executor="process"),
+            )

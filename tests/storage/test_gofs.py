@@ -1,0 +1,205 @@
+"""Tests for the GoFS store: slices, packing/binning, partition views."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph import build_collection
+from repro.partition import HashPartitioner, partition_graph
+from repro.storage import GoFS, GoFSPartitionView, SliceKey, bin_rows, slice_filename
+from tests.conftest import make_grid_template, populate_random
+
+
+@pytest.fixture
+def store(tmp_path):
+    tpl = make_grid_template(5, 6)
+    coll = build_collection(tpl, 12, populate_random(5), delta=2.0, t0=1.0)
+    pg = partition_graph(tpl, 3, HashPartitioner(seed=1))
+    manifest = GoFS.write_collection(tmp_path, pg, coll, packing=4, binning=2)
+    return tmp_path, tpl, coll, pg, manifest
+
+
+class TestWrite:
+    def test_manifest(self, store):
+        root, tpl, coll, pg, manifest = store
+        assert manifest["num_timesteps"] == 12
+        assert manifest["packing"] == 4 and manifest["binning"] == 2
+        assert manifest["num_partitions"] == 3
+        assert manifest["t0"] == 1.0 and manifest["delta"] == 2.0
+        assert GoFS.read_manifest(root) == manifest
+
+    def test_bins_cover_all_subgraphs(self, store):
+        _, _, _, pg, manifest = store
+        for p, bins in enumerate(manifest["bins"]):
+            got = sorted(s for b in bins for s in b)
+            want = sorted(sg.subgraph_id for sg in pg.partitions[p].subgraphs)
+            assert got == want
+            assert all(len(b) <= 2 for b in bins)
+
+    def test_slice_files_exist(self, store):
+        root, _, _, _, manifest = store
+        for p, bins in enumerate(manifest["bins"]):
+            for b in range(len(bins)):
+                for k in range(3):  # 12 timesteps / packing 4
+                    assert (root / slice_filename(SliceKey(p, b, k))).exists()
+
+    def test_template_roundtrip(self, store):
+        root, tpl, *_ = store
+        assert GoFS.load_template(root).equals(tpl)
+
+    def test_bad_packing(self, store, tmp_path):
+        root, tpl, coll, pg, _ = store
+        with pytest.raises(ValueError):
+            GoFS.write_collection(tmp_path / "x", pg, coll, packing=0)
+
+
+class TestPartitionView:
+    def test_values_match_original_on_owned_rows(self, store):
+        root, tpl, coll, pg, _ = store
+        for p in range(3):
+            view = GoFS.partition_view(root, p)
+            own_vertices = pg.partitions[p].vertices
+            own_edges = np.unique(
+                np.concatenate(
+                    [sg.edge_index for sg in pg.partitions[p].subgraphs]
+                    + [sg.remote.edge_index for sg in pg.partitions[p].subgraphs]
+                )
+            )
+            for t in (0, 3, 4, 11):
+                got = view.instance(t)
+                want = coll.instance(t)
+                assert got.timestamp == want.timestamp
+                assert np.array_equal(
+                    got.vertex_column("traffic")[own_vertices],
+                    want.vertex_column("traffic")[own_vertices],
+                )
+                assert np.array_equal(
+                    got.edge_column("latency")[own_edges],
+                    want.edge_column("latency")[own_edges],
+                )
+                # Object column (tweets) round-trips too.
+                got_tw = got.vertex_column("tweets")[own_vertices]
+                want_tw = want.vertex_column("tweets")[own_vertices]
+                assert all(a == b for a, b in zip(got_tw, want_tw))
+
+    def test_load_events_at_pack_boundaries(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0)
+        for t in range(12):
+            view.instance(t)
+        boundaries = [t for t, _s in view.load_events]
+        assert boundaries == [0, 4, 8]
+
+    def test_no_reload_within_pack(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0)
+        view.instance(1)
+        view.instance(2)
+        view.instance(1)
+        assert len(view.load_events) == 1
+
+    def test_resident_bytes(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0)
+        assert view.resident_bytes() == 0
+        view.instance(0)
+        assert view.resident_bytes() > 0
+
+    def test_out_of_range(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0)
+        with pytest.raises(IndexError):
+            view.instance(12)
+
+    def test_invalid_partition(self, store):
+        root, *_ = store
+        with pytest.raises(ValueError, match="partition"):
+            GoFS.partition_view(root, 7)
+
+    def test_pickle_roundtrip(self, store):
+        root, tpl, coll, pg, _ = store
+        view = GoFS.partition_view(root, 1)
+        view.instance(0)  # populate the cache (must not be pickled)
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.partition_id == 1
+        assert clone.resident_bytes() == 0  # cache not carried over
+        own = pg.partitions[1].vertices
+        assert np.array_equal(
+            clone.instance(5).vertex_column("traffic")[own],
+            coll.instance(5).vertex_column("traffic")[own],
+        )
+
+    def test_partition_views_helper(self, store):
+        root, *_ = store
+        views = GoFS.partition_views(root)
+        assert [v.partition_id for v in views] == [0, 1, 2]
+
+
+class TestBinRows:
+    def test_rows_cover_bin(self, store):
+        _, _, _, pg, _ = store
+        subgraphs = pg.partitions[0].subgraphs[:2]
+        verts, edges = bin_rows(subgraphs)
+        want_verts = np.unique(np.concatenate([sg.vertices for sg in subgraphs]))
+        assert np.array_equal(verts, want_verts)
+        for sg in subgraphs:
+            assert np.isin(sg.edge_index, edges).all()
+            assert np.isin(sg.remote.edge_index, edges).all()
+
+    def test_empty_bin(self):
+        verts, edges = bin_rows([])
+        assert len(verts) == 0 and len(edges) == 0
+
+
+class TestPackCache:
+    def test_lru_eviction(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, cache_packs=2)
+        view.instance(0)   # pack 0
+        view.instance(4)   # pack 1
+        view.instance(8)   # pack 2 -> evicts pack 0
+        assert len(view._cache) == 2
+        assert set(view._cache) == {1, 2}
+        view.instance(0)   # pack 0 reloads -> evicts pack 1 (least recent)
+        assert set(view._cache) == {0, 2}
+        assert len(view.load_events) == 4
+
+    def test_refresh_on_hit(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, cache_packs=2)
+        view.instance(0)   # pack 0
+        view.instance(4)   # pack 1
+        view.instance(1)   # pack 0 hit -> refresh
+        view.instance(8)   # pack 2 -> evicts pack 1 (pack 0 was refreshed)
+        assert set(view._cache) == {0, 2}
+
+    def test_cache_avoids_reloads_on_revisit(self, store):
+        root, *_ = store
+        small = GoFS.partition_view(root, 0, cache_packs=1)
+        big = GoFS.partition_view(root, 0, cache_packs=3)
+        for t in (0, 4, 0, 4, 8, 0):
+            small.instance(t)
+            big.instance(t)
+        assert len(small.load_events) == 6  # thrashes
+        assert len(big.load_events) == 3    # each pack loaded once
+
+    def test_resident_bytes_scales_with_cache(self, store):
+        root, *_ = store
+        small = GoFS.partition_view(root, 0, cache_packs=1)
+        big = GoFS.partition_view(root, 0, cache_packs=3)
+        for t in (0, 4, 8):
+            small.instance(t)
+            big.instance(t)
+        assert big.resident_bytes() > small.resident_bytes()
+
+    def test_invalid_cache_packs(self, store):
+        root, *_ = store
+        with pytest.raises(ValueError):
+            GoFS.partition_view(root, 0, cache_packs=0)
+
+    def test_pickle_preserves_setting(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 1, cache_packs=4)
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.cache_packs == 4

@@ -1,0 +1,77 @@
+"""Round-trip tests for template/schema serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import AttributeSchema, AttributeSpec, GraphTemplate
+from repro.storage import load_template, save_template, schema_from_bytes, schema_to_bytes
+from tests.conftest import make_grid_template, make_random_template
+
+
+class TestSchemaRoundtrip:
+    def test_basic(self):
+        schema = AttributeSchema(
+            [
+                AttributeSpec("a", "float", default=1.5),
+                AttributeSpec("b", "int"),
+                AttributeSpec("c", "object"),
+                AttributeSpec("d", "bool", default=True),
+            ]
+        )
+        assert schema_from_bytes(schema_to_bytes(schema)) == schema
+
+    def test_empty(self):
+        assert schema_from_bytes(schema_to_bytes(AttributeSchema())) == AttributeSchema()
+
+    @given(
+        names=st.lists(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=6), unique=True, min_size=1, max_size=5
+        ),
+        dtypes=st.lists(st.sampled_from(["float", "int", "bool", "object"]), min_size=5, max_size=5),
+    )
+    def test_roundtrip_random(self, names, dtypes):
+        specs = [AttributeSpec(n, d) for n, d in zip(names, dtypes) if n != "id"]
+        schema = AttributeSchema(specs)
+        assert schema_from_bytes(schema_to_bytes(schema)) == schema
+
+
+class TestTemplateRoundtrip:
+    def test_grid(self, tmp_path):
+        tpl = make_grid_template(4, 5, name="grid-Ünicode")
+        path = tmp_path / "tpl.npz"
+        save_template(path, tpl)
+        assert load_template(path).equals(tpl)
+        assert load_template(path).name == "grid-Ünicode"
+
+    def test_directed_with_ids(self, tmp_path, rng):
+        tpl = make_random_template(20, 40, rng, directed=True)
+        tpl.vertex_ids[:] = np.arange(20) * 7 + 3
+        path = tmp_path / "t.npz"
+        save_template(path, tpl)
+        out = load_template(path)
+        assert out.equals(tpl)
+        assert out.directed
+
+    def test_empty_graph(self, tmp_path):
+        tpl = GraphTemplate(0, [], [], name="empty")
+        save_template(tmp_path / "e.npz", tpl)
+        assert load_template(tmp_path / "e.npz").num_vertices == 0
+
+    def test_creates_parent_dirs(self, tmp_path):
+        tpl = make_grid_template(2, 2)
+        path = tmp_path / "deep" / "nested" / "t.npz"
+        save_template(path, tpl)
+        assert load_template(path).equals(tpl)
+
+    def test_version_check(self, tmp_path):
+        tpl = make_grid_template(2, 2)
+        path = tmp_path / "t.npz"
+        save_template(path, tpl)
+        # Corrupt the version field.
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["format_version"] = np.int64(99)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_template(path)

@@ -1,0 +1,40 @@
+"""Regression tests: every shipped example runs end-to-end and says what it should."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name → a fragment its stdout must contain.
+EXPECTED = {
+    "quickstart.py": "earliest arrival",
+    "traffic_routing.py": "optimistic",
+    "meme_outbreak.py": "inflection point",
+    "hashtag_trends.py": "campaign hashtag statistics",
+    "custom_computation.py": "total anomaly flags",
+    "distributed_cluster.py": "TDSP labels: True",
+    "road_closures.py": "most fragmented window",
+}
+
+
+def test_every_example_is_covered():
+    """A new example script must register an expectation here."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXPECTED)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert EXPECTED[script] in proc.stdout, (
+        f"{script} output missing {EXPECTED[script]!r}:\n{proc.stdout[-2000:]}"
+    )

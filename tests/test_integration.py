@@ -1,0 +1,157 @@
+"""Cross-module integration fuzz: the whole stack on random inputs.
+
+Property-based end-to-end tests that exercise generator → partitioner →
+GoFS → engine → algorithm → analysis in one pass, asserting the global
+invariants that no unit test covers in combination:
+
+* algorithm results are invariant to partitioner, partition count, storage
+  path (in-memory vs GoFS), and executor;
+* metrics accounting is internally consistent (walls ≥ per-partition busy,
+  fractions sum to 1, timestep series length matches execution);
+* analysis/exports are faithful to the run they summarize.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms import (
+    MemeTrackingComputation,
+    TDSPComputation,
+    colored_timesteps_from_result,
+    tdsp_labels_from_result,
+)
+from repro.algorithms import reference as ref
+from repro.analysis import frontier_matrix, result_summary, utilization_rows
+from repro.core import EngineConfig, run_application
+from repro.generators import (
+    SIRTweetPopulator,
+    UniformLatencyPopulator,
+    CompositePopulator,
+    make_collection,
+)
+from repro.partition import (
+    BFSPartitioner,
+    HashPartitioner,
+    MetisLikePartitioner,
+    partition_graph,
+)
+from repro.runtime import CostModel
+from repro.storage import GoFS
+from tests.conftest import make_random_template
+
+PARTITIONERS = {
+    "hash": HashPartitioner,
+    "bfs": BFSPartitioner,
+    "metis": MetisLikePartitioner,
+}
+
+
+def make_workload(seed: int, n: int = 35, m: int = 70, T: int = 6):
+    rng = np.random.default_rng(seed)
+    tpl = make_random_template(n, m, rng)
+    populator = CompositePopulator(
+        [
+            UniformLatencyPopulator(0.3, 4.0, seed=seed),
+            SIRTweetPopulator(
+                tpl, [0], hit_probability=0.4, num_timesteps=T, seed=seed
+            ),
+        ]
+    )
+    return tpl, make_collection(tpl, T, populator, delta=5.0)
+
+
+class TestPartitionInvariance:
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 2**16),
+        part_a=st.sampled_from(sorted(PARTITIONERS)),
+        part_b=st.sampled_from(sorted(PARTITIONERS)),
+        ka=st.integers(1, 4),
+        kb=st.integers(1, 4),
+    )
+    def test_tdsp_invariant_to_partitioning(self, seed, part_a, part_b, ka, kb):
+        tpl, coll = make_workload(seed)
+        results = []
+        for name, k in ((part_a, ka), (part_b, kb)):
+            pg = partition_graph(tpl, k, PARTITIONERS[name](seed=seed))
+            res = run_application(TDSPComputation(0), pg, coll)
+            results.append(tdsp_labels_from_result(res, tpl.num_vertices))
+        np.testing.assert_allclose(
+            np.nan_to_num(results[0], posinf=1e18),
+            np.nan_to_num(results[1], posinf=1e18),
+        )
+
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2**16), k=st.integers(1, 4))
+    def test_meme_invariant_to_partitioning(self, seed, k):
+        tpl, coll = make_workload(seed)
+        pg = partition_graph(tpl, k, MetisLikePartitioner(seed=seed))
+        got = colored_timesteps_from_result(
+            run_application(MemeTrackingComputation(0), pg, coll)
+        )
+        assert got == ref.temporal_meme_bfs(coll, 0)
+
+
+class TestStorageAndExecutorInvariance:
+    @settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2**16))
+    def test_gofs_and_executors_agree(self, seed, tmp_path_factory):
+        tpl, coll = make_workload(seed)
+        pg = partition_graph(tpl, 3, HashPartitioner(seed=seed))
+        baseline = tdsp_labels_from_result(
+            run_application(TDSPComputation(0), pg, coll), tpl.num_vertices
+        )
+        root = tmp_path_factory.mktemp(f"fuzz{seed}")
+        GoFS.write_collection(root, pg, coll, packing=3, binning=2)
+        for executor in ("serial", "thread", "process"):
+            res = run_application(
+                TDSPComputation(0),
+                pg,
+                coll,
+                sources=GoFS.partition_views(root),
+                config=EngineConfig(executor=executor),
+            )
+            got = tdsp_labels_from_result(res, tpl.num_vertices)
+            np.testing.assert_allclose(
+                np.nan_to_num(got, posinf=1e18), np.nan_to_num(baseline, posinf=1e18)
+            )
+
+
+class TestMetricsConsistency:
+    @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2**16), k=st.integers(2, 4))
+    def test_accounting_invariants(self, seed, k):
+        tpl, coll = make_workload(seed)
+        pg = partition_graph(tpl, k, HashPartitioner(seed=seed))
+        res = run_application(
+            TDSPComputation(0), pg, coll, config=EngineConfig(cost_model=CostModel())
+        )
+        m = res.metrics
+        # Walls are at least the busiest partition's contribution.
+        for key, wall in m.superstep_walls().items():
+            busy = [r.busy_s for r in m.step_records
+                    if (r.phase, r.timestep, r.superstep) == key]
+            assert wall >= max(busy) - 1e-12
+        # Timestep series matches executed timesteps; total is their sum.
+        series = m.timestep_series()
+        assert len(series) == res.timesteps_executed
+        assert m.total_wall() == pytest.approx(sum(series) + m.merge_wall())
+        # Utilization fractions always sum to 1 per partition.
+        for u in utilization_rows(res):
+            total = (
+                u.compute_fraction
+                + u.partition_overhead_fraction
+                + u.sync_overhead_fraction
+            )
+            assert total == pytest.approx(1.0)
+        # Frontier accounting: every reached vertex appears exactly once.
+        M = frontier_matrix(res, pg)
+        reached = np.isfinite(
+            tdsp_labels_from_result(res, tpl.num_vertices)
+        ).sum()
+        assert M.sum() == reached
+        # Export summary mirrors the metrics.
+        summary = result_summary(res)
+        assert summary["metrics"]["timesteps"] == res.timesteps_executed
+        assert len(summary["partitions"]) == k
