@@ -12,6 +12,7 @@ pytest's output capture.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -34,6 +35,35 @@ def emit(bench_name: str, text: str) -> None:
     path = RESULTS_DIR / f"{bench_name}.txt"
     with path.open("a") as fh:
         fh.write(text + "\n\n")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store_true",
+        default=False,
+        help="also write machine-readable BENCH_<name>.json files under benchmarks/results/",
+    )
+
+
+@pytest.fixture(scope="session")
+def emit_json(request):
+    """Write ``BENCH_<name>.json`` when the session ran with ``--json``.
+
+    Returns the written path, or None when JSON output is disabled, so
+    benches can emit unconditionally and stay cheap in normal runs.
+    """
+    enabled = request.config.getoption("--json")
+
+    def _emit(bench_name: str, payload: dict):
+        if not enabled:
+            return None
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{bench_name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _emit
 
 
 @pytest.fixture(scope="session")
@@ -63,6 +93,7 @@ def partitioned():
 def _fresh_results_dir():
     """Truncate old result files once per session."""
     if RESULTS_DIR.exists():
-        for f in RESULTS_DIR.glob("*.txt"):
-            f.unlink()
+        for pattern in ("*.txt", "*.json"):
+            for f in RESULTS_DIR.glob(pattern):
+                f.unlink()
     yield

@@ -77,6 +77,19 @@ class HashtagAggregationComputation(TimeSeriesComputation):
         """Build with the paper's master: largest subgraph in partition 0."""
         return cls(hashtag, master_subgraph=largest_subgraph_in_partition(pg, 0), **kwargs)
 
+    def combine(self, dst: int, payloads: list) -> np.ndarray:
+        """Count combiner: element-wise sum of per-timestep count vectors.
+
+        The master adds incoming ``hash[]`` lists anyway, so each host can
+        pre-aggregate its subgraphs' lists into one vector before the
+        barrier (padding to the longest list).
+        """
+        T = max(len(p) for p in payloads)
+        counts = np.zeros(T, dtype=np.int64)
+        for p in payloads:
+            counts[: len(p)] += p
+        return counts
+
     # -- timestep phase -----------------------------------------------------------------
 
     def compute(self, ctx: ComputeContext) -> None:

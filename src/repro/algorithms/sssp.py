@@ -19,9 +19,32 @@ from ..core.computation import TimeSeriesComputation
 from ..core.context import ComputeContext, EndOfTimestepContext
 from ..core.patterns import Pattern
 
-__all__ = ["SSSPComputation", "BFSComputation", "SSSPResult", "sssp_labels_from_result"]
+__all__ = [
+    "SSSPComputation",
+    "BFSComputation",
+    "SSSPResult",
+    "combine_min_labels",
+    "sssp_labels_from_result",
+]
 
 _INF = np.inf
+
+
+def combine_min_labels(payloads: list) -> tuple[np.ndarray, np.ndarray]:
+    """Fold ``(vertices, labels)`` relaxation batches into per-vertex minima.
+
+    The message combiner shared by the shortest-path family (SSSP, BFS,
+    TDSP): several subgraphs relaxing the same destination subgraph collapse
+    to one batch keeping only the best label per vertex — receivers take the
+    minimum anyway, so results are unchanged while remote bytes shrink.
+    """
+    verts = np.concatenate([np.atleast_1d(np.asarray(v, dtype=np.int64)) for v, _ in payloads])
+    labels = np.concatenate([np.atleast_1d(np.asarray(l, dtype=np.float64)) for _, l in payloads])
+    order = np.lexsort((labels, verts))
+    verts, labels = verts[order], labels[order]
+    keep = np.ones(len(verts), dtype=bool)
+    keep[1:] = verts[1:] != verts[:-1]
+    return verts[keep], labels[keep]
 
 
 @dataclass(frozen=True)
@@ -50,6 +73,10 @@ class SSSPComputation(TimeSeriesComputation):
     def __init__(self, source: int, weight_attr: str | None = "latency") -> None:
         self.source = int(source)
         self.weight_attr = weight_attr
+
+    def combine(self, dst: int, payloads: list):
+        """Min-distance combiner: keep the best relaxation per vertex."""
+        return combine_min_labels(payloads)
 
     def _weights(self, ctx: ComputeContext) -> tuple[np.ndarray, np.ndarray]:
         sg = ctx.subgraph

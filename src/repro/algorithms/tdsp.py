@@ -37,6 +37,7 @@ import numpy as np
 from ..core.computation import TimeSeriesComputation
 from ..core.context import ComputeContext, EndOfTimestepContext
 from ..core.patterns import Pattern
+from .sssp import combine_min_labels
 
 __all__ = ["TDSPComputation", "TDSPFrontier", "tdsp_labels_from_result"]
 
@@ -99,6 +100,10 @@ class TDSPComputation(TimeSeriesComputation):
         self.latency_attr = latency_attr
         self.halt_when_stalled = bool(halt_when_stalled)
         self.root_pruning = bool(root_pruning)
+
+    def combine(self, dst: int, payloads: list):
+        """Min-distance combiner: keep the best relaxation per vertex."""
+        return combine_min_labels(payloads)
 
     # -- state management ----------------------------------------------------------
 

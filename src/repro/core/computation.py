@@ -42,6 +42,20 @@ class TimeSeriesComputation(abc.ABC):
     #: the pattern the paper focuses on).
     pattern: Pattern = Pattern.SEQUENTIALLY_DEPENDENT
 
+    #: Optional Pregel-style combiner, applied at the *sending host* before
+    #: the barrier: when several messages buffered in one superstep share a
+    #: destination subgraph, the host replaces them with a single message
+    #: carrying ``combine(dst, payloads)``.  Subclasses opt in by defining::
+    #:
+    #:     def combine(self, dst: int, payloads: list) -> payload: ...
+    #:
+    #: The hook must be associative-and-commutative-safe for the algorithm:
+    #: receivers see one combined payload instead of the individual ones (the
+    #: combined envelope has ``source_subgraph=None``).  Applied to superstep
+    #: and merge-phase sends; temporal sends are never combined.  Disable
+    #: per-run with ``EngineConfig(combiners=False)``.
+    combine = None
+
     @abc.abstractmethod
     def compute(self, ctx: ComputeContext) -> None:
         """Per-subgraph, per-superstep application logic."""

@@ -123,7 +123,13 @@ class ComputeContext(_BaseContext):
     # -- messaging constructs ------------------------------------------------------
 
     def send_to_subgraph(self, subgraph_id: int, payload: Any) -> None:
-        """Message another subgraph, delivered next superstep (BSP bulk send)."""
+        """Message another subgraph, delivered next superstep (BSP bulk send).
+
+        Delivery rides the batched message plane: a same-partition
+        destination is delivered host-locally (the driver never routes it),
+        and cross-partition sends are coalesced into per-partition frames.
+        When the computation defines ``combine``, several sends to one
+        destination may arrive as a single combined message."""
         self._buffer.superstep_sends.append(
             (
                 int(subgraph_id),

@@ -35,7 +35,7 @@ from ..runtime.host import HostStepResult, InstanceSource, RunMeta
 from ..runtime.metrics import PHASE_COMPUTE, PHASE_MERGE, MetricsCollector, StepRecord
 from ..runtime.process_cluster import ProcessCluster
 from .computation import TimeSeriesComputation
-from .messages import Message, MessageKind, group_by_destination
+from .messages import Message, MessageFrame, MessageKind, frames_from_deliveries, route_frames
 from .patterns import Pattern
 from .results import AppResult
 
@@ -59,6 +59,10 @@ class EngineConfig:
     collect_states:
         Whether to fetch per-subgraph state dicts at the end of the run
         (disable for process clusters with huge state).
+    combiners:
+        Whether hosts apply the computation's ``combine`` hook (when one is
+        defined) to same-destination sends before the barrier.  Disabling
+        lets benches compare combined vs raw message counts.
     rebalancer:
         Optional dynamic-rebalancing policy (see
         :mod:`repro.runtime.rebalance`): between timesteps, subgraphs may
@@ -71,6 +75,7 @@ class EngineConfig:
     gc_model: GCModel = field(default_factory=GCModel.disabled)
     max_supersteps: int = 100_000
     collect_states: bool = True
+    combiners: bool = True
     rebalancer: object | None = None
 
 
@@ -117,7 +122,12 @@ class TIBSPEngine:
                     "in their own address space"
                 )
             return ProcessCluster(
-                self.pg, computation, meta, self.sources, cost_model=cfg.cost_model
+                self.pg,
+                computation,
+                meta,
+                self.sources,
+                cost_model=cfg.cost_model,
+                use_combiners=cfg.combiners,
             )
         return LocalCluster(
             self.pg,
@@ -127,18 +137,14 @@ class TIBSPEngine:
             sources=self.sources,
             cost_model=cfg.cost_model,
             executor=cfg.executor,
+            use_combiners=cfg.combiners,
         )
 
     # -- routing helpers --------------------------------------------------------------
 
-    def _split_by_partition(
-        self, deliveries: dict[int, list[Message]]
-    ) -> list[dict[int, list[Message]]]:
-        """Split a global delivery map into per-partition maps."""
-        per_part: list[dict[int, list[Message]]] = [{} for _ in range(self.pg.num_partitions)]
-        for sgid, msgs in deliveries.items():
-            per_part[int(self._sg_part[sgid])][sgid] = msgs
-        return per_part
+    def _frames_for(self, deliveries: dict[int, list[Message]]) -> list[list[MessageFrame]]:
+        """Frame a driver-held delivery map (inputs, buffered temporal)."""
+        return frames_from_deliveries(deliveries, self._sg_part, self.pg.num_partitions)
 
     @staticmethod
     def _as_input_messages(inputs: Iterable[tuple[int, Any]] | None) -> dict[int, list[Message]]:
@@ -192,10 +198,12 @@ class TIBSPEngine:
 
         cluster = self._make_cluster(computation, meta)
         try:
-            temporal_inbox: dict[int, list[Message]] = {}
+            # Remote temporal sends buffered between timesteps, still framed;
+            # same-partition temporal sends never leave their host.
+            temporal_frames: list[MessageFrame] = []
             for t in range(start, stop):
                 halted_early = self._run_timestep(
-                    cluster, metrics, result, pattern, t, start, input_msgs, temporal_inbox
+                    cluster, metrics, result, pattern, t, start, input_msgs, temporal_frames
                 )
                 result.timesteps_executed += 1
                 if halted_early:
@@ -225,6 +233,9 @@ class TIBSPEngine:
                     subgraphs_computed=r.subgraphs_computed,
                     messages_sent=r.messages_sent,
                     bytes_sent=r.bytes_sent,
+                    local_messages=r.local_messages,
+                    remote_messages=r.remote_messages,
+                    frames_sent=r.frames_sent,
                 )
             )
 
@@ -237,7 +248,7 @@ class TIBSPEngine:
         t: int,
         start: int,
         input_msgs: dict[int, list[Message]],
-        temporal_inbox: dict[int, list[Message]],
+        temporal_frames: list[MessageFrame],
     ) -> bool:
         """Run one BSP timestep.  Returns True when the app halted early."""
         if self.config.rebalancer is not None and t > start:
@@ -255,11 +266,15 @@ class TIBSPEngine:
                 metrics.record_gc(t, r.partition, r.gc_pause_s)
 
         # Superstep-0 deliveries per the pattern (Section II-D message rules).
+        # Framed fresh each timestep: rebalancing may have changed routing.
         if pattern is Pattern.SEQUENTIALLY_DEPENDENT:
-            deliveries = input_msgs if t == start else temporal_inbox
+            if t == start:
+                per_part = self._frames_for(input_msgs)
+            else:
+                per_part = route_frames(temporal_frames, self.pg.num_partitions)
+                temporal_frames.clear()
         else:
-            deliveries = input_msgs
-        temporal_buffer: list[tuple[int, Message]] = []
+            per_part = self._frames_for(input_msgs)
         halt_votes: set[int] = set()
 
         superstep = 0
@@ -269,31 +284,36 @@ class TIBSPEngine:
                     f"timestep {t} exceeded max_supersteps={self.config.max_supersteps}; "
                     "is the computation failing to vote to halt?"
                 )
-            step_results = cluster.run_superstep(t, superstep, self._split_by_partition(deliveries))
+            step_results = cluster.run_superstep(t, superstep, per_part)
             self._record(metrics, PHASE_COMPUTE, t, superstep, step_results)
 
-            sends: list[tuple[int, Message]] = []
+            frames: list[MessageFrame] = []
             for r in step_results:
-                sends.extend(r.sends)
-                temporal_buffer.extend(r.temporal_sends)
+                frames.extend(r.frames)
+                temporal_frames.extend(r.temporal_frames)
                 result.outputs.extend(r.outputs)
                 halt_votes |= r.halt_timestep_votes
-            deliveries = group_by_destination(sends)
+            per_part = route_frames(frames, self.pg.num_partitions)
             superstep += 1
-            if not deliveries and all(r.all_halted for r in step_results):
+            # Quiescence: nothing routed by the driver, every subgraph halted,
+            # and no host still holds short-circuited local deliveries.
+            if not frames and all(
+                r.all_halted and not r.has_pending_local for r in step_results
+            ):
                 break
 
         eot_results = cluster.end_of_timestep(t)
         self._record(metrics, PHASE_COMPUTE, t, superstep, eot_results)
+        pending_temporal = 0
         for r in eot_results:
-            temporal_buffer.extend(r.temporal_sends)
+            temporal_frames.extend(r.temporal_frames)
             result.outputs.extend(r.outputs)
             halt_votes |= r.halt_timestep_votes
+            pending_temporal += r.pending_temporal
 
-        temporal_inbox.clear()
-        temporal_inbox.update(group_by_destination(temporal_buffer))
-        # While-loop termination: all subgraphs voted AND no temporal messages.
-        return halt_votes >= self._all_sgids and not temporal_inbox
+        # While-loop termination: all subgraphs voted AND no temporal messages
+        # in flight — neither framed remote ones nor host-local ones.
+        return halt_votes >= self._all_sgids and not temporal_frames and not pending_temporal
 
     # -- dynamic rebalancing ---------------------------------------------------------------
 
@@ -336,22 +356,22 @@ class TIBSPEngine:
     # -- merge phase ---------------------------------------------------------------------
 
     def _run_merge(self, cluster: Cluster, metrics: MetricsCollector, result: AppResult) -> None:
-        deliveries: dict[int, list[Message]] = {}
+        per_part: list[list[MessageFrame]] = [[] for _ in range(self.pg.num_partitions)]
         superstep = 0
         while True:
             if superstep >= self.config.max_supersteps:
                 raise RuntimeError("merge phase exceeded max_supersteps")
-            step_results = cluster.run_merge_superstep(
-                superstep, self._split_by_partition(deliveries)
-            )
+            step_results = cluster.run_merge_superstep(superstep, per_part)
             self._record(metrics, PHASE_MERGE, -1, superstep, step_results)
-            sends: list[tuple[int, Message]] = []
+            frames: list[MessageFrame] = []
             for r in step_results:
-                sends.extend(r.sends)
+                frames.extend(r.frames)
                 result.merge_outputs.extend((sg, rec) for (_t, sg, rec) in r.outputs)
-            deliveries = group_by_destination(sends)
+            per_part = route_frames(frames, self.pg.num_partitions)
             superstep += 1
-            if not deliveries and all(r.all_halted for r in step_results):
+            if not frames and all(
+                r.all_halted and not r.has_pending_local for r in step_results
+            ):
                 break
 
 

@@ -1,4 +1,4 @@
-"""Messages and message buffers for TI-BSP execution.
+"""Messages, message buffers, and packed frames for TI-BSP execution.
 
 BSP semantics (Section II-C/D): messages generated in one superstep are
 transmitted *in bulk* between supersteps and are visible to the destination
@@ -10,15 +10,35 @@ A message's ``kind`` tells the receiving ``compute`` how to interpret it —
 the paper derives the same information from ``superstep == 0`` /
 ``timestep == 0`` context, which also works here, but the explicit kind keeps
 mixed deliveries unambiguous.
+
+The *message plane* (GoFFish host-local delivery, Section II-C) distinguishes
+two paths:
+
+* **local** — sender and destination subgraph live on the same partition;
+  the host delivers straight into its own next-superstep inbox and the
+  driver never sees the message;
+* **remote** — messages crossing partitions are coalesced into one
+  :class:`MessageFrame` per destination partition and shipped in bulk after
+  the barrier ("fewer, bulkier messages", Fig 5b).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping, Sequence
 
-__all__ = ["MessageKind", "Message", "SendBuffer", "group_by_destination"]
+import numpy as np
+
+__all__ = [
+    "MessageKind",
+    "Message",
+    "SendBuffer",
+    "MessageFrame",
+    "group_by_destination",
+    "frames_from_deliveries",
+    "route_frames",
+]
 
 
 class MessageKind(enum.Enum):
@@ -41,7 +61,9 @@ class Message:
         prefer numpy arrays over large Python object graphs (bulk transfer,
         cheap pickling) — the mpi4py idiom from the HPC guides.
     source_subgraph:
-        Global subgraph id of the sender, or ``None`` for application inputs.
+        Global subgraph id of the sender, ``None`` for application inputs
+        and for combined messages (a combiner folds several senders into
+        one envelope).
     timestep:
         Timestep at which the message was *sent* (``-1`` for app inputs).
     kind:
@@ -80,6 +102,8 @@ class SendBuffer:
     voted_halt: bool = False
     voted_halt_timestep: bool = False
     outputs: list[Any] = field(default_factory=list)
+    #: Number of buffers folded in via :meth:`extend` (all-of vote semantics).
+    folded: int = field(default=0, repr=False, compare=False)
 
     def total_messages(self) -> int:
         return len(self.superstep_sends) + len(self.temporal_sends) + len(self.merge_sends)
@@ -94,13 +118,82 @@ class SendBuffer:
         )
 
     def extend(self, other: "SendBuffer") -> None:
-        """Merge another buffer into this one (used when batching subgraphs)."""
+        """Merge another buffer into this one (used when batching subgraphs).
+
+        Halt votes follow *all-of* semantics over the folded buffers: the
+        accumulator halts only when every buffer folded into it voted to
+        halt.  A freshly constructed accumulator carries no vote of its own
+        (its default ``False`` means "no buffer folded yet", not a standing
+        no-vote), so the first :meth:`extend` adopts the other buffer's
+        votes outright; later calls AND them in.
+        """
         self.superstep_sends.extend(other.superstep_sends)
         self.temporal_sends.extend(other.temporal_sends)
         self.merge_sends.extend(other.merge_sends)
-        self.voted_halt = self.voted_halt and other.voted_halt
-        self.voted_halt_timestep = self.voted_halt_timestep and other.voted_halt_timestep
+        if self.folded == 0:
+            self.voted_halt = other.voted_halt
+            self.voted_halt_timestep = other.voted_halt_timestep
+        else:
+            self.voted_halt = self.voted_halt and other.voted_halt
+            self.voted_halt_timestep = self.voted_halt_timestep and other.voted_halt_timestep
+        self.folded += 1
         self.outputs.extend(other.outputs)
+
+
+class MessageFrame:
+    """Coalesced deliveries for one destination partition.
+
+    The unit the driver routes: destination subgraph ids as one int64 array,
+    payload envelopes as one list, and the total payload bytes precomputed
+    at pack time (``approx_size`` is called once per message when the frame
+    is built, never re-summed).  With pickle protocol 5 the destination
+    array and any numpy payloads cross process pipes as out-of-band buffers.
+    """
+
+    __slots__ = ("src_partition", "dst_partition", "destinations", "messages", "nbytes")
+
+    def __init__(
+        self,
+        src_partition: int,
+        dst_partition: int,
+        destinations: np.ndarray,
+        messages: list[Message],
+        nbytes: int = 0,
+    ) -> None:
+        if len(destinations) != len(messages):
+            raise ValueError("one destination subgraph id per message")
+        self.src_partition = int(src_partition)
+        self.dst_partition = int(dst_partition)
+        self.destinations = np.asarray(destinations, dtype=np.int64)
+        self.messages = messages
+        self.nbytes = int(nbytes)
+
+    @classmethod
+    def pack(
+        cls, src_partition: int, dst_partition: int, sends: Sequence[tuple[int, Message]]
+    ) -> "MessageFrame":
+        """Build a frame from ``(destination subgraph, message)`` pairs."""
+        dsts = np.fromiter((d for d, _ in sends), dtype=np.int64, count=len(sends))
+        msgs = [m for _, m in sends]
+        return cls(
+            src_partition, dst_partition, dsts, msgs, sum(m.approx_size() for m in msgs)
+        )
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MessageFrame({self.src_partition}->{self.dst_partition}, "
+            f"{len(self.messages)} msgs, {self.nbytes} B)"
+        )
+
+    def deliver_into(self, inbox: dict[int, list[Message]]) -> None:
+        """Unpack into a per-subgraph inbox (appends, preserving order)."""
+        dsts = self.destinations
+        msgs = self.messages
+        for i in range(len(msgs)):
+            inbox.setdefault(int(dsts[i]), []).append(msgs[i])
 
 
 def group_by_destination(
@@ -111,3 +204,49 @@ def group_by_destination(
     for dst, msg in sends:
         grouped.setdefault(dst, []).append(msg)
     return grouped
+
+
+def frames_from_deliveries(
+    deliveries: Mapping[int, Sequence[Message]],
+    subgraph_partition: np.ndarray,
+    num_partitions: int,
+    *,
+    src_partition: int = -1,
+) -> list[list[MessageFrame]]:
+    """Wrap a driver-side delivery map into at most one frame per partition.
+
+    Used for superstep-0 deliveries (application inputs, buffered temporal
+    messages): the driver holds them as ``{subgraph id: messages}`` and ships
+    them to hosts in the same framed form the hosts use for remote sends.
+    Frame ``nbytes`` stays 0 — these messages were already charged to the
+    cost model when their sending host buffered them (app inputs are free).
+    """
+    per_part: list[list[tuple[int, Message]]] = [[] for _ in range(num_partitions)]
+    for sgid, msgs in deliveries.items():
+        dst = per_part[int(subgraph_partition[sgid])]
+        for m in msgs:
+            dst.append((int(sgid), m))
+    return [
+        [MessageFrame(
+            src_partition,
+            p,
+            np.fromiter((d for d, _ in sends), dtype=np.int64, count=len(sends)),
+            [m for _, m in sends],
+        )] if sends else []
+        for p, sends in enumerate(per_part)
+    ]
+
+
+def route_frames(
+    frames: Iterable[MessageFrame], num_partitions: int
+) -> list[list[MessageFrame]]:
+    """Route frames to their destination partitions (the driver's whole job).
+
+    The driver never touches individual messages on this path — it moves
+    opaque frames, so its routing work scales with partition pairs, not
+    message count.
+    """
+    per_part: list[list[MessageFrame]] = [[] for _ in range(num_partitions)]
+    for f in frames:
+        per_part[f.dst_partition].append(f)
+    return per_part

@@ -30,7 +30,7 @@ from ..runtime.cluster import LocalCluster
 from ..runtime.host import RunMeta
 from ..runtime.metrics import PHASE_COMPUTE, MetricsCollector, StepRecord
 from .computation import TimeSeriesComputation
-from .messages import Message, group_by_destination
+from .messages import Message, MessageFrame, frames_from_deliveries, route_frames
 from .results import AppResult
 
 __all__ = ["run_temporally_parallel", "pipelined_makespan"]
@@ -72,14 +72,14 @@ def _run_one_timestep(
         for r in begin:
             metrics.record_load(t, r.partition, r.load_s)
 
-    deliveries = input_msgs
+    per_part = split(input_msgs)
     superstep = 0
     outputs: list = []
     while True:
         if superstep >= max_supersteps:
             raise RuntimeError(f"timestep {t} exceeded max_supersteps")
-        step_results = cluster.run_superstep(t, superstep, split(deliveries))
-        sends: list[tuple[int, Message]] = []
+        step_results = cluster.run_superstep(t, superstep, per_part)
+        frames: list[MessageFrame] = []
         with lock:
             for r in step_results:
                 metrics.record_step(
@@ -87,14 +87,17 @@ def _run_one_timestep(
                         PHASE_COMPUTE, t, superstep, r.partition,
                         r.compute_s, r.send_s, r.subgraphs_computed,
                         r.messages_sent, r.bytes_sent,
+                        r.local_messages, r.remote_messages, r.frames_sent,
                     )
                 )
         for r in step_results:
-            sends.extend(r.sends)
+            frames.extend(r.frames)
             outputs.extend(r.outputs)
-        deliveries = group_by_destination(sends)
+        per_part = route_frames(frames, cluster.num_partitions)
         superstep += 1
-        if not deliveries and all(r.all_halted for r in step_results):
+        if not frames and all(
+            r.all_halted and not r.has_pending_local for r in step_results
+        ):
             break
 
     eot = cluster.end_of_timestep(t)
@@ -104,6 +107,7 @@ def _run_one_timestep(
                 StepRecord(
                     PHASE_COMPUTE, t, superstep, r.partition,
                     r.compute_s, r.send_s, 0, r.messages_sent, r.bytes_sent,
+                    r.local_messages, r.remote_messages, r.frames_sent,
                 )
             )
     for r in eot:
@@ -158,10 +162,8 @@ def run_temporally_parallel(
     sg_part = np.asarray([sg.partition_id for sg in pg.subgraphs], dtype=np.int64)
 
     def split(deliveries: dict[int, list[Message]]):
-        per = [{} for _ in range(pg.num_partitions)]
-        for sgid, msgs in deliveries.items():
-            per[int(sg_part[sgid])][sgid] = msgs
-        return per
+        """Frame a driver-held delivery map for superstep-0 scatter."""
+        return frames_from_deliveries(deliveries, sg_part, pg.num_partitions)
 
     input_msgs = TIBSPEngine._as_input_messages(inputs)
     clusters = [
@@ -207,26 +209,29 @@ def run_temporally_parallel(
         for cluster in clusters[1:]:
             for host, primary_host in zip(cluster.hosts, primary.hosts):
                 primary_host.absorb_merge_inbox(host.drain_merge_inbox())
-        deliveries: dict[int, list[Message]] = {}
+        per_part: list[list[MessageFrame]] = [[] for _ in range(pg.num_partitions)]
         superstep = 0
         while True:
             if superstep >= max_supersteps:
                 raise RuntimeError("merge phase exceeded max_supersteps")
-            step_results = primary.run_merge_superstep(superstep, split(deliveries))
-            sends: list[tuple[int, Message]] = []
+            step_results = primary.run_merge_superstep(superstep, per_part)
+            frames: list[MessageFrame] = []
             for r in step_results:
                 metrics.record_step(
                     StepRecord(
                         "merge", -1, superstep, r.partition,
                         r.compute_s, r.send_s, r.subgraphs_computed,
                         r.messages_sent, r.bytes_sent,
+                        r.local_messages, r.remote_messages, r.frames_sent,
                     )
                 )
-                sends.extend(r.sends)
+                frames.extend(r.frames)
                 result.merge_outputs.extend((sg, rec) for (_t, sg, rec) in r.outputs)
-            deliveries = group_by_destination(sends)
+            per_part = route_frames(frames, pg.num_partitions)
             superstep += 1
-            if not deliveries and all(r.all_halted for r in step_results):
+            if not frames and all(
+                r.all_halted and not r.has_pending_local for r in step_results
+            ):
                 break
 
     if collect_states:

@@ -18,7 +18,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ..core.computation import TimeSeriesComputation
-from ..core.messages import Message
+from ..core.messages import Message, MessageFrame
 from ..graph.collection import TimeSeriesGraphCollection
 from ..partition.base import PartitionedGraph
 from .cost import CostModel
@@ -26,8 +26,9 @@ from .host import CollectionInstanceSource, ComputeHost, HostStepResult, Instanc
 
 __all__ = ["Cluster", "LocalCluster", "build_hosts"]
 
-#: Deliveries addressed to one partition: subgraph id -> messages.
-Deliveries = Mapping[int, Sequence[Message]]
+#: Deliveries addressed to one partition: coalesced frames (the batched
+#: message plane) or a plain subgraph-id -> messages map (direct protocol use).
+Deliveries = Mapping[int, Sequence[Message]] | Sequence[MessageFrame]
 
 
 def build_hosts(
@@ -36,6 +37,8 @@ def build_hosts(
     meta: RunMeta,
     sources: Sequence[InstanceSource],
     cost_model: CostModel,
+    *,
+    use_combiners: bool = True,
 ) -> list[ComputeHost]:
     """Construct one :class:`ComputeHost` per partition."""
     if len(sources) != pg.num_partitions:
@@ -54,6 +57,7 @@ def build_hosts(
             sources[p],
             sg_part,
             cost_model,
+            use_combiners=use_combiners,
         )
         for p in range(pg.num_partitions)
     ]
@@ -122,13 +126,16 @@ class LocalCluster(Cluster):
         sources: Sequence[InstanceSource] | None = None,
         cost_model: CostModel | None = None,
         executor: str = "serial",
+        use_combiners: bool = True,
     ) -> None:
         cost_model = cost_model or CostModel()
         if sources is None:
             if collection is None:
                 raise ValueError("provide either sources or a collection")
             sources = [CollectionInstanceSource(collection) for _ in range(pg.num_partitions)]
-        self.hosts = build_hosts(pg, computation, meta, sources, cost_model)
+        self.hosts = build_hosts(
+            pg, computation, meta, sources, cost_model, use_combiners=use_combiners
+        )
         self.num_partitions = pg.num_partitions
         if executor not in ("serial", "thread"):
             raise ValueError(f"unknown executor {executor!r}")

@@ -28,11 +28,24 @@ class CostModel:
 
     Defaults approximate the paper's testbed: 1 GbE (~117 MiB/s effective),
     ~50 µs per remote message envelope, ~1 ms per BSP barrier across hosts.
+
+    The model distinguishes the message plane's two delivery paths: remote
+    sends pay network envelope + bandwidth (plus an optional per-*frame*
+    envelope for the coalesced bulk transfer), while partition-local sends
+    pay only an in-memory hand-off and *memory* bandwidth — a host-local
+    delivery never touches the network.
     """
 
     remote_bandwidth_bytes_per_s: float = 117.0 * 2**20
     remote_per_message_s: float = 50e-6
+    #: Envelope cost per coalesced frame (one bulk transfer between a pair
+    #: of hosts after the barrier).  Defaults to 0 so simulated wall-clocks
+    #: stay comparable with the per-message accounting; benches exploring
+    #: framed transports can charge it explicitly.
+    remote_per_frame_s: float = 0.0
     local_per_message_s: float = 2e-6
+    #: Memory bandwidth for host-local deliveries (~DDR4 single-channel).
+    local_bandwidth_bytes_per_s: float = 12.0 * 2**30
     barrier_s: float = 1e-3
 
     def remote_send_cost(self, num_messages: int, num_bytes: int) -> float:
@@ -41,9 +54,22 @@ class CostModel:
             return 0.0
         return num_messages * self.remote_per_message_s + num_bytes / self.remote_bandwidth_bytes_per_s
 
-    def local_send_cost(self, num_messages: int) -> float:
-        """Cost of delivering messages between subgraphs on the same host."""
-        return num_messages * self.local_per_message_s
+    def frame_cost(self, num_frames: int) -> float:
+        """Envelope cost of ``num_frames`` coalesced inter-host transfers."""
+        return num_frames * self.remote_per_frame_s
+
+    def local_send_cost(self, num_messages: int, num_bytes: int = 0) -> float:
+        """Cost of delivering messages between subgraphs on the same host.
+
+        Local deliveries cost memory bandwidth, not network: a per-message
+        hand-off constant plus ``num_bytes`` over memory bandwidth.
+        """
+        if num_messages == 0:
+            return 0.0
+        return (
+            num_messages * self.local_per_message_s
+            + num_bytes / self.local_bandwidth_bytes_per_s
+        )
 
     def barrier_cost(self, num_partitions: int) -> float:
         """Cost of one BSP barrier across ``num_partitions`` hosts."""
@@ -69,7 +95,9 @@ class CostModel:
         return CostModel(
             remote_bandwidth_bytes_per_s=base.remote_bandwidth_bytes_per_s,
             remote_per_message_s=base.remote_per_message_s * factor,
+            remote_per_frame_s=base.remote_per_frame_s * factor,
             local_per_message_s=base.local_per_message_s * factor,
+            local_bandwidth_bytes_per_s=base.local_bandwidth_bytes_per_s,
             barrier_s=base.barrier_s * factor,
         )
 
@@ -79,6 +107,8 @@ class CostModel:
         return CostModel(
             remote_bandwidth_bytes_per_s=float("inf"),
             remote_per_message_s=0.0,
+            remote_per_frame_s=0.0,
             local_per_message_s=0.0,
+            local_bandwidth_bytes_per_s=float("inf"),
             barrier_s=0.0,
         )

@@ -6,23 +6,36 @@ across supersteps *and* timesteps, loads its graph instances (timed — the
 Fig 6 load spikes), executes the user's ``compute``/``end_of_timestep``/
 ``merge`` on its subgraphs, and buffers outgoing messages.
 
+The host also owns the sending side of the *message plane*:
+
+* sends whose destination subgraph lives on this partition are delivered
+  straight into the host's own next-superstep (or next-timestep) inbox —
+  the GoFFish host-local short-circuit; the driver never routes them;
+* sends crossing partitions are coalesced into one
+  :class:`~repro.core.messages.MessageFrame` per destination partition,
+  with payload bytes summed once at pack time;
+* an optional application combiner (``computation.combine``) folds multiple
+  same-destination messages into one before the barrier.
+
 Hosts know nothing about global termination or routing — the engine drives
 them through a narrow call protocol (``begin_timestep`` → ``run_superstep``*
 → ``end_of_timestep``), which is exactly the protocol a process-based
-cluster forwards over pipes.
+cluster forwards over pipes.  Because local deliveries bypass the driver,
+each protocol reply reports ``has_pending_local`` so the engine's quiescence
+rule can see messages still in flight inside hosts.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Protocol, Sequence
+from typing import Any, Iterable, Mapping, Protocol, Sequence
 
 import numpy as np
 
 from ..core.computation import TimeSeriesComputation
 from ..core.context import ComputeContext, EndOfTimestepContext, MergeContext
-from ..core.messages import Message, SendBuffer
+from ..core.messages import Message, MessageFrame, SendBuffer
 from ..core.patterns import Pattern
 from ..graph.collection import TimeSeriesGraphCollection
 from ..graph.instance import GraphInstance
@@ -64,16 +77,26 @@ class HostStepResult:
     """What one host reports back to the engine after one protocol call."""
 
     partition: int
-    sends: list[tuple[int, Message]] = field(default_factory=list)
-    temporal_sends: list[tuple[int, Message]] = field(default_factory=list)
+    #: Remote superstep sends, coalesced per destination partition.
+    frames: list[MessageFrame] = field(default_factory=list)
+    #: Remote temporal sends (for the next timestep), likewise framed.
+    temporal_frames: list[MessageFrame] = field(default_factory=list)
     outputs: list[tuple[int, int, Any]] = field(default_factory=list)  #: (timestep, sgid, record)
     halt_timestep_votes: set[int] = field(default_factory=set)
     all_halted: bool = True
+    #: Messages waiting in this host's local next-superstep inbox — part of
+    #: the engine's quiescence rule (local traffic is invisible otherwise).
+    has_pending_local: bool = False
+    #: Local temporal messages buffered for the next timestep.
+    pending_temporal: int = 0
     subgraphs_computed: int = 0
     compute_s: float = 0.0
     send_s: float = 0.0
     messages_sent: int = 0
     bytes_sent: int = 0
+    local_messages: int = 0
+    remote_messages: int = 0
+    frames_sent: int = 0
     load_s: float = 0.0
     gc_pause_s: float = 0.0
 
@@ -86,6 +109,11 @@ class RunMeta:
     num_timesteps: int
     delta: float
     t0: float
+
+
+#: What a host accepts as one superstep's deliveries: framed remote sends
+#: (the batched plane) or a plain per-subgraph mapping (direct protocol use).
+DeliveriesLike = Mapping[int, Sequence[Message]] | Iterable[MessageFrame]
 
 
 class ComputeHost:
@@ -102,10 +130,14 @@ class ComputeHost:
     source:
         Where this host gets its graph instances.
     subgraph_partition:
-        Global array mapping subgraph id → owning partition (for local vs
-        remote message cost classification).
+        Global array mapping subgraph id → owning partition.  Routing: local
+        sends short-circuit into this host's own inbox; the rest are framed
+        per destination partition.
     cost_model:
         Communication cost model.
+    use_combiners:
+        Whether to apply the computation's ``combine`` hook (when defined)
+        to same-destination sends before the barrier.
     """
 
     def __init__(
@@ -116,6 +148,7 @@ class ComputeHost:
         source: InstanceSource,
         subgraph_partition: np.ndarray,
         cost_model: CostModel | None = None,
+        use_combiners: bool = True,
     ) -> None:
         self.partition = partition
         self.computation = computation
@@ -123,6 +156,8 @@ class ComputeHost:
         self.source = source
         self.subgraph_partition = np.asarray(subgraph_partition, dtype=np.int64)
         self.cost_model = cost_model or CostModel()
+        combine = getattr(computation, "combine", None)
+        self._combine = combine if (use_combiners and callable(combine)) else None
         #: Per-subgraph application state, resident for the whole run.
         self.states: dict[int, dict] = {sg.subgraph_id: {} for sg in partition.subgraphs}
         #: State shared by every subgraph of this partition (ctx.partition_state).
@@ -131,32 +166,109 @@ class ComputeHost:
         self._merge_inbox: dict[int, list[Message]] = {
             sg.subgraph_id: [] for sg in partition.subgraphs
         }
+        #: Host-local deliveries for the *next* superstep (short-circuit path).
+        self._local_inbox: dict[int, list[Message]] = {}
+        #: Host-local temporal deliveries for the *next* timestep.
+        self._temporal_inbox: dict[int, list[Message]] = {}
         self._instance: GraphInstance | None = None
 
-    # -- helpers ---------------------------------------------------------------------
+    # -- message plane -----------------------------------------------------------------
 
-    def _charge_sends(self, buffer: SendBuffer, result: HostStepResult) -> None:
-        """Classify and cost outgoing messages; move them into the result."""
+    def _open_inbox(self, deliveries: DeliveriesLike) -> dict[int, list[Message]]:
+        """This superstep's inbox: pending local deliveries + driver frames.
+
+        Per-subgraph order is host-local messages first, then remote frames
+        in driver routing order (source partitions ascending) — identical
+        for every executor backend, which keeps runs bit-reproducible.
+        """
+        inbox = self._local_inbox
+        self._local_inbox = {}
+        if isinstance(deliveries, Mapping):
+            for sgid, msgs in deliveries.items():
+                inbox.setdefault(int(sgid), []).extend(msgs)
+        else:
+            for frame in deliveries:
+                frame.deliver_into(inbox)
+        return inbox
+
+    def _combined(self, sends: list[tuple[int, Message]]) -> list[tuple[int, Message]]:
+        """Apply the application combiner per destination subgraph."""
+        if self._combine is None or len(sends) < 2:
+            return sends
+        grouped: dict[int, list[Message]] = {}
+        order: list[int] = []
+        for dst, msg in sends:
+            if dst not in grouped:
+                order.append(dst)
+            grouped.setdefault(dst, []).append(msg)
+        if len(grouped) == len(sends):  # no destination repeated
+            return sends
+        out: list[tuple[int, Message]] = []
+        for dst in order:
+            msgs = grouped[dst]
+            if len(msgs) == 1:
+                out.append((dst, msgs[0]))
+            else:
+                payload = self._combine(dst, [m.payload for m in msgs])
+                out.append((dst, Message(payload, None, msgs[0].timestep, msgs[0].kind)))
+        return out
+
+    def _flush_sends(
+        self,
+        result: HostStepResult,
+        superstep_sends: list[tuple[int, Message]],
+        temporal_sends: list[tuple[int, Message]],
+    ) -> None:
+        """Route one protocol call's sends: combine, short-circuit, frame, cost.
+
+        ``approx_size`` is evaluated exactly once per message here; remote
+        byte totals ride in the frames' ``nbytes``.
+        """
         own = self.partition.partition_id
-        local_n = remote_n = remote_b = 0
-        for dst, msg in buffer.superstep_sends:
-            if self.subgraph_partition[dst] == own:
+        sg_part = self.subgraph_partition
+        local_n = local_b = remote_n = remote_b = 0
+        remote: dict[int, list[tuple[int, Message]]] = {}
+
+        for dst, msg in self._combined(superstep_sends):
+            if sg_part[dst] == own:
+                self._local_inbox.setdefault(dst, []).append(msg)
                 local_n += 1
+                local_b += msg.approx_size()
             else:
-                remote_n += 1
-                remote_b += msg.approx_size()
-        for dst, msg in buffer.temporal_sends:
-            if self.subgraph_partition[dst] == own:
+                remote.setdefault(int(sg_part[dst]), []).append((dst, msg))
+        for dst_part, sends in remote.items():
+            frame = MessageFrame.pack(own, dst_part, sends)
+            remote_n += len(frame)
+            remote_b += frame.nbytes
+            result.frames.append(frame)
+
+        t_remote: dict[int, list[tuple[int, Message]]] = {}
+        for dst, msg in temporal_sends:
+            if sg_part[dst] == own:
+                self._temporal_inbox.setdefault(dst, []).append(msg)
                 local_n += 1
+                local_b += msg.approx_size()
             else:
-                remote_n += 1
-                remote_b += msg.approx_size()
-        result.sends.extend(buffer.superstep_sends)
-        result.temporal_sends.extend(buffer.temporal_sends)
+                t_remote.setdefault(int(sg_part[dst]), []).append((dst, msg))
+        for dst_part, sends in t_remote.items():
+            frame = MessageFrame.pack(own, dst_part, sends)
+            remote_n += len(frame)
+            remote_b += frame.nbytes
+            result.temporal_frames.append(frame)
+
+        result.local_messages += local_n
+        result.remote_messages += remote_n
         result.messages_sent += local_n + remote_n
         result.bytes_sent += remote_b
-        result.send_s += self.cost_model.local_send_cost(local_n)
+        frames = len(result.frames) + len(result.temporal_frames)
+        result.frames_sent += frames
+        result.send_s += self.cost_model.local_send_cost(local_n, local_b)
         result.send_s += self.cost_model.remote_send_cost(remote_n, remote_b)
+        result.send_s += self.cost_model.frame_cost(frames)
+
+    def _finish(self, result: HostStepResult) -> None:
+        result.has_pending_local = bool(self._local_inbox)
+        result.pending_temporal = sum(len(v) for v in self._temporal_inbox.values())
 
     def _drain(
         self,
@@ -164,11 +276,14 @@ class ComputeHost:
         result: HostStepResult,
         sgid: int,
         timestep: int,
+        sends: list[tuple[int, Message]],
+        temporal: list[tuple[int, Message]],
         *,
         update_halt: bool,
     ) -> None:
-        """Move one compute call's buffer into the host result."""
-        self._charge_sends(buffer, result)
+        """Move one compute call's buffer into the host result / send batch."""
+        sends.extend(buffer.superstep_sends)
+        temporal.extend(buffer.temporal_sends)
         for m in buffer.merge_sends:
             self._merge_inbox[sgid].append(m)
         result.outputs.extend((timestep, sgid, rec) for rec in buffer.outputs)
@@ -180,13 +295,19 @@ class ComputeHost:
     # -- protocol ----------------------------------------------------------------------
 
     def begin_timestep(self, timestep: int, gc_pause_s: float = 0.0) -> HostStepResult:
-        """Load the instance for ``timestep``; reset per-timestep halt flags."""
+        """Load the instance for ``timestep``; reset per-timestep halt flags.
+
+        Temporal messages short-circuited during the previous timestep become
+        the seed of this timestep's superstep-0 local inbox.
+        """
         result = HostStepResult(self.partition.partition_id)
         start = time.perf_counter()
         self._instance = self.source.instance(timestep)
         result.load_s = time.perf_counter() - start
         result.gc_pause_s = gc_pause_s
         self._halted = {sg.subgraph_id: False for sg in self.partition.subgraphs}
+        self._local_inbox = self._temporal_inbox
+        self._temporal_inbox = {}
         return result
 
     def resident_bytes(self) -> int:
@@ -197,7 +318,7 @@ class ComputeHost:
         self,
         timestep: int,
         superstep: int,
-        deliveries: Mapping[int, Sequence[Message]],
+        deliveries: DeliveriesLike,
     ) -> HostStepResult:
         """Run ``compute`` on this host's active subgraphs for one superstep.
 
@@ -207,9 +328,12 @@ class ComputeHost:
         """
         assert self._instance is not None, "begin_timestep must be called first"
         result = HostStepResult(self.partition.partition_id)
+        inbox = self._open_inbox(deliveries)
+        sends: list[tuple[int, Message]] = []
+        temporal: list[tuple[int, Message]] = []
         for sg in self.partition.subgraphs:
             sgid = sg.subgraph_id
-            msgs = deliveries.get(sgid, ())
+            msgs = inbox.get(sgid, ())
             if superstep > 0 and self._halted[sgid] and not msgs:
                 continue
             buffer = SendBuffer()
@@ -231,7 +355,9 @@ class ComputeHost:
             self.computation.compute(ctx)
             result.compute_s += time.perf_counter() - start
             result.subgraphs_computed += 1
-            self._drain(buffer, result, sgid, timestep, update_halt=True)
+            self._drain(buffer, result, sgid, timestep, sends, temporal, update_halt=True)
+        self._flush_sends(result, sends, temporal)
+        self._finish(result)
         result.all_halted = all(self._halted.values())
         return result
 
@@ -239,6 +365,8 @@ class ComputeHost:
         """Invoke ``end_of_timestep`` on every subgraph of this partition."""
         assert self._instance is not None
         result = HostStepResult(self.partition.partition_id)
+        sends: list[tuple[int, Message]] = []
+        temporal: list[tuple[int, Message]] = []
         for sg in self.partition.subgraphs:
             sgid = sg.subgraph_id
             buffer = SendBuffer()
@@ -257,22 +385,27 @@ class ComputeHost:
             start = time.perf_counter()
             self.computation.end_of_timestep(ctx)
             result.compute_s += time.perf_counter() - start
-            self._drain(buffer, result, sgid, timestep, update_halt=False)
+            self._drain(buffer, result, sgid, timestep, sends, temporal, update_halt=False)
+        self._flush_sends(result, sends, temporal)
+        self._finish(result)
         result.all_halted = True
         return result
 
     def run_merge_superstep(
-        self, superstep: int, deliveries: Mapping[int, Sequence[Message]]
+        self, superstep: int, deliveries: DeliveriesLike
     ) -> HostStepResult:
         """Run one superstep of the Merge BSP (eventually dependent pattern).
 
         At superstep 0 every subgraph receives the messages it sent to merge
         across all timesteps (in timestep order); afterwards, messages from
-        other subgraphs' merge supersteps.
+        other subgraphs' merge supersteps (local short-circuits + frames).
         """
         result = HostStepResult(self.partition.partition_id)
         if superstep == 0:
             self._halted = {sg.subgraph_id: False for sg in self.partition.subgraphs}
+        inbox = self._open_inbox(deliveries)
+        sends: list[tuple[int, Message]] = []
+        temporal: list[tuple[int, Message]] = []
         for sg in self.partition.subgraphs:
             sgid = sg.subgraph_id
             if superstep == 0:
@@ -280,7 +413,7 @@ class ComputeHost:
                     self._merge_inbox[sgid], key=lambda m: m.timestep
                 )
             else:
-                msgs = deliveries.get(sgid, ())
+                msgs = inbox.get(sgid, ())
                 if self._halted[sgid] and not msgs:
                     continue
             buffer = SendBuffer()
@@ -300,7 +433,9 @@ class ComputeHost:
             self.computation.merge(ctx)
             result.compute_s += time.perf_counter() - start
             result.subgraphs_computed += 1
-            self._drain(buffer, result, sgid, -1, update_halt=True)
+            self._drain(buffer, result, sgid, -1, sends, temporal, update_halt=True)
+        self._flush_sends(result, sends, temporal)
+        self._finish(result)
         result.all_halted = all(self._halted.values())
         return result
 
@@ -330,20 +465,35 @@ class ComputeHost:
     # -- dynamic rebalancing support ---------------------------------------------------
 
     def evict_subgraph(self, sgid: int):
-        """Remove a subgraph (and its state) from this host for migration."""
+        """Remove a subgraph (and its state) from this host for migration.
+
+        Returns ``(subgraph, state, merge_inbox, temporal_inbox)`` — pending
+        host-local temporal messages travel with the subgraph (migrations
+        happen between timesteps, when the superstep inbox is empty but the
+        next timestep's temporal deliveries may already be buffered).
+        """
         for i, sg in enumerate(self.partition.subgraphs):
             if sg.subgraph_id == sgid:
                 del self.partition.subgraphs[i]
                 state = self.states.pop(sgid)
                 merge = self._merge_inbox.pop(sgid, [])
+                temporal = self._temporal_inbox.pop(sgid, [])
                 self._halted.pop(sgid, None)
-                return sg, state, merge
+                return sg, state, merge, temporal
         raise KeyError(f"subgraph {sgid} not on partition {self.partition.partition_id}")
 
-    def adopt_subgraph(self, sg, state: dict, merge_inbox: list[Message]) -> None:
-        """Install a migrated subgraph (topology + resident state)."""
+    def adopt_subgraph(
+        self,
+        sg,
+        state: dict,
+        merge_inbox: list[Message],
+        temporal_inbox: list[Message] | None = None,
+    ) -> None:
+        """Install a migrated subgraph (topology + resident state + inboxes)."""
         self.partition.subgraphs.append(sg)
         self.partition.subgraphs.sort(key=lambda s: s.subgraph_id)
         self.states[sg.subgraph_id] = state
         self._merge_inbox[sg.subgraph_id] = list(merge_inbox)
+        if temporal_inbox:
+            self._temporal_inbox.setdefault(sg.subgraph_id, []).extend(temporal_inbox)
         self._halted[sg.subgraph_id] = True

@@ -41,6 +41,12 @@ class StepRecord:
     subgraphs_computed: int
     messages_sent: int
     bytes_sent: int
+    #: Messages delivered host-locally (same-partition short-circuit).
+    local_messages: int = 0
+    #: Messages that crossed partitions (shipped inside frames).
+    remote_messages: int = 0
+    #: Coalesced frames handed to the driver for routing.
+    frames_sent: int = 0
 
     @property
     def busy_s(self) -> float:
@@ -185,6 +191,24 @@ class MetricsCollector:
     def total_messages(self) -> int:
         return sum(r.messages_sent for r in self.step_records)
 
+    def total_local_messages(self) -> int:
+        """Messages short-circuited host-locally (never routed by the driver)."""
+        return sum(r.local_messages for r in self.step_records)
+
+    def total_remote_messages(self) -> int:
+        """Messages that crossed partitions (shipped in frames)."""
+        return sum(r.remote_messages for r in self.step_records)
+
+    def total_frames(self) -> int:
+        """Coalesced frames the driver routed (its per-superstep work unit)."""
+        return sum(r.frames_sent for r in self.step_records)
+
+    def cut_traffic_ratio(self) -> float:
+        """Fraction of messages that crossed partitions (Fig 5b-style cut)."""
+        local, remote = self.total_local_messages(), self.total_remote_messages()
+        total = local + remote
+        return remote / total if total else 0.0
+
     def total_supersteps(self) -> int:
         """Total BSP supersteps across all timesteps plus the merge phase."""
         return sum(self.supersteps_per_timestep.values()) + self.merge_supersteps
@@ -199,5 +223,8 @@ class MetricsCollector:
             "timesteps": self.num_timesteps_executed(),
             "supersteps": self.total_supersteps(),
             "messages": self.total_messages(),
+            "local_messages": self.total_local_messages(),
+            "remote_messages": self.total_remote_messages(),
+            "frames": self.total_frames(),
             "merge_wall_s": round(self.merge_wall(), 6),
         }

@@ -8,15 +8,20 @@ to workers over pipes using the same protocol as
 results gathered (a scatter/gather round per superstep, which *is* the BSP
 barrier).
 
-Everything crossing a pipe is pickled, so computations, instance sources and
-message payloads must be picklable — module-level classes and numpy arrays,
-per the mpi4py guide's advice to prefer array payloads.
+Everything crossing a pipe is pickled with **protocol 5 and out-of-band
+buffers**: a :class:`~repro.core.messages.MessageFrame`'s destination array
+and any numpy payloads travel as raw buffers after the pickle body instead
+of being copied into it — the bulk-transfer idiom from the mpi4py guides.
+Computations, instance sources and message payloads must be picklable
+(module-level classes and numpy arrays).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Sequence
+import pickle
+import struct
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -33,7 +38,49 @@ class WorkerError(RuntimeError):
     """Raised in the driver when a worker process's command failed."""
 
 
-def _worker_main(conn, partition, computation, meta, source, sg_part, cost_model) -> None:
+def _send_oob(conn, obj: Any) -> None:
+    """Send ``obj`` with pickle protocol 5, shipping buffers out-of-band.
+
+    Wire format per message: a header with the buffer count and sizes, the
+    pickle body (with large contiguous buffers extracted), then each raw
+    buffer.  Contiguous numpy arrays — frame destination vectors, array
+    payloads — cross the pipe without being serialized into the pickle
+    stream.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    body = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    raws = [buf.raw() for buf in buffers]
+    conn.send_bytes(struct.pack(f"<I{len(raws)}Q", len(raws), *(r.nbytes for r in raws)))
+    conn.send_bytes(body)
+    for raw in raws:
+        conn.send_bytes(raw)
+
+
+def _recv_oob(conn) -> Any:
+    """Receive one :func:`_send_oob` message (body + out-of-band buffers).
+
+    Buffers are received into exactly-sized *writeable* bytearrays, so
+    reconstructed arrays behave like the in-process executors' (mutable by
+    the receiving computation), with no copy beyond the pipe read itself.
+    """
+    header = conn.recv_bytes()
+    (num_buffers,) = struct.unpack_from("<I", header)
+    sizes = struct.unpack_from(f"<{num_buffers}Q", header, 4)
+    body = conn.recv_bytes()
+    buffers = []
+    for size in sizes:
+        buf = bytearray(size)
+        if size:
+            conn.recv_bytes_into(buf)
+        else:  # zero-length buffers still occupy a wire slot
+            conn.recv_bytes()
+        buffers.append(buf)
+    return pickle.loads(body, buffers=buffers)
+
+
+def _worker_main(
+    conn, partition, computation, meta, source, sg_part, cost_model, use_combiners
+) -> None:
     """Worker loop: owns one host, serves engine commands until ``stop``.
 
     Failures while executing a command (e.g. the user's ``compute`` raising)
@@ -42,13 +89,15 @@ def _worker_main(conn, partition, computation, meta, source, sg_part, cost_model
     """
     import traceback
 
-    host = ComputeHost(partition, computation, meta, source, sg_part, cost_model)
+    host = ComputeHost(
+        partition, computation, meta, source, sg_part, cost_model, use_combiners=use_combiners
+    )
     try:
         while True:
-            cmd = conn.recv()
+            cmd = _recv_oob(conn)
             op = cmd[0]
             if op == "stop":
-                conn.send(None)
+                _send_oob(conn, None)
                 break
             try:
                 if op == "begin":
@@ -66,9 +115,9 @@ def _worker_main(conn, partition, computation, meta, source, sg_part, cost_model
                 else:  # pragma: no cover - defensive
                     raise RuntimeError(f"unknown worker command {op!r}")
             except Exception:
-                conn.send(("error", traceback.format_exc()))
+                _send_oob(conn, ("error", traceback.format_exc()))
             else:
-                conn.send(reply)
+                _send_oob(conn, reply)
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - driver died
         pass
     finally:
@@ -82,7 +131,8 @@ class ProcessCluster(Cluster):
     instance ``sources`` are mandatory: each worker must be able to produce
     its instances *inside its own process* (a lazy generator-backed source or
     a GoFS view — not a pre-materialized shared list, which would defeat the
-    isolation).
+    isolation).  ``mp_context`` accepts a start-method name or a ready-made
+    multiprocessing context object.
     """
 
     def __init__(
@@ -93,34 +143,56 @@ class ProcessCluster(Cluster):
         sources: Sequence[InstanceSource],
         *,
         cost_model: CostModel | None = None,
-        mp_context: str = "fork",
+        mp_context: Any = "fork",
+        use_combiners: bool = True,
     ) -> None:
         if len(sources) != pg.num_partitions:
             raise ValueError("need exactly one instance source per partition")
         cost_model = cost_model or CostModel()
         sg_part = np.asarray([sg.partition_id for sg in pg.subgraphs], dtype=np.int64)
-        ctx = mp.get_context(mp_context)
+        ctx = mp.get_context(mp_context) if isinstance(mp_context, str) else mp_context
         self.num_partitions = pg.num_partitions
         self._conns = []
         self._procs = []
-        for p in range(pg.num_partitions):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child, pg.partitions[p], computation, meta, sources[p], sg_part, cost_model),
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
+        # Spawn workers one by one; if any step fails (process start, pipe
+        # creation), tear down the workers already started instead of leaking
+        # daemon processes that outlive the failed constructor.
+        try:
+            for p in range(pg.num_partitions):
+                parent, child = ctx.Pipe()
+                try:
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(
+                            child,
+                            pg.partitions[p],
+                            computation,
+                            meta,
+                            sources[p],
+                            sg_part,
+                            cost_model,
+                            use_combiners,
+                        ),
+                        daemon=True,
+                    )
+                    proc.start()
+                except BaseException:
+                    parent.close()
+                    child.close()
+                    raise
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+        except BaseException:
+            self.shutdown()
+            raise
 
     # -- scatter/gather ---------------------------------------------------------------
 
     def _broadcast(self, make_cmd) -> list[HostStepResult]:
         for p, conn in enumerate(self._conns):
-            conn.send(make_cmd(p))
-        replies = [conn.recv() for conn in self._conns]
+            _send_oob(conn, make_cmd(p))
+        replies = [_recv_oob(conn) for conn in self._conns]
         for p, reply in enumerate(replies):
             if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "error":
                 raise WorkerError(f"partition {p} worker failed:\n{reply[1]}")
@@ -132,7 +204,7 @@ class ProcessCluster(Cluster):
     def run_superstep(
         self, timestep: int, superstep: int, deliveries: Sequence[Deliveries]
     ) -> list[HostStepResult]:
-        return self._broadcast(lambda p: ("superstep", timestep, superstep, dict(deliveries[p])))
+        return self._broadcast(lambda p: ("superstep", timestep, superstep, deliveries[p]))
 
     def end_of_timestep(self, timestep: int) -> list[HostStepResult]:
         return self._broadcast(lambda p: ("eot", timestep))
@@ -140,7 +212,7 @@ class ProcessCluster(Cluster):
     def run_merge_superstep(
         self, superstep: int, deliveries: Sequence[Deliveries]
     ) -> list[HostStepResult]:
-        return self._broadcast(lambda p: ("merge", superstep, dict(deliveries[p])))
+        return self._broadcast(lambda p: ("merge", superstep, deliveries[p]))
 
     def resident_bytes(self) -> list[int]:
         return self._broadcast(lambda p: ("resident",))
@@ -154,8 +226,8 @@ class ProcessCluster(Cluster):
     def shutdown(self) -> None:
         for conn in self._conns:
             try:
-                conn.send(("stop",))
-                conn.recv()
+                _send_oob(conn, ("stop",))
+                _recv_oob(conn)
                 conn.close()
             except (BrokenPipeError, EOFError, OSError):  # pragma: no cover
                 pass

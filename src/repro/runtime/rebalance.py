@@ -113,9 +113,10 @@ def apply_migrations(
 ) -> float:
     """Execute migrations on an in-process cluster.
 
-    Moves subgraph topology + resident state between hosts, updates the
-    shared routing array in place, and returns the modeled transfer cost in
-    seconds (charged to the next timestep's wall by the engine).
+    Moves subgraph topology + resident state (including any host-local
+    temporal inbox buffered for the next timestep) between hosts, updates
+    the shared routing array in place, and returns the modeled transfer
+    cost in seconds (charged to the next timestep's wall by the engine).
     """
     if not isinstance(cluster, LocalCluster):
         raise NotImplementedError(
@@ -125,11 +126,13 @@ def apply_migrations(
     for move in migrations:
         src_host = cluster.hosts[move.source_partition]
         dst_host = cluster.hosts[move.target_partition]
-        sg, state, merge = src_host.evict_subgraph(move.subgraph_id)
-        dst_host.adopt_subgraph(sg, state, merge)
+        sg, state, merge, temporal = src_host.evict_subgraph(move.subgraph_id)
+        dst_host.adopt_subgraph(sg, state, merge, temporal)
         sg_part[move.subgraph_id] = move.target_partition
-        # Transfer cost: resident state shipped over the interconnect.
+        # Transfer cost: resident state (plus any buffered temporal inbox)
+        # shipped over the interconnect.
         nbytes = _state_nbytes(state) + 16 * sg.num_vertices
+        nbytes += sum(m.approx_size() for m in temporal)
         total_cost += cost_model.remote_send_cost(1, nbytes)
     return total_cost
 

@@ -1,0 +1,95 @@
+"""Byte-identical results across serial / thread / process executors.
+
+The batched message plane changes delivery routes (host-local short-circuit,
+per-partition frames, combiners) but must not change *what* applications
+compute: for each algorithm family the three executor backends have to agree
+bit-for-bit on outputs, merge outputs, and final subgraph states.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms.hashtag import HashtagAggregationComputation
+from repro.algorithms.meme import MemeTrackingComputation
+from repro.algorithms.tdsp import TDSPComputation
+from repro.core import EngineConfig, run_application
+from repro.graph import build_collection
+from repro.partition import HashPartitioner, partition_graph
+from repro.runtime import CollectionInstanceSource
+from tests.conftest import make_grid_template, populate_random
+
+PARTITIONS = 3
+
+
+@pytest.fixture(scope="module")
+def case():
+    tpl = make_grid_template(5, 6)
+    coll = build_collection(tpl, 4, populate_random(23), delta=6.0)
+    pg = partition_graph(tpl, PARTITIONS, HashPartitioner(seed=3))
+    return tpl, coll, pg
+
+
+def _computation(name, pg):
+    if name == "tdsp":
+        return TDSPComputation(0)
+    if name == "meme":
+        return MemeTrackingComputation(1)
+    return HashtagAggregationComputation.for_partitioned_graph(pg, 2)
+
+
+def _canonical(obj):
+    """Structural canonical form with byte-exact leaves.
+
+    Containers are walked recursively; ndarray leaves become
+    ``(dtype str, shape, raw data bytes)`` so equality is bit-for-bit on the
+    data while being insensitive to incidental *object-identity* sharing
+    (in-process arrays share the interned dtype singleton, arrays rebuilt
+    from out-of-band pickle buffers each carry their own dtype object — a
+    whole-container pickle encodes that difference in its memo graph even
+    when every value is identical).
+    """
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", str(obj.dtype), obj.shape, obj.tobytes())
+    if isinstance(obj, dict):
+        return ("dict", tuple(sorted((_canonical(k), _canonical(v)) for k, v in obj.items())))
+    if isinstance(obj, (list, tuple)):
+        return (type(obj).__name__, tuple(_canonical(x) for x in obj))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = tuple(
+            (f.name, _canonical(getattr(obj, f.name))) for f in dataclasses.fields(obj)
+        )
+        return (type(obj).__qualname__, fields)
+    if isinstance(obj, (np.generic, bool, int, float, complex, str, bytes, type(None))):
+        return (type(obj).__qualname__, obj)
+    raise TypeError(f"unhandled type in equivalence snapshot: {type(obj)!r}")
+
+
+def _snapshot(name, pg, coll, executor):
+    sources = (
+        [CollectionInstanceSource(coll) for _ in range(PARTITIONS)]
+        if executor == "process"
+        else None
+    )
+    res = run_application(
+        _computation(name, pg),
+        pg,
+        coll,
+        sources=sources,
+        config=EngineConfig(executor=executor),
+    )
+    return (
+        _canonical(res.outputs),
+        _canonical(res.merge_outputs),
+        _canonical(res.states),
+    )
+
+
+@pytest.mark.parametrize("name", ["tdsp", "meme", "hash"])
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_executor_matches_serial(case, name, executor):
+    _tpl, coll, pg = case
+    serial = _snapshot(name, pg, coll, "serial")
+    other = _snapshot(name, pg, coll, executor)
+    assert other == serial

@@ -1,12 +1,16 @@
-"""Tests for messages, send buffers, and bulk routing."""
+"""Tests for messages, send buffers, frames, and bulk routing."""
 
 import numpy as np
+import pytest
 
 from repro.core.messages import (
     Message,
+    MessageFrame,
     MessageKind,
     SendBuffer,
+    frames_from_deliveries,
     group_by_destination,
+    route_frames,
 )
 
 
@@ -68,6 +72,82 @@ class TestSendBuffer:
         b.voted_halt = False
         a.extend(b)
         assert not a.voted_halt
+
+    def test_fold_into_fresh_accumulator_adopts_votes(self):
+        """Folding all-voting buffers into an empty accumulator must halt.
+
+        Regression: a fresh accumulator's default ``voted_halt=False`` used
+        to be ANDed in as a standing no-vote, so batched hosts could never
+        see a unanimous halt.
+        """
+        acc = SendBuffer()
+        for _ in range(3):
+            b = SendBuffer()
+            b.voted_halt = True
+            b.voted_halt_timestep = True
+            acc.extend(b)
+        assert acc.voted_halt
+        assert acc.voted_halt_timestep
+
+    def test_fold_all_of_semantics(self):
+        """One dissenting buffer anywhere in the sequence blocks the halt."""
+        votes = [True, False, True]
+        acc = SendBuffer()
+        for v in votes:
+            b = SendBuffer()
+            b.voted_halt = v
+            acc.extend(b)
+        assert not acc.voted_halt
+        # And once lost, a later yes-vote cannot restore it.
+        late = SendBuffer()
+        late.voted_halt = True
+        acc.extend(late)
+        assert not acc.voted_halt
+
+
+class TestMessageFrame:
+    def test_pack_precomputes_sizes(self):
+        sends = [(3, Message(np.zeros(4))), (7, Message(b"xy"))]
+        frame = MessageFrame.pack(0, 1, sends)
+        assert len(frame) == 2
+        assert frame.nbytes == 32 + 2
+        assert frame.destinations.dtype == np.int64
+        assert list(frame.destinations) == [3, 7]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="per message"):
+            MessageFrame(0, 1, np.array([1, 2], dtype=np.int64), [Message("a")])
+
+    def test_deliver_into_appends_in_order(self):
+        frame = MessageFrame.pack(
+            0, 1, [(5, Message("a")), (6, Message("b")), (5, Message("c"))]
+        )
+        inbox = {5: [Message("z")]}
+        frame.deliver_into(inbox)
+        assert [m.payload for m in inbox[5]] == ["z", "a", "c"]
+        assert [m.payload for m in inbox[6]] == ["b"]
+
+    def test_frames_from_deliveries_one_frame_per_partition(self):
+        sg_part = np.array([0, 0, 1], dtype=np.int64)
+        deliveries = {0: [Message("a")], 1: [Message("b")], 2: [Message("c")]}
+        per_part = frames_from_deliveries(deliveries, sg_part, 2)
+        assert len(per_part) == 2
+        assert len(per_part[0]) == 1 and len(per_part[0][0]) == 2
+        assert len(per_part[1]) == 1 and list(per_part[1][0].destinations) == [2]
+
+    def test_frames_from_deliveries_skips_empty_partitions(self):
+        sg_part = np.array([0, 1], dtype=np.int64)
+        per_part = frames_from_deliveries({0: [Message("a")]}, sg_part, 2)
+        assert per_part[1] == []
+
+    def test_route_frames(self):
+        f01 = MessageFrame.pack(0, 1, [(9, Message("a"))])
+        f21 = MessageFrame.pack(2, 1, [(9, Message("b"))])
+        f10 = MessageFrame.pack(1, 0, [(0, Message("c"))])
+        routed = route_frames([f01, f10, f21], 3)
+        assert routed[0] == [f10]
+        assert routed[1] == [f01, f21]
+        assert routed[2] == []
 
 
 class TestGroupByDestination:

@@ -1,5 +1,7 @@
 """Tests for the process-per-partition cluster (pipes, errors, lifecycle)."""
 
+import multiprocessing as mp
+
 import numpy as np
 import pytest
 
@@ -76,6 +78,44 @@ class TestLifecycle:
             resident = cluster.resident_bytes()
             assert len(resident) == 2
             assert all(b > 0 for b in resident)
+
+
+class _FailSecondSpawnContext:
+    """Multiprocessing-context stand-in whose 2nd Process creation fails.
+
+    Wraps the real fork context so the first worker genuinely starts, then
+    raises when the cluster constructor asks for the next one — the scenario
+    where a partially constructed cluster used to leak live workers.
+    """
+
+    def __init__(self):
+        self._real = mp.get_context("fork")
+        self.started: list = []
+        self._spawned = 0
+
+    def Pipe(self):
+        return self._real.Pipe()
+
+    def Process(self, *args, **kwargs):
+        self._spawned += 1
+        if self._spawned >= 2:
+            raise OSError("out of processes")
+        proc = self._real.Process(*args, **kwargs)
+        self.started.append(proc)
+        return proc
+
+
+class TestConstructorFailure:
+    def test_started_workers_not_leaked(self, case):
+        """A failing spawn mid-constructor must shut down earlier workers."""
+        tpl, coll, pg, sources = case
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, 4, coll.delta, coll.t0)
+        ctx = _FailSecondSpawnContext()
+        with pytest.raises(OSError, match="out of processes"):
+            ProcessCluster(pg, EmitSum(), meta, sources, mp_context=ctx)
+        assert len(ctx.started) == 1
+        ctx.started[0].join(timeout=5)
+        assert not ctx.started[0].is_alive()
 
 
 class TestErrorPropagation:
