@@ -266,12 +266,19 @@ class TIBSPEngine:
                 metrics.record_gc(t, r.partition, r.gc_pause_s)
 
         # Superstep-0 deliveries per the pattern (Section II-D message rules).
-        # Framed fresh each timestep: rebalancing may have changed routing.
         if pattern is Pattern.SEQUENTIALLY_DEPENDENT:
             if t == start:
                 per_part = self._frames_for(input_msgs)
             else:
-                per_part = route_frames(temporal_frames, self.pg.num_partitions)
+                # Unpack and re-frame against the *current* routing array: a
+                # frame's dst_partition was computed at pack time, last
+                # timestep, and rebalancing may since have migrated its
+                # destination subgraphs to other partitions.  Frame order is
+                # preserved, so per-subgraph message order is unchanged.
+                buffered: dict[int, list[Message]] = {}
+                for frame in temporal_frames:
+                    frame.deliver_into(buffered)
+                per_part = self._frames_for(buffered)
                 temporal_frames.clear()
         else:
             per_part = self._frames_for(input_msgs)

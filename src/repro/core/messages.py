@@ -99,11 +99,12 @@ class SendBuffer:
     superstep_sends: list[tuple[int, Message]] = field(default_factory=list)
     temporal_sends: list[tuple[int, Message]] = field(default_factory=list)
     merge_sends: list[Message] = field(default_factory=list)
-    voted_halt: bool = False
-    voted_halt_timestep: bool = False
+    #: Tri-state: ``None`` means no vote has been cast on this buffer (fresh
+    #: accumulator); ``True``/``False`` is a standing vote.  Readers treat
+    #: ``None`` as falsy ("did not vote, so do not halt").
+    voted_halt: bool | None = None
+    voted_halt_timestep: bool | None = None
     outputs: list[Any] = field(default_factory=list)
-    #: Number of buffers folded in via :meth:`extend` (all-of vote semantics).
-    folded: int = field(default=0, repr=False, compare=False)
 
     def total_messages(self) -> int:
         return len(self.superstep_sends) + len(self.temporal_sends) + len(self.merge_sends)
@@ -120,23 +121,27 @@ class SendBuffer:
     def extend(self, other: "SendBuffer") -> None:
         """Merge another buffer into this one (used when batching subgraphs).
 
-        Halt votes follow *all-of* semantics over the folded buffers: the
-        accumulator halts only when every buffer folded into it voted to
-        halt.  A freshly constructed accumulator carries no vote of its own
-        (its default ``False`` means "no buffer folded yet", not a standing
-        no-vote), so the first :meth:`extend` adopts the other buffer's
-        votes outright; later calls AND them in.
+        Halt votes follow *all-of* semantics over every cast vote: the other
+        buffer's effective vote (not voting counts as "do not halt") is ANDed
+        with the accumulator's standing vote, if it has one.  A buffer whose
+        votes are still ``None`` has cast no vote, so the first :meth:`extend`
+        adopts the other buffer's effective votes; a standing vote — whether
+        cast directly by a compute call or by an earlier fold — is never
+        overwritten, only ANDed against.
         """
         self.superstep_sends.extend(other.superstep_sends)
         self.temporal_sends.extend(other.temporal_sends)
         self.merge_sends.extend(other.merge_sends)
-        if self.folded == 0:
-            self.voted_halt = other.voted_halt
-            self.voted_halt_timestep = other.voted_halt_timestep
+        if self.voted_halt is None:
+            self.voted_halt = bool(other.voted_halt)
         else:
-            self.voted_halt = self.voted_halt and other.voted_halt
-            self.voted_halt_timestep = self.voted_halt_timestep and other.voted_halt_timestep
-        self.folded += 1
+            self.voted_halt = self.voted_halt and bool(other.voted_halt)
+        if self.voted_halt_timestep is None:
+            self.voted_halt_timestep = bool(other.voted_halt_timestep)
+        else:
+            self.voted_halt_timestep = self.voted_halt_timestep and bool(
+                other.voted_halt_timestep
+            )
         self.outputs.extend(other.outputs)
 
 

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..core.computation import TimeSeriesComputation
 from ..core.context import ComputeContext, EndOfTimestepContext, MergeContext
-from ..core.messages import Message, MessageFrame, SendBuffer
+from ..core.messages import Message, MessageFrame, MessageKind, SendBuffer
 from ..core.patterns import Pattern
 from ..graph.collection import TimeSeriesGraphCollection
 from ..graph.instance import GraphInstance
@@ -192,25 +192,32 @@ class ComputeHost:
         return inbox
 
     def _combined(self, sends: list[tuple[int, Message]]) -> list[tuple[int, Message]]:
-        """Apply the application combiner per destination subgraph."""
+        """Apply the application combiner per destination subgraph.
+
+        Messages are grouped by ``(destination, kind, timestep)`` so a mix of
+        kinds or timesteps to one destination is never folded across the
+        boundary — each group keeps its own envelope tags.
+        """
         if self._combine is None or len(sends) < 2:
             return sends
-        grouped: dict[int, list[Message]] = {}
-        order: list[int] = []
+        grouped: dict[tuple[int, MessageKind, int], list[Message]] = {}
+        order: list[tuple[int, MessageKind, int]] = []
         for dst, msg in sends:
-            if dst not in grouped:
-                order.append(dst)
-            grouped.setdefault(dst, []).append(msg)
-        if len(grouped) == len(sends):  # no destination repeated
+            key = (dst, msg.kind, msg.timestep)
+            if key not in grouped:
+                order.append(key)
+            grouped.setdefault(key, []).append(msg)
+        if len(grouped) == len(sends):  # no (destination, kind, timestep) repeated
             return sends
         out: list[tuple[int, Message]] = []
-        for dst in order:
-            msgs = grouped[dst]
+        for key in order:
+            dst, kind, timestep = key
+            msgs = grouped[key]
             if len(msgs) == 1:
                 out.append((dst, msgs[0]))
             else:
                 payload = self._combine(dst, [m.payload for m in msgs])
-                out.append((dst, Message(payload, None, msgs[0].timestep, msgs[0].kind)))
+                out.append((dst, Message(payload, None, timestep, kind)))
         return out
 
     def _flush_sends(
@@ -290,7 +297,7 @@ class ComputeHost:
         if buffer.voted_halt_timestep:
             result.halt_timestep_votes.add(sgid)
         if update_halt:
-            self._halted[sgid] = buffer.voted_halt
+            self._halted[sgid] = bool(buffer.voted_halt)
 
     # -- protocol ----------------------------------------------------------------------
 
@@ -404,6 +411,15 @@ class ComputeHost:
         if superstep == 0:
             self._halted = {sg.subgraph_id: False for sg in self.partition.subgraphs}
         inbox = self._open_inbox(deliveries)
+        if superstep == 0 and inbox:
+            # Superstep 0 reads from the merge inbox only; the engine's
+            # quiescence rule guarantees no frames or leftover local
+            # deliveries exist here.  Reject protocol misuse loudly rather
+            # than silently dropping the messages.
+            raise RuntimeError(
+                "merge superstep 0 expects no deliveries (messages come from "
+                f"the merge inbox), got messages for subgraphs {sorted(inbox)}"
+            )
         sends: list[tuple[int, Message]] = []
         temporal: list[tuple[int, Message]] = []
         for sg in self.partition.subgraphs:

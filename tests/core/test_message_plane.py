@@ -209,3 +209,23 @@ class TestCombiners:
         _total, count, sources = next(rec for _t, _sg, rec in res.outputs)
         assert count == 1
         assert sources == [senders[0]]  # original envelope, untouched
+
+    def test_combiner_never_folds_across_kind_or_timestep(self):
+        """Mixed kinds/timesteps to one destination keep separate envelopes."""
+        from repro.core.messages import Message, MessageKind
+        from repro.runtime.host import ComputeHost
+
+        host = ComputeHost.__new__(ComputeHost)
+        host._combine = lambda dst, payloads: sum(payloads)
+        sends = [
+            (1, Message(1, 0, 0, MessageKind.SUPERSTEP)),
+            (1, Message(2, 0, 0, MessageKind.TEMPORAL)),
+            (1, Message(4, 0, 0, MessageKind.SUPERSTEP)),
+            (1, Message(8, 0, 1, MessageKind.SUPERSTEP)),
+        ]
+        out = ComputeHost._combined(host, sends)
+        assert [(d, m.payload, m.kind, m.timestep) for d, m in out] == [
+            (1, 5, MessageKind.SUPERSTEP, 0),
+            (1, 2, MessageKind.TEMPORAL, 0),
+            (1, 8, MessageKind.SUPERSTEP, 1),
+        ]

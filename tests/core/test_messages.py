@@ -89,6 +89,27 @@ class TestSendBuffer:
         assert acc.voted_halt
         assert acc.voted_halt_timestep
 
+    def test_extend_preserves_directly_cast_vote(self):
+        """A vote cast directly on the accumulator participates in the fold.
+
+        Regression: a folded-buffer counter of 0 used to mean "fresh", so
+        the first :meth:`extend` overwrote a standing vote already cast on
+        the accumulator itself (e.g. by a compute call).
+        """
+        acc = SendBuffer()
+        acc.voted_halt = False  # cast directly: this subgraph does not halt
+        b = SendBuffer()
+        b.voted_halt = True
+        acc.extend(b)
+        assert not acc.voted_halt
+
+    def test_extend_non_voting_buffer_blocks_halt(self):
+        """Folding a buffer that cast no vote counts as a no-halt vote."""
+        acc = SendBuffer()
+        acc.voted_halt = True  # cast directly
+        acc.extend(SendBuffer())
+        assert not acc.voted_halt
+
     def test_fold_all_of_semantics(self):
         """One dissenting buffer anywhere in the sequence blocks the halt."""
         votes = [True, False, True]

@@ -154,3 +154,29 @@ class TestHostAccounting:
         remote_sends = [r for r in sends if r.bytes_sent > 0]
         assert remote_sends
         assert all(r.send_s >= 1e-3 for r in remote_sends)
+
+
+class TestMergeProtocol:
+    def test_merge_superstep0_rejects_deliveries(self):
+        """Superstep 0 reads the merge inbox; stray deliveries must fail loudly."""
+        from repro.core.messages import Message
+
+        tpl = make_grid_template(3, 3)
+        coll = build_collection(tpl, 1)
+        pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+
+        class Noop(TimeSeriesComputation):
+            pattern = Pattern.EVENTUALLY_DEPENDENT
+
+            def compute(self, ctx):
+                ctx.vote_to_halt()
+
+            def merge(self, ctx):
+                ctx.vote_to_halt()
+
+        meta = RunMeta(Pattern.EVENTUALLY_DEPENDENT, 1, 1.0, 0.0)
+        cluster = LocalCluster(pg, Noop(), meta, collection=coll)
+        host = cluster.hosts[0]
+        sgid = host.partition.subgraphs[0].subgraph_id
+        with pytest.raises(RuntimeError, match="merge superstep 0"):
+            host.run_merge_superstep(0, {sgid: [Message("stray")]})

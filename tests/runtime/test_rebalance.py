@@ -102,6 +102,60 @@ class TestApplyMigrations:
         assert _state_nbytes({"c": 5}) == 16
 
 
+class ScriptedPolicy:
+    """Rebalance policy that emits a fixed move list once, then nothing."""
+
+    def __init__(self, moves):
+        self._pending = list(moves)
+        self.history = []
+
+    def decide(self, busy, partition_subgraphs):
+        moves, self._pending = self._pending, []
+        self.history.append(moves)
+        return moves
+
+
+class TestTemporalRoutingAfterMigration:
+    def test_remote_temporal_message_follows_migrated_subgraph(self):
+        """A buffered temporal frame must be re-routed after migrations.
+
+        Regression: frames carried the destination partition computed at
+        pack time (the previous timestep); when the rebalancer migrated the
+        destination subgraph between timesteps, the driver shipped the frame
+        to the old host, which silently dropped it.
+        """
+        from repro.core import Pattern, TimeSeriesComputation
+        from repro.graph import build_collection
+
+        tpl = make_grid_template(4, 4)
+        coll = build_collection(tpl, 2)
+        pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+        by_part = {}
+        for sg in pg.subgraphs:
+            by_part.setdefault(sg.partition_id, []).append(sg.subgraph_id)
+        # src on partition 0 pings dst on partition 1 across the timestep
+        # boundary; the policy migrates dst onto partition 0 at that boundary.
+        src, dst = by_part[0][0], by_part[1][0]
+
+        class CrossPing(TimeSeriesComputation):
+            pattern = Pattern.SEQUENTIALLY_DEPENDENT
+
+            def compute(self, ctx):
+                got = [m.payload for m in ctx.messages]
+                if got:
+                    ctx.state.setdefault("got", []).extend(got)
+                if ctx.subgraph.subgraph_id == src:
+                    ctx.send_to_subgraph_in_next_timestep(dst, ("ping", ctx.timestep))
+                ctx.vote_to_halt()
+
+        policy = ScriptedPolicy([Migration(dst, 1, 0)])
+        res = run_application(
+            CrossPing(), pg, coll, config=EngineConfig(rebalancer=policy)
+        )
+        assert policy.history and policy.history[0], "the migration must happen"
+        assert res.states[dst].get("got") == [("ping", 0)]
+
+
 class TestEndToEnd:
     def test_rebalanced_tdsp_correct(self):
         from repro.generators import road_network
