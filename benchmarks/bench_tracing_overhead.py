@@ -1,0 +1,116 @@
+"""Tracing overhead: the observability plane must be free when off, cheap when on.
+
+The acceptance contract for the tracing plane is twofold:
+
+* **disabled** (the default) the instrumented hot paths reduce to a single
+  ``tracer is None`` identity check — results are bit-identical to a build
+  without the plane, and the wall-clock penalty is noise;
+* **enabled** the run still produces bit-identical application results
+  (tracing only observes) at a bounded slowdown.
+
+This bench runs TDSP/CARN hash-partitioned (the high-message-traffic
+regime, where per-send instrumentation would hurt most) three ways —
+untraced, traced, and traced+export — taking the min over rounds to damp
+scheduler noise.  With ``--json`` the numbers land in
+``BENCH_tracing_overhead.json``; overhead percentages are reported rather
+than hard-asserted because CI wall clocks are noisy, but result equality IS
+asserted.
+"""
+
+import pickle
+import time
+
+from repro.algorithms import TDSPComputation
+from repro.analysis import render_table
+from repro.core import EngineConfig, run_application
+from repro.partition import HashPartitioner, partition_graph
+from repro.runtime import CostModel
+
+from conftest import SCALE, SEED, emit
+
+PARTITIONS = 6
+ROUNDS = 3
+
+
+def _run(pg, collection, *, tracing):
+    config = EngineConfig(
+        cost_model=CostModel.for_scale(SCALE), tracing=tracing
+    )
+    best = None
+    res = None
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        res = run_application(
+            TDSPComputation(0, halt_when_stalled=True), pg, collection, config=config
+        )
+        wall = time.perf_counter() - t0
+        best = wall if best is None else min(best, wall)
+    return res, best
+
+
+def test_tracing_overhead(benchmark, datasets, emit_json, tmp_path):
+    tpl = datasets["CARN"]["template"]
+    collection = datasets["CARN"]["road"]
+    pg = partition_graph(tpl, PARTITIONS, HashPartitioner(seed=SEED))
+
+    def run_all():
+        off_res, off_wall = _run(pg, collection, tracing=False)
+        on_res, on_wall = _run(pg, collection, tracing=True)
+        t0 = time.perf_counter()
+        on_res.trace.write(tmp_path / "trace", {"bench": "tracing_overhead"})
+        export_wall = time.perf_counter() - t0
+        return off_res, off_wall, on_res, on_wall, export_wall
+
+    off_res, off_wall, on_res, on_wall, export_wall = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    # Tracing only observes: application results are bit-identical on/off.
+    assert pickle.dumps(off_res.states) == pickle.dumps(on_res.states)
+    assert pickle.dumps(off_res.outputs) == pickle.dumps(on_res.outputs)
+    assert off_res.trace is None and on_res.trace is not None
+
+    overhead_pct = 100.0 * (on_wall - off_wall) / off_wall if off_wall else 0.0
+    n_spans = len(on_res.trace.spans)
+    n_events = len(on_res.trace.events)
+    rows = [
+        {
+            "tracing": "off",
+            "bench_wall_s": round(off_wall, 4),
+            "spans": 0,
+            "events": 0,
+        },
+        {
+            "tracing": "on",
+            "bench_wall_s": round(on_wall, 4),
+            "spans": n_spans,
+            "events": n_events,
+        },
+    ]
+    emit(
+        "tracing_overhead",
+        render_table(
+            rows,
+            title=(
+                f"Tracing overhead (TDSP/CARN hash, {PARTITIONS} partitions): "
+                f"{overhead_pct:+.1f}% wall, export {export_wall:.3f}s"
+            ),
+        ),
+    )
+    emit_json(
+        "tracing_overhead",
+        {
+            "dataset": "CARN",
+            "algorithm": "TDSP",
+            "partitions": PARTITIONS,
+            "scale": SCALE,
+            "rounds": ROUNDS,
+            "wall_s_tracing_off": round(off_wall, 6),
+            "wall_s_tracing_on": round(on_wall, 6),
+            "overhead_pct": round(overhead_pct, 2),
+            "export_wall_s": round(export_wall, 6),
+            "spans_recorded": n_spans,
+            "events_recorded": n_events,
+            "results_bit_identical": True,
+        },
+    )

@@ -3,9 +3,17 @@
 from .export import result_summary, write_csv, write_result_json, write_series_csv
 from .report import render_bar_chart, render_series, render_table
 from .timeline import frontier_matrix, frontier_totals, timestep_times
+from .trace_replay import (
+    crosscheck_trace,
+    replay_partition_breakdown,
+    replay_timestep_walls,
+)
 from .utilization import UtilizationRow, utilization_rows
 
 __all__ = [
+    "crosscheck_trace",
+    "replay_partition_breakdown",
+    "replay_timestep_walls",
     "result_summary",
     "write_csv",
     "write_result_json",

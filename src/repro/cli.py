@@ -5,19 +5,23 @@ Subcommands::
     tibsp datasets   — Table 1: generated dataset statistics
     tibsp edgecuts   — Table 2: edge-cut % for 3/6/9 partitions
     tibsp run        — run one algorithm on one dataset configuration
-    tibsp fig5b      — the Giraph-vs-GoFFish comparison
+    tibsp trace      — run one algorithm traced; write Perfetto trace + event log
+    tibsp fig5b     — the Giraph-vs-GoFFish comparison
     tibsp store      — write a dataset into a GoFS store directory
 
 All subcommands accept ``--scale`` (template vertices) and ``--seed``; they
-print the same rows/series the paper's tables and figures report.
+print the same rows/series the paper's tables and figures report.  The
+``repro`` console script is an alias for ``tibsp``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .analysis import (
+    crosscheck_trace,
     render_series,
     render_table,
     utilization_rows,
@@ -43,6 +47,7 @@ from .generators import (
     smallworld_network,
 )
 from .graph import AttributeSchema, AttributeSpec, GraphTemplate
+from .observability import run_provenance, validate_chrome_trace
 from .partition import MetisLikePartitioner, compute_stats, partition_graph
 from .runtime import GCModel, GreedyRebalancer
 from .storage import GoFS
@@ -90,7 +95,8 @@ def _evolving_collection(args: argparse.Namespace):
     return template, make_collection(template, args.instances, populator)
 
 
-def _run(args: argparse.Namespace) -> int:
+def _problem_setup(args: argparse.Namespace):
+    """Dataset + partitioning + computation shared by ``run`` and ``trace``."""
     if args.algorithm in ("reach", "evolve"):
         template, collection = _evolving_collection(args)
     else:
@@ -98,27 +104,48 @@ def _run(args: argparse.Namespace) -> int:
         template = data["template"]
         collection = data["road" if args.algorithm in ("tdsp", "stats") else "tweets"]
     pg = partition_graph(template, args.partitions, MetisLikePartitioner(seed=args.seed))
+    return template, collection, pg, _make_computation(args, template, collection, pg)
+
+
+def _make_computation(args: argparse.Namespace, template, collection, pg):
+    if args.algorithm == "tdsp":
+        return TDSPComputation(source=args.source, halt_when_stalled=True)
+    if args.algorithm == "meme":
+        return MemeTrackingComputation(meme=0)
+    if args.algorithm == "hash":
+        return HashtagAggregationComputation.for_partitioned_graph(pg, 0)
+    if args.algorithm == "reach":
+        return TemporalReachabilityComputation(source=args.source)
+    if args.algorithm == "evolve":
+        return CommunityEvolutionComputation(
+            template.num_vertices, largest_subgraph_in_partition(pg, 0)
+        )
+    # stats
+    return InstanceStatisticsComputation(
+        "latency", on="edges", range_low=0.0, range_high=0.2 * collection.delta
+    )
+
+
+def _provenance(args: argparse.Namespace) -> dict:
+    """Run arguments shared by ``--export`` summaries and trace manifests."""
+    return run_provenance(
+        algorithm=args.algorithm,
+        graph=args.graph,
+        executor=args.executor,
+        partitions=args.partitions,
+        scale=args.scale,
+        instances=args.instances,
+        seed=args.seed,
+    )
+
+
+def _run(args: argparse.Namespace) -> int:
+    _template, collection, pg, comp = _problem_setup(args)
     config = EngineConfig(
         executor=args.executor,
         gc_model=GCModel() if args.gc else GCModel.disabled(),
         rebalancer=GreedyRebalancer() if args.rebalance else None,
     )
-    if args.algorithm == "tdsp":
-        comp = TDSPComputation(source=args.source, halt_when_stalled=True)
-    elif args.algorithm == "meme":
-        comp = MemeTrackingComputation(meme=0)
-    elif args.algorithm == "hash":
-        comp = HashtagAggregationComputation.for_partitioned_graph(pg, 0)
-    elif args.algorithm == "reach":
-        comp = TemporalReachabilityComputation(source=args.source)
-    elif args.algorithm == "evolve":
-        comp = CommunityEvolutionComputation(
-            template.num_vertices, largest_subgraph_in_partition(pg, 0)
-        )
-    else:  # stats
-        comp = InstanceStatisticsComputation(
-            "latency", on="edges", range_low=0.0, range_high=0.2 * collection.delta
-        )
     result = run_application(comp, pg, collection, config=config)
     print(render_table([result.metrics.summary()], title=f"{args.algorithm} on {args.graph}"))
     print(render_series(result.metrics.timestep_series(), label="time per timestep (s)"))
@@ -134,9 +161,44 @@ def _run(args: argparse.Namespace) -> int:
     if args.rebalance:
         print(f"migrations applied: {sum(result.metrics.migrations.values())}")
     if args.export:
-        path = write_result_json(args.export, result, algorithm=args.algorithm, graph=args.graph)
+        path = write_result_json(args.export, result, provenance=_provenance(args))
         print(f"run summary written to {path}")
     return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    """Traced run: write Perfetto trace + JSONL event log + run manifest."""
+    _template, collection, pg, comp = _problem_setup(args)
+    config = EngineConfig(
+        executor=args.executor,
+        gc_model=GCModel() if args.gc else GCModel.disabled(),
+        rebalancer=GreedyRebalancer() if args.rebalance else None,
+        tracing=True,
+    )
+    result = run_application(comp, pg, collection, config=config)
+
+    manifest = _provenance(args)
+    manifest["barrier_s"] = config.cost_model.barrier_cost(pg.num_partitions)
+    manifest["metrics"] = result.metrics.summary()
+    paths = result.trace.write(Path(args.out), manifest)
+
+    errors = validate_chrome_trace(result.trace.chrome_trace())
+    mismatches = crosscheck_trace(result)
+    print(render_table([result.metrics.summary()], title=f"{args.algorithm} on {args.graph} (traced)"))
+    print(f"trace:    {paths['trace']}  (open in https://ui.perfetto.dev)")
+    print(f"events:   {paths['events']}")
+    print(f"manifest: {paths['manifest']}")
+    if errors:
+        print("TRACE VALIDATION FAILED:")
+        for e in errors[:20]:
+            print(f"  {e}")
+    if mismatches:
+        print("EVENT-LOG REPLAY MISMATCHES (event log incomplete?):")
+        for msg in mismatches[:20]:
+            print(f"  {msg}")
+    if not errors and not mismatches:
+        print("trace valid; event-log replay matches the metrics collector")
+    return 1 if (errors or mismatches) else 0
 
 
 def _fig5b(args: argparse.Namespace) -> int:
@@ -191,6 +253,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--export", metavar="PATH", help="write a JSON run summary")
     p.set_defaults(func=_run)
+
+    p = sub.add_parser(
+        "trace", help="traced run: Perfetto trace + event log + manifest"
+    )
+    _add_common(p)
+    p.add_argument(
+        "algorithm", choices=["tdsp", "meme", "hash", "reach", "evolve", "stats"]
+    )
+    p.add_argument("--graph", choices=["CARN", "WIKI"], default="CARN")
+    p.add_argument("--partitions", type=int, default=6)
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--gc", action="store_true", help="enable the GC pause model")
+    p.add_argument(
+        "--executor", choices=["serial", "thread"], default="thread",
+        help="cluster backend (thread default: real concurrency in the trace)",
+    )
+    p.add_argument(
+        "--rebalance", action="store_true", help="enable greedy dynamic rebalancing"
+    )
+    p.add_argument(
+        "--out", metavar="DIR", default="trace-out",
+        help="output directory for trace.json / events.jsonl / manifest.json",
+    )
+    p.set_defaults(func=_trace)
 
     p = sub.add_parser("fig5b", help="Giraph vs GoFFish comparison")
     _add_common(p)

@@ -21,12 +21,14 @@ were emitted in it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 from ..graph.collection import TimeSeriesGraphCollection
+from ..observability import NULL_SPAN, RunTrace, tracing_enabled
 from ..partition.base import PartitionedGraph
 from ..runtime.cluster import Cluster, LocalCluster
 from ..runtime.cost import CostModel
@@ -68,6 +70,15 @@ class EngineConfig:
         :mod:`repro.runtime.rebalance`): between timesteps, subgraphs may
         migrate from busy to idle partitions.  In-process executors with
         shared-collection sources only.
+    tracing:
+        ``None``/``False`` (default, a strict no-op), ``True``, or a
+        :class:`~repro.observability.TraceConfig`.  When enabled, the run
+        records spans, structured events, and counters across the driver
+        and every host (worker telemetry is marshalled back with protocol
+        replies) and attaches a :class:`~repro.observability.RunTrace` to
+        the result as ``result.trace`` — exportable to Perfetto and the
+        JSONL event log.  Tracing only observes: engine results are
+        bit-identical with it on or off.
     """
 
     executor: str = "serial"
@@ -77,6 +88,7 @@ class EngineConfig:
     collect_states: bool = True
     combiners: bool = True
     rebalancer: object | None = None
+    tracing: object | None = None
 
 
 class TIBSPEngine:
@@ -112,7 +124,9 @@ class TIBSPEngine:
 
     # -- cluster construction ------------------------------------------------------
 
-    def _make_cluster(self, computation: TimeSeriesComputation, meta: RunMeta) -> Cluster:
+    def _make_cluster(
+        self, computation: TimeSeriesComputation, meta: RunMeta, tracing: bool
+    ) -> Cluster:
         cfg = self.config
         if cfg.executor == "process":
             if self.sources is None:
@@ -128,6 +142,7 @@ class TIBSPEngine:
                 self.sources,
                 cost_model=cfg.cost_model,
                 use_combiners=cfg.combiners,
+                tracing=tracing,
             )
         return LocalCluster(
             self.pg,
@@ -138,6 +153,7 @@ class TIBSPEngine:
             cost_model=cfg.cost_model,
             executor=cfg.executor,
             use_combiners=cfg.combiners,
+            tracing=tracing,
         )
 
     # -- routing helpers --------------------------------------------------------------
@@ -193,34 +209,48 @@ class TIBSPEngine:
         metrics = MetricsCollector(
             self.pg.num_partitions, barrier_s=self.config.cost_model.barrier_cost(self.pg.num_partitions)
         )
-        result = AppResult(metrics=metrics)
+        trace = RunTrace() if tracing_enabled(self.config.tracing) else None
+        result = AppResult(metrics=metrics, trace=trace)
         input_msgs = self._as_input_messages(inputs)
 
-        cluster = self._make_cluster(computation, meta)
+        cluster = self._make_cluster(computation, meta, trace is not None)
+        if trace is not None:
+            cluster.driver_tracer = trace.tracer
         try:
             # Remote temporal sends buffered between timesteps, still framed;
             # same-partition temporal sends never leave their host.
             temporal_frames: list[MessageFrame] = []
             for t in range(start, stop):
-                halted_early = self._run_timestep(
-                    cluster, metrics, result, pattern, t, start, input_msgs, temporal_frames
-                )
+                with trace.tracer.span("timestep", t=t) if trace is not None else NULL_SPAN:
+                    halted_early = self._run_timestep(
+                        cluster, metrics, trace, result, pattern, t, start, input_msgs, temporal_frames
+                    )
                 result.timesteps_executed += 1
                 if halted_early:
                     # Only count as early when timesteps actually remained.
                     result.halted_early = t < stop - 1
                     break
             if pattern.has_merge:
-                self._run_merge(cluster, metrics, result)
+                self._run_merge(cluster, metrics, trace, result)
             if self.config.collect_states:
                 result.states = cluster.final_states()
         finally:
             cluster.shutdown()
+            if trace is not None:
+                trace.finish()
         return result
 
     # -- one timestep ---------------------------------------------------------------------
 
-    def _record(self, metrics: MetricsCollector, phase: str, t: int, s: int, results: list[HostStepResult]) -> None:
+    def _record(
+        self,
+        metrics: MetricsCollector,
+        trace: RunTrace | None,
+        phase: str,
+        t: int,
+        s: int,
+        results: list[HostStepResult],
+    ) -> None:
         for r in results:
             metrics.record_step(
                 StepRecord(
@@ -238,11 +268,34 @@ class TIBSPEngine:
                     frames_sent=r.frames_sent,
                 )
             )
+        if trace is not None:
+            # Mirror every StepRecord as a "step" event: the event log must
+            # carry everything the aggregate collector sees, so the replay
+            # cross-check (analysis.trace_replay) is a genuine completeness
+            # check rather than a tautology.
+            trace.absorb_results(results)
+            for r in results:
+                trace.tracer.event(
+                    "step",
+                    phase=phase,
+                    timestep=t,
+                    superstep=s,
+                    partition=r.partition,
+                    compute_s=r.compute_s,
+                    send_s=r.send_s,
+                    subgraphs=r.subgraphs_computed,
+                    messages=r.messages_sent,
+                    local=r.local_messages,
+                    remote=r.remote_messages,
+                    frames=r.frames_sent,
+                    bytes=r.bytes_sent,
+                )
 
     def _run_timestep(
         self,
         cluster: Cluster,
         metrics: MetricsCollector,
+        trace: RunTrace | None,
         result: AppResult,
         pattern: Pattern,
         t: int,
@@ -251,8 +304,9 @@ class TIBSPEngine:
         temporal_frames: list[MessageFrame],
     ) -> bool:
         """Run one BSP timestep.  Returns True when the app halted early."""
+        tr = trace.tracer if trace is not None else None
         if self.config.rebalancer is not None and t > start:
-            self._rebalance(cluster, metrics, t)
+            self._rebalance(cluster, metrics, trace, t)
         gc = self.config.gc_model
         if gc.enabled:
             resident = cluster.resident_bytes()
@@ -260,10 +314,18 @@ class TIBSPEngine:
         else:
             pauses = [0.0] * self.pg.num_partitions
 
-        for r in cluster.begin_timestep(t, pauses):
+        with tr.span("begin_timestep", t=t) if tr is not None else NULL_SPAN:
+            begin_results = cluster.begin_timestep(t, pauses)
+        for r in begin_results:
             metrics.record_load(t, r.partition, r.load_s)
             if r.gc_pause_s:
                 metrics.record_gc(t, r.partition, r.gc_pause_s)
+        if trace is not None:
+            trace.absorb_results(begin_results)
+            for r in begin_results:
+                tr.event("instance_load", timestep=t, partition=r.partition, seconds=r.load_s)
+                if r.gc_pause_s:
+                    tr.event("gc_pause", timestep=t, partition=r.partition, seconds=r.gc_pause_s)
 
         # Superstep-0 deliveries per the pattern (Section II-D message rules).
         if pattern is Pattern.SEQUENTIALLY_DEPENDENT:
@@ -291,8 +353,18 @@ class TIBSPEngine:
                     f"timestep {t} exceeded max_supersteps={self.config.max_supersteps}; "
                     "is the computation failing to vote to halt?"
                 )
-            step_results = cluster.run_superstep(t, superstep, per_part)
-            self._record(metrics, PHASE_COMPUTE, t, superstep, step_results)
+            with tr.span("superstep", t=t, s=superstep) if tr is not None else NULL_SPAN:
+                barrier_start = time.perf_counter()
+                step_results = cluster.run_superstep(t, superstep, per_part)
+                if tr is not None:
+                    tr.event(
+                        "barrier",
+                        phase=PHASE_COMPUTE,
+                        timestep=t,
+                        superstep=superstep,
+                        wall_s=time.perf_counter() - barrier_start,
+                    )
+            self._record(metrics, trace, PHASE_COMPUTE, t, superstep, step_results)
 
             frames: list[MessageFrame] = []
             for r in step_results:
@@ -309,8 +381,9 @@ class TIBSPEngine:
             ):
                 break
 
-        eot_results = cluster.end_of_timestep(t)
-        self._record(metrics, PHASE_COMPUTE, t, superstep, eot_results)
+        with tr.span("end_of_timestep", t=t) if tr is not None else NULL_SPAN:
+            eot_results = cluster.end_of_timestep(t)
+        self._record(metrics, trace, PHASE_COMPUTE, t, superstep, eot_results)
         pending_temporal = 0
         for r in eot_results:
             temporal_frames.extend(r.temporal_frames)
@@ -324,7 +397,9 @@ class TIBSPEngine:
 
     # -- dynamic rebalancing ---------------------------------------------------------------
 
-    def _rebalance(self, cluster: Cluster, metrics: MetricsCollector, t: int) -> None:
+    def _rebalance(
+        self, cluster: Cluster, metrics: MetricsCollector, trace: RunTrace | None, t: int
+    ) -> None:
         """Ask the policy for moves based on the previous timestep's load."""
         from ..runtime.cluster import LocalCluster
         from ..runtime.host import CollectionInstanceSource
@@ -354,22 +429,45 @@ class TIBSPEngine:
         moves = self.config.rebalancer.decide(busy, partition_subgraphs)
         if not moves:
             return
-        cost = apply_migrations(cluster, moves, self._sg_part, self.config.cost_model)
-        # Keep the hosts' shared routing array and the engine's in sync
-        # (apply_migrations updated the engine's copy; mirror onto hosts').
-        cluster.hosts[0].subgraph_partition[:] = self._sg_part
+        tr = trace.tracer if trace is not None else None
+        with tr.span("rebalance", t=t) if tr is not None else NULL_SPAN:
+            cost = apply_migrations(
+                cluster, moves, self._sg_part, self.config.cost_model, tracer=tr
+            )
+            # Keep the hosts' shared routing array and the engine's in sync
+            # (apply_migrations updated the engine's copy; mirror onto hosts').
+            cluster.hosts[0].subgraph_partition[:] = self._sg_part
         metrics.record_migration(t, len(moves), cost)
+        if tr is not None:
+            tr.event("migration", timestep=t, count=len(moves), cost_s=cost)
 
     # -- merge phase ---------------------------------------------------------------------
 
-    def _run_merge(self, cluster: Cluster, metrics: MetricsCollector, result: AppResult) -> None:
+    def _run_merge(
+        self,
+        cluster: Cluster,
+        metrics: MetricsCollector,
+        trace: RunTrace | None,
+        result: AppResult,
+    ) -> None:
+        tr = trace.tracer if trace is not None else None
         per_part: list[list[MessageFrame]] = [[] for _ in range(self.pg.num_partitions)]
         superstep = 0
         while True:
             if superstep >= self.config.max_supersteps:
                 raise RuntimeError("merge phase exceeded max_supersteps")
-            step_results = cluster.run_merge_superstep(superstep, per_part)
-            self._record(metrics, PHASE_MERGE, -1, superstep, step_results)
+            with tr.span("merge_superstep", s=superstep) if tr is not None else NULL_SPAN:
+                barrier_start = time.perf_counter()
+                step_results = cluster.run_merge_superstep(superstep, per_part)
+                if tr is not None:
+                    tr.event(
+                        "barrier",
+                        phase=PHASE_MERGE,
+                        timestep=-1,
+                        superstep=superstep,
+                        wall_s=time.perf_counter() - barrier_start,
+                    )
+            self._record(metrics, trace, PHASE_MERGE, -1, superstep, step_results)
             frames: list[MessageFrame] = []
             for r in step_results:
                 frames.extend(r.frames)

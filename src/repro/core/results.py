@@ -36,6 +36,11 @@ class AppResult:
         For temporally parallel runs (see :mod:`repro.core.temporal`): the
         pipelined wall-clock with concurrent timesteps.  ``None`` for
         ordinary runs, where :attr:`total_wall_s` is the makespan.
+    trace:
+        The :class:`~repro.observability.RunTrace` recorded when the run
+        was configured with ``EngineConfig(tracing=...)``; ``None``
+        otherwise.  Use ``result.trace.write(out_dir, manifest)`` to emit
+        the Perfetto trace, the JSONL event log, and the run manifest.
     """
 
     outputs: list[tuple[int, int, Any]] = field(default_factory=list)
@@ -45,6 +50,7 @@ class AppResult:
     timesteps_executed: int = 0
     halted_early: bool = False
     simulated_makespan: float | None = None
+    trace: Any | None = None
 
     def outputs_by_timestep(self) -> dict[int, list[Any]]:
         """Group output records by the timestep that emitted them."""

@@ -1,0 +1,54 @@
+"""Observability plane: span tracer, event log, counters, Perfetto export.
+
+This package is deliberately **zero-dependency and repro-agnostic** — it
+imports nothing from the rest of the package, so every layer (engine,
+hosts, clusters, storage) can instrument itself without import cycles.
+
+Three primitives, one collector:
+
+* :class:`~repro.observability.tracer.Tracer` — per-track span recorder
+  (``with tracer.span("superstep", t=3, s=0): ...``) with monotonic
+  nanosecond clocks, instant events, and a counter registry.  One tracer
+  per host/worker plus one for the driver; everything a worker records is
+  drained into a picklable :class:`~repro.observability.tracer.TracePacket`
+  and marshalled back over the existing protocol replies.
+* the structured **event log** (:mod:`~repro.observability.events`) —
+  schema-versioned JSONL records for sends, frame ships, combiner folds,
+  slice loads, GC pauses, migrations, and barrier waits.
+* the **Chrome trace-event export** (:mod:`~repro.observability.chrome`) —
+  any traced run opens directly in Perfetto / ``chrome://tracing`` with one
+  track per partition plus a driver track.
+
+:class:`~repro.observability.runtrace.RunTrace` is the driver-side
+collector the engine owns for one run: it absorbs packets, merges
+counters, and writes the three run artifacts (``trace.json``,
+``events.jsonl``, ``manifest.json``).
+"""
+
+from .chrome import TRACE_SCHEMA_VERSION, chrome_trace, validate_chrome_trace, write_chrome_trace
+from .events import EVENT_SCHEMA_VERSION, read_event_log, write_event_log
+from .provenance import PROVENANCE_SCHEMA_VERSION, git_describe, run_provenance
+from .runtrace import RunTrace, TraceConfig, tracing_enabled
+from .tracer import DRIVER_PID, NULL_SPAN, Span, TracePacket, Tracer, partition_pid
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "EVENT_SCHEMA_VERSION",
+    "read_event_log",
+    "write_event_log",
+    "PROVENANCE_SCHEMA_VERSION",
+    "git_describe",
+    "run_provenance",
+    "RunTrace",
+    "TraceConfig",
+    "tracing_enabled",
+    "DRIVER_PID",
+    "NULL_SPAN",
+    "Span",
+    "TracePacket",
+    "Tracer",
+    "partition_pid",
+]

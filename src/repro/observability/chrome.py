@@ -1,0 +1,171 @@
+"""Chrome trace-event export: open any traced run in Perfetto.
+
+Emits the JSON object format (``{"traceEvents": [...], ...}``) of the
+Trace Event Format, the lingua franca of ``chrome://tracing`` and
+https://ui.perfetto.dev — drag the ``.trace.json`` file onto either and the
+run renders as one track per partition plus a driver track.
+
+Spans become complete events (``"ph": "X"`` with ``ts``/``dur`` in
+microseconds); instant events become ``"ph": "i"`` marks; each logical
+track gets a ``process_name`` metadata record so Perfetto labels it
+``driver`` / ``partition N`` instead of a bare number.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .events import _plain
+from .tracer import Span
+
+__all__ = ["TRACE_SCHEMA_VERSION", "chrome_trace", "validate_chrome_trace", "write_chrome_trace"]
+
+#: Version of the exported trace envelope (recorded in trace metadata).
+TRACE_SCHEMA_VERSION = 1
+
+#: Keys every trace event must carry (the acceptance contract).
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def chrome_trace(
+    spans: Iterable[tuple[int, Span]],
+    events: Iterable[Mapping[str, Any]],
+    *,
+    epoch_ns: int,
+    track_labels: Mapping[int, str] | None = None,
+    metadata: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build the trace-event JSON object for one run.
+
+    Parameters
+    ----------
+    spans:
+        ``(pid, Span)`` pairs across all tracks.
+    events:
+        Raw tracer events (carrying ``kind``/``ts_ns``/``pid``).
+    epoch_ns:
+        The run's trace epoch; all timestamps are exported relative to it.
+    track_labels:
+        ``pid -> display name`` (e.g. ``{0: "driver", 1: "partition 0"}``).
+    metadata:
+        Extra keys merged into the top-level ``metadata`` object.
+    """
+    trace_events: list[dict[str, Any]] = []
+    pids: set[int] = set()
+
+    for pid, span in spans:
+        pids.add(pid)
+        record: dict[str, Any] = {
+            "ph": "X",
+            "name": span.name,
+            "cat": "span",
+            "ts": round((span.ts_ns - epoch_ns) / 1000.0, 3),
+            "dur": round(span.dur_ns / 1000.0, 3),
+            "pid": pid,
+            "tid": 0,
+        }
+        if span.args:
+            record["args"] = _plain(span.args)
+        trace_events.append(record)
+
+    for event in events:
+        pid = int(event["pid"])
+        pids.add(pid)
+        args = {
+            k: _plain(v) for k, v in event.items() if k not in ("kind", "ts_ns", "pid")
+        }
+        trace_events.append(
+            {
+                "ph": "i",
+                "name": event["kind"],
+                "cat": "event",
+                "s": "t",  # thread-scoped instant mark
+                "ts": round((event["ts_ns"] - epoch_ns) / 1000.0, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            }
+        )
+
+    # Stable per-track ordering: the acceptance contract requires monotone
+    # timestamps within each (pid, tid) track, and viewers render faster on
+    # sorted input.
+    trace_events.sort(key=lambda r: (r["pid"], r["tid"], r["ts"]))
+
+    labels = dict(track_labels or {})
+    head: list[dict[str, Any]] = []
+    for pid in sorted(pids):
+        head.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": labels.get(pid, f"track {pid}")},
+            }
+        )
+        head.append(
+            {
+                "ph": "M",
+                "name": "process_sort_index",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+    return {
+        "traceEvents": head + trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {"trace_schema_version": TRACE_SCHEMA_VERSION, **_plain(metadata or {})},
+    }
+
+
+def write_chrome_trace(path: str | Path, trace: Mapping[str, Any]) -> Path:
+    """Write a trace object produced by :func:`chrome_trace` to disk."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace))
+    return path
+
+
+def validate_chrome_trace(trace: Mapping[str, Any]) -> list[str]:
+    """Check a trace object against the acceptance contract.
+
+    Returns a list of problems (empty means valid): every event must carry
+    ``ph``/``ts``/``pid``/``tid``/``name``, and within each ``(pid, tid)``
+    track non-metadata timestamps must be monotone non-decreasing in file
+    order.
+    """
+    problems: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    last_ts: dict[tuple[int, int], float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in event]
+        if missing:
+            problems.append(f"event {i} ({event.get('name')!r}) missing keys {missing}")
+            continue
+        if event["ph"] == "M":
+            continue
+        key = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i} ({event['name']!r}) has bad ts {ts!r}")
+            continue
+        if key in last_ts and ts < last_ts[key]:
+            problems.append(
+                f"event {i} ({event['name']!r}) breaks monotonicity on track {key}: "
+                f"{ts} < {last_ts[key]}"
+            )
+        last_ts[key] = ts
+    return problems

@@ -1,0 +1,99 @@
+"""Structured event log: schema-versioned JSONL records.
+
+One traced run emits one ``events.jsonl`` file: one JSON object per line,
+every line stamped with ``schema`` (see :data:`EVENT_SCHEMA_VERSION`) and
+carrying ``kind``, a normalized microsecond timestamp ``ts_us`` (relative
+to the run's trace epoch), and the logical track id ``pid``.
+
+Schema v1 event kinds
+---------------------
+
+====================  =========================================================
+``step``              one partition's contribution to one superstep (driver):
+                      ``phase``/``timestep``/``superstep``/``partition`` plus
+                      ``compute_s``/``send_s``/message counts — the replay
+                      basis for the Fig 7 breakdown
+``barrier``           driver-measured scatter/gather wall for one superstep
+``sends``             one host flush: local/remote counts, frames, bytes
+``frame_ship``        one coalesced frame leaving a host (dst partition,
+                      message count, payload bytes, temporal flag)
+``combine``           a combiner fold (messages in → messages out)
+``instance_load``     one host's instance load at a timestep boundary
+``slice_load``        a GoFS pack load (the Fig 6 every-10th-timestep spike)
+``gc_pause``          modeled GC pause charged at a timestep boundary
+``migration``         rebalancer summary for one timestep boundary
+``migrate``           one subgraph move (src/dst partitions, modeled cost)
+``vm_spinup`` /       elastic-scaling policy decisions (offline replay)
+``vm_spindown``
+====================  =========================================================
+
+Unknown kinds are allowed — the schema governs the envelope (``schema``,
+``kind``, ``ts_us``, ``pid``), not the closed set of kinds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = ["EVENT_SCHEMA_VERSION", "normalize_event", "read_event_log", "write_event_log"]
+
+#: Version of the event-record envelope written to events.jsonl.
+EVENT_SCHEMA_VERSION = 1
+
+
+def _plain(value: Any) -> Any:
+    """Coerce numpy scalars (and other ``.item()`` types) to plain Python."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v) for k, v in value.items()}
+    return str(value)
+
+
+def normalize_event(raw: Mapping[str, Any], epoch_ns: int) -> dict[str, Any]:
+    """Turn a tracer-recorded event into a schema-stamped JSONL record.
+
+    ``ts_ns`` (absolute monotonic) becomes ``ts_us`` relative to the run's
+    trace epoch; every other field is coerced to plain Python.
+    """
+    record: dict[str, Any] = {
+        "schema": EVENT_SCHEMA_VERSION,
+        "kind": raw["kind"],
+        "ts_us": round((raw["ts_ns"] - epoch_ns) / 1000.0, 3),
+        "pid": int(raw["pid"]),
+    }
+    for key, value in raw.items():
+        if key not in ("kind", "ts_ns", "pid"):
+            record[key] = _plain(value)
+    return record
+
+
+def write_event_log(path: str | Path, records: Iterable[Mapping[str, Any]]) -> Path:
+    """Write event records as JSONL (one compact JSON object per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+    return path
+
+
+def read_event_log(path: str | Path) -> list[dict[str, Any]]:
+    """Read an events.jsonl file back into a list of dicts."""
+    records = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,130 @@
+"""Driver-side trace collector for one engine run.
+
+The engine owns one :class:`RunTrace` per traced run: it holds the driver's
+own :class:`~repro.observability.tracer.Tracer`, absorbs the
+:class:`~repro.observability.tracer.TracePacket` objects that hosts attach
+to their protocol replies (thread-safe — the thread executor gathers
+replies concurrently with nothing else, but absorbing is serialized under a
+lock regardless), merges every track's counters into one registry, and
+renders the run artifacts:
+
+* ``trace.json`` — Chrome trace-event JSON (Perfetto-ready);
+* ``events.jsonl`` — the schema-versioned structured event log;
+* ``manifest.json`` — provenance + config + counters + schema versions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .chrome import chrome_trace, write_chrome_trace
+from .events import normalize_event, write_event_log
+from .tracer import DRIVER_PID, Span, TracePacket, Tracer, trace_clock_ns
+
+__all__ = ["RunTrace", "TraceConfig", "tracing_enabled"]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Tracing knobs for :class:`~repro.core.engine.EngineConfig`.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  ``EngineConfig(tracing=True)`` is shorthand for
+        ``EngineConfig(tracing=TraceConfig())``.
+    """
+
+    enabled: bool = True
+
+
+def tracing_enabled(tracing: object) -> bool:
+    """Interpret an ``EngineConfig.tracing`` value (None/bool/TraceConfig)."""
+    if tracing is None or tracing is False:
+        return False
+    if tracing is True:
+        return True
+    return bool(getattr(tracing, "enabled", False))
+
+
+class RunTrace:
+    """Everything one traced run recorded, across all tracks."""
+
+    def __init__(self) -> None:
+        #: Trace epoch: all exported timestamps are relative to this instant.
+        self.epoch_ns: int = trace_clock_ns()
+        self.tracer = Tracer(DRIVER_PID, "driver")
+        #: ``(pid, Span)`` pairs across all tracks, in absorb order.
+        self.spans: list[tuple[int, Span]] = []
+        #: Raw tracer events (still carrying ``ts_ns``), in absorb order.
+        self.events: list[dict[str, Any]] = []
+        #: Merged counter registry across all tracks.
+        self.counters: dict[str, int | float] = {}
+        self.track_labels: dict[int, str] = {DRIVER_PID: "driver"}
+        self._lock = threading.Lock()
+
+    # -- collection --------------------------------------------------------------------
+
+    def absorb(self, packet: TracePacket) -> None:
+        """Merge one drained packet (host telemetry) into the run."""
+        with self._lock:
+            self.track_labels.setdefault(packet.pid, packet.label)
+            self.spans.extend((packet.pid, span) for span in packet.spans)
+            self.events.extend(packet.events)
+            for name, value in packet.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+
+    def absorb_results(self, results: Iterable[Any]) -> None:
+        """Absorb the telemetry riding on a batch of host protocol replies."""
+        for r in results:
+            packet = getattr(r, "telemetry", None)
+            if packet is not None:
+                self.absorb(packet)
+                r.telemetry = None
+
+    def finish(self) -> None:
+        """Fold the driver tracer's own recordings into the run."""
+        packet = self.tracer.drain()
+        if packet is not None:
+            self.absorb(packet)
+
+    # -- export ------------------------------------------------------------------------
+
+    def event_records(self) -> list[dict[str, Any]]:
+        """Schema-stamped event-log records, sorted by timestamp."""
+        records = [normalize_event(e, self.epoch_ns) for e in self.events]
+        records.sort(key=lambda r: r["ts_us"])
+        return records
+
+    def chrome_trace(self, metadata: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """The Perfetto-ready trace-event JSON object for this run."""
+        return chrome_trace(
+            self.spans,
+            self.events,
+            epoch_ns=self.epoch_ns,
+            track_labels=self.track_labels,
+            metadata=metadata,
+        )
+
+    def write(self, out_dir: str | Path, manifest: Mapping[str, Any] | None = None) -> dict[str, Path]:
+        """Write the three run artifacts under ``out_dir``.
+
+        Returns ``{"trace": ..., "events": ..., "manifest": ...}`` paths.
+        The manifest gets the merged counters appended under ``counters``.
+        """
+        self.finish()
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        manifest_payload = dict(manifest or {})
+        manifest_payload.setdefault("counters", dict(self.counters))
+        trace_path = write_chrome_trace(
+            out_dir / "trace.json", self.chrome_trace(metadata={"manifest": "manifest.json"})
+        )
+        events_path = write_event_log(out_dir / "events.jsonl", self.event_records())
+        manifest_path = out_dir / "manifest.json"
+        manifest_path.write_text(json.dumps(manifest_payload, indent=2, sort_keys=True, default=str))
+        return {"trace": trace_path, "events": events_path, "manifest": manifest_path}

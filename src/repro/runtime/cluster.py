@@ -20,6 +20,7 @@ import numpy as np
 from ..core.computation import TimeSeriesComputation
 from ..core.messages import Message, MessageFrame
 from ..graph.collection import TimeSeriesGraphCollection
+from ..observability import Tracer, partition_pid
 from ..partition.base import PartitionedGraph
 from .cost import CostModel
 from .host import CollectionInstanceSource, ComputeHost, HostStepResult, InstanceSource, RunMeta
@@ -39,6 +40,7 @@ def build_hosts(
     cost_model: CostModel,
     *,
     use_combiners: bool = True,
+    tracing: bool = False,
 ) -> list[ComputeHost]:
     """Construct one :class:`ComputeHost` per partition."""
     if len(sources) != pg.num_partitions:
@@ -58,6 +60,7 @@ def build_hosts(
             sg_part,
             cost_model,
             use_combiners=use_combiners,
+            tracer=Tracer(partition_pid(p), f"partition {p}") if tracing else None,
         )
         for p in range(pg.num_partitions)
     ]
@@ -67,6 +70,10 @@ class Cluster:
     """Protocol base class — see :class:`LocalCluster` for the semantics."""
 
     num_partitions: int
+    #: Driver-side tracer for barrier / frame-shipping spans.  The engine
+    #: sets this after construction when the run is traced; ``None`` keeps
+    #: the dispatch path untouched.
+    driver_tracer: Tracer | None = None
 
     def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
         raise NotImplementedError
@@ -114,6 +121,9 @@ class LocalCluster(Cluster):
         Used to build default sources when ``sources`` is not given.
     executor:
         ``"serial"`` (deterministic, default) or ``"thread"``.
+    tracing:
+        When True, every host gets its own observability tracer (one trace
+        track per partition) and drains telemetry into protocol replies.
     """
 
     def __init__(
@@ -127,6 +137,7 @@ class LocalCluster(Cluster):
         cost_model: CostModel | None = None,
         executor: str = "serial",
         use_combiners: bool = True,
+        tracing: bool = False,
     ) -> None:
         cost_model = cost_model or CostModel()
         if sources is None:
@@ -134,7 +145,8 @@ class LocalCluster(Cluster):
                 raise ValueError("provide either sources or a collection")
             sources = [CollectionInstanceSource(collection) for _ in range(pg.num_partitions)]
         self.hosts = build_hosts(
-            pg, computation, meta, sources, cost_model, use_combiners=use_combiners
+            pg, computation, meta, sources, cost_model,
+            use_combiners=use_combiners, tracing=tracing,
         )
         self.num_partitions = pg.num_partitions
         if executor not in ("serial", "thread"):

@@ -97,8 +97,14 @@ def simulate_elastic(
     policy: ElasticPolicy | None = None,
     *,
     rel_threshold: float = 0.05,
+    tracer=None,
 ) -> ElasticOutcome:
-    """Replay a run's activity grid under an on-demand VM policy."""
+    """Replay a run's activity grid under an on-demand VM policy.
+
+    When ``tracer`` is given, every simulated power transition is emitted
+    as a ``vm_spinup`` / ``vm_spindown`` event (partition + timestep), so
+    the elastic schedule shows up alongside the run's trace.
+    """
     policy = policy or ElasticPolicy()
     grid = activity_grid(result, rel_threshold=rel_threshold)
     T, P = grid.shape
@@ -135,6 +141,20 @@ def simulate_elastic(
                     powered[t, p] = True
                     if idle >= policy.idle_timesteps:
                         on = False
+    if tracer is not None:
+        # Derive power transitions from the grid edges so every boot and
+        # shutdown (including the initial on-demand boot) is logged once.
+        for p in range(P):
+            prev = False
+            for t in range(T):
+                now = bool(powered[t, p])
+                if now and not prev:
+                    tracer.event("vm_spinup", partition=p, timestep=t)
+                elif prev and not now:
+                    tracer.event("vm_spindown", partition=p, timestep=t)
+                prev = now
+            if prev:
+                tracer.event("vm_spindown", partition=p, timestep=T)
     return ElasticOutcome(
         powered=powered,
         vm_timesteps_static=T * P,

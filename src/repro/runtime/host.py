@@ -39,6 +39,7 @@ from ..core.messages import Message, MessageFrame, MessageKind, SendBuffer
 from ..core.patterns import Pattern
 from ..graph.collection import TimeSeriesGraphCollection
 from ..graph.instance import GraphInstance
+from ..observability import NULL_SPAN, TracePacket, Tracer
 from ..partition.base import Partition
 from .cost import CostModel
 
@@ -99,6 +100,10 @@ class HostStepResult:
     frames_sent: int = 0
     load_s: float = 0.0
     gc_pause_s: float = 0.0
+    #: Telemetry drained from this host's tracer during the call (None when
+    #: tracing is off).  Picklable — process workers' spans/events/counters
+    #: ride back to the driver inside the ordinary protocol reply.
+    telemetry: TracePacket | None = None
 
 
 @dataclass(frozen=True)
@@ -138,7 +143,15 @@ class ComputeHost:
     use_combiners:
         Whether to apply the computation's ``combine`` hook (when defined)
         to same-destination sends before the barrier.
+    tracer:
+        Optional :class:`~repro.observability.Tracer` for this host's
+        track.  ``None`` (the default) keeps every instrumented path to a
+        single identity check — no allocation, no span objects.
     """
+
+    #: Class-level default so partially constructed hosts (tests build them
+    #: via ``__new__``) still read as untraced.
+    tracer: Tracer | None = None
 
     def __init__(
         self,
@@ -149,6 +162,7 @@ class ComputeHost:
         subgraph_partition: np.ndarray,
         cost_model: CostModel | None = None,
         use_combiners: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self.partition = partition
         self.computation = computation
@@ -156,6 +170,13 @@ class ComputeHost:
         self.source = source
         self.subgraph_partition = np.asarray(subgraph_partition, dtype=np.int64)
         self.cost_model = cost_model or CostModel()
+        self.tracer = tracer
+        if tracer is not None:
+            # Sources that can narrate their own I/O (GoFS pack loads — the
+            # Fig 6 spike) record onto this host's track.
+            attach = getattr(source, "attach_tracer", None)
+            if callable(attach):
+                attach(tracer)
         combine = getattr(computation, "combine", None)
         self._combine = combine if (use_combiners and callable(combine)) else None
         #: Per-subgraph application state, resident for the whole run.
@@ -218,6 +239,14 @@ class ComputeHost:
             else:
                 payload = self._combine(dst, [m.payload for m in msgs])
                 out.append((dst, Message(payload, None, timestep, kind)))
+        if self.tracer is not None:
+            self.tracer.event(
+                "combine",
+                partition=self.partition.partition_id,
+                folded_from=len(sends),
+                folded_to=len(out),
+            )
+            self.tracer.count("combiner.folded_messages", len(sends) - len(out))
         return out
 
     def _flush_sends(
@@ -225,43 +254,69 @@ class ComputeHost:
         result: HostStepResult,
         superstep_sends: list[tuple[int, Message]],
         temporal_sends: list[tuple[int, Message]],
+        timestep: int = -1,
+        superstep: int = -1,
     ) -> None:
         """Route one protocol call's sends: combine, short-circuit, frame, cost.
 
         ``approx_size`` is evaluated exactly once per message here; remote
         byte totals ride in the frames' ``nbytes``.
         """
+        tr = self.tracer
         own = self.partition.partition_id
         sg_part = self.subgraph_partition
         local_n = local_b = remote_n = remote_b = 0
         remote: dict[int, list[tuple[int, Message]]] = {}
 
-        for dst, msg in self._combined(superstep_sends):
-            if sg_part[dst] == own:
-                self._local_inbox.setdefault(dst, []).append(msg)
-                local_n += 1
-                local_b += msg.approx_size()
-            else:
-                remote.setdefault(int(sg_part[dst]), []).append((dst, msg))
-        for dst_part, sends in remote.items():
-            frame = MessageFrame.pack(own, dst_part, sends)
-            remote_n += len(frame)
-            remote_b += frame.nbytes
-            result.frames.append(frame)
+        with tr.span("send_flush", t=timestep, s=superstep) if tr is not None else NULL_SPAN:
+            for dst, msg in self._combined(superstep_sends):
+                if sg_part[dst] == own:
+                    self._local_inbox.setdefault(dst, []).append(msg)
+                    local_n += 1
+                    local_b += msg.approx_size()
+                else:
+                    remote.setdefault(int(sg_part[dst]), []).append((dst, msg))
+            for dst_part, sends in remote.items():
+                frame = MessageFrame.pack(own, dst_part, sends)
+                remote_n += len(frame)
+                remote_b += frame.nbytes
+                result.frames.append(frame)
+                if tr is not None:
+                    tr.event(
+                        "frame_ship",
+                        timestep=timestep,
+                        superstep=superstep,
+                        src_partition=own,
+                        dst_partition=dst_part,
+                        messages=len(frame),
+                        nbytes=frame.nbytes,
+                        temporal=False,
+                    )
 
-        t_remote: dict[int, list[tuple[int, Message]]] = {}
-        for dst, msg in temporal_sends:
-            if sg_part[dst] == own:
-                self._temporal_inbox.setdefault(dst, []).append(msg)
-                local_n += 1
-                local_b += msg.approx_size()
-            else:
-                t_remote.setdefault(int(sg_part[dst]), []).append((dst, msg))
-        for dst_part, sends in t_remote.items():
-            frame = MessageFrame.pack(own, dst_part, sends)
-            remote_n += len(frame)
-            remote_b += frame.nbytes
-            result.temporal_frames.append(frame)
+            t_remote: dict[int, list[tuple[int, Message]]] = {}
+            for dst, msg in temporal_sends:
+                if sg_part[dst] == own:
+                    self._temporal_inbox.setdefault(dst, []).append(msg)
+                    local_n += 1
+                    local_b += msg.approx_size()
+                else:
+                    t_remote.setdefault(int(sg_part[dst]), []).append((dst, msg))
+            for dst_part, sends in t_remote.items():
+                frame = MessageFrame.pack(own, dst_part, sends)
+                remote_n += len(frame)
+                remote_b += frame.nbytes
+                result.temporal_frames.append(frame)
+                if tr is not None:
+                    tr.event(
+                        "frame_ship",
+                        timestep=timestep,
+                        superstep=superstep,
+                        src_partition=own,
+                        dst_partition=dst_part,
+                        messages=len(frame),
+                        nbytes=frame.nbytes,
+                        temporal=True,
+                    )
 
         result.local_messages += local_n
         result.remote_messages += remote_n
@@ -272,10 +327,27 @@ class ComputeHost:
         result.send_s += self.cost_model.local_send_cost(local_n, local_b)
         result.send_s += self.cost_model.remote_send_cost(remote_n, remote_b)
         result.send_s += self.cost_model.frame_cost(frames)
+        if tr is not None and (local_n or remote_n):
+            tr.event(
+                "sends",
+                timestep=timestep,
+                superstep=superstep,
+                partition=own,
+                local=local_n,
+                remote=remote_n,
+                frames=frames,
+                nbytes=remote_b,
+            )
+            tr.count("messages.local", local_n)
+            tr.count("messages.remote", remote_n)
+            tr.count("messages.frames", frames)
+            tr.count("messages.remote_bytes", remote_b)
 
     def _finish(self, result: HostStepResult) -> None:
         result.has_pending_local = bool(self._local_inbox)
         result.pending_temporal = sum(len(v) for v in self._temporal_inbox.values())
+        if self.tracer is not None:
+            result.telemetry = self.tracer.drain()
 
     def _drain(
         self,
@@ -307,14 +379,18 @@ class ComputeHost:
         Temporal messages short-circuited during the previous timestep become
         the seed of this timestep's superstep-0 local inbox.
         """
+        tr = self.tracer
         result = HostStepResult(self.partition.partition_id)
-        start = time.perf_counter()
-        self._instance = self.source.instance(timestep)
-        result.load_s = time.perf_counter() - start
+        with tr.span("load", t=timestep) if tr is not None else NULL_SPAN:
+            start = time.perf_counter()
+            self._instance = self.source.instance(timestep)
+            result.load_s = time.perf_counter() - start
         result.gc_pause_s = gc_pause_s
         self._halted = {sg.subgraph_id: False for sg in self.partition.subgraphs}
         self._local_inbox = self._temporal_inbox
         self._temporal_inbox = {}
+        if tr is not None:
+            result.telemetry = tr.drain()
         return result
 
     def resident_bytes(self) -> int:
@@ -334,36 +410,38 @@ class ComputeHost:
         (reactivation), or when it has not voted to halt.
         """
         assert self._instance is not None, "begin_timestep must be called first"
+        tr = self.tracer
         result = HostStepResult(self.partition.partition_id)
         inbox = self._open_inbox(deliveries)
         sends: list[tuple[int, Message]] = []
         temporal: list[tuple[int, Message]] = []
-        for sg in self.partition.subgraphs:
-            sgid = sg.subgraph_id
-            msgs = inbox.get(sgid, ())
-            if superstep > 0 and self._halted[sgid] and not msgs:
-                continue
-            buffer = SendBuffer()
-            ctx = ComputeContext(
-                sg,
-                self._instance,
-                timestep,
-                superstep,
-                msgs,
-                self.states[sgid],
-                self.meta.pattern,
-                self.meta.num_timesteps,
-                self.meta.delta,
-                self.meta.t0,
-                buffer,
-                self.partition_state,
-            )
-            start = time.perf_counter()
-            self.computation.compute(ctx)
-            result.compute_s += time.perf_counter() - start
-            result.subgraphs_computed += 1
-            self._drain(buffer, result, sgid, timestep, sends, temporal, update_halt=True)
-        self._flush_sends(result, sends, temporal)
+        with tr.span("compute", t=timestep, s=superstep) if tr is not None else NULL_SPAN:
+            for sg in self.partition.subgraphs:
+                sgid = sg.subgraph_id
+                msgs = inbox.get(sgid, ())
+                if superstep > 0 and self._halted[sgid] and not msgs:
+                    continue
+                buffer = SendBuffer()
+                ctx = ComputeContext(
+                    sg,
+                    self._instance,
+                    timestep,
+                    superstep,
+                    msgs,
+                    self.states[sgid],
+                    self.meta.pattern,
+                    self.meta.num_timesteps,
+                    self.meta.delta,
+                    self.meta.t0,
+                    buffer,
+                    self.partition_state,
+                )
+                start = time.perf_counter()
+                self.computation.compute(ctx)
+                result.compute_s += time.perf_counter() - start
+                result.subgraphs_computed += 1
+                self._drain(buffer, result, sgid, timestep, sends, temporal, update_halt=True)
+        self._flush_sends(result, sends, temporal, timestep, superstep)
         self._finish(result)
         result.all_halted = all(self._halted.values())
         return result
@@ -371,29 +449,31 @@ class ComputeHost:
     def end_of_timestep(self, timestep: int) -> HostStepResult:
         """Invoke ``end_of_timestep`` on every subgraph of this partition."""
         assert self._instance is not None
+        tr = self.tracer
         result = HostStepResult(self.partition.partition_id)
         sends: list[tuple[int, Message]] = []
         temporal: list[tuple[int, Message]] = []
-        for sg in self.partition.subgraphs:
-            sgid = sg.subgraph_id
-            buffer = SendBuffer()
-            ctx = EndOfTimestepContext(
-                sg,
-                self._instance,
-                timestep,
-                self.states[sgid],
-                self.meta.pattern,
-                self.meta.num_timesteps,
-                self.meta.delta,
-                self.meta.t0,
-                buffer,
-                self.partition_state,
-            )
-            start = time.perf_counter()
-            self.computation.end_of_timestep(ctx)
-            result.compute_s += time.perf_counter() - start
-            self._drain(buffer, result, sgid, timestep, sends, temporal, update_halt=False)
-        self._flush_sends(result, sends, temporal)
+        with tr.span("end_of_timestep", t=timestep) if tr is not None else NULL_SPAN:
+            for sg in self.partition.subgraphs:
+                sgid = sg.subgraph_id
+                buffer = SendBuffer()
+                ctx = EndOfTimestepContext(
+                    sg,
+                    self._instance,
+                    timestep,
+                    self.states[sgid],
+                    self.meta.pattern,
+                    self.meta.num_timesteps,
+                    self.meta.delta,
+                    self.meta.t0,
+                    buffer,
+                    self.partition_state,
+                )
+                start = time.perf_counter()
+                self.computation.end_of_timestep(ctx)
+                result.compute_s += time.perf_counter() - start
+                self._drain(buffer, result, sgid, timestep, sends, temporal, update_halt=False)
+        self._flush_sends(result, sends, temporal, timestep)
         self._finish(result)
         result.all_halted = True
         return result
@@ -407,6 +487,7 @@ class ComputeHost:
         across all timesteps (in timestep order); afterwards, messages from
         other subgraphs' merge supersteps (local short-circuits + frames).
         """
+        tr = self.tracer
         result = HostStepResult(self.partition.partition_id)
         if superstep == 0:
             self._halted = {sg.subgraph_id: False for sg in self.partition.subgraphs}
@@ -422,35 +503,36 @@ class ComputeHost:
             )
         sends: list[tuple[int, Message]] = []
         temporal: list[tuple[int, Message]] = []
-        for sg in self.partition.subgraphs:
-            sgid = sg.subgraph_id
-            if superstep == 0:
-                msgs: Sequence[Message] = sorted(
-                    self._merge_inbox[sgid], key=lambda m: m.timestep
+        with tr.span("merge", s=superstep) if tr is not None else NULL_SPAN:
+            for sg in self.partition.subgraphs:
+                sgid = sg.subgraph_id
+                if superstep == 0:
+                    msgs: Sequence[Message] = sorted(
+                        self._merge_inbox[sgid], key=lambda m: m.timestep
+                    )
+                else:
+                    msgs = inbox.get(sgid, ())
+                    if self._halted[sgid] and not msgs:
+                        continue
+                buffer = SendBuffer()
+                ctx = MergeContext(
+                    sg,
+                    superstep,
+                    msgs,
+                    self.states[sgid],
+                    self.meta.pattern,
+                    self.meta.num_timesteps,
+                    self.meta.delta,
+                    self.meta.t0,
+                    buffer,
+                    self.partition_state,
                 )
-            else:
-                msgs = inbox.get(sgid, ())
-                if self._halted[sgid] and not msgs:
-                    continue
-            buffer = SendBuffer()
-            ctx = MergeContext(
-                sg,
-                superstep,
-                msgs,
-                self.states[sgid],
-                self.meta.pattern,
-                self.meta.num_timesteps,
-                self.meta.delta,
-                self.meta.t0,
-                buffer,
-                self.partition_state,
-            )
-            start = time.perf_counter()
-            self.computation.merge(ctx)
-            result.compute_s += time.perf_counter() - start
-            result.subgraphs_computed += 1
-            self._drain(buffer, result, sgid, -1, sends, temporal, update_halt=True)
-        self._flush_sends(result, sends, temporal)
+                start = time.perf_counter()
+                self.computation.merge(ctx)
+                result.compute_s += time.perf_counter() - start
+                result.subgraphs_computed += 1
+                self._drain(buffer, result, sgid, -1, sends, temporal, update_halt=True)
+        self._flush_sends(result, sends, temporal, -1, superstep)
         self._finish(result)
         result.all_halted = all(self._halted.values())
         return result

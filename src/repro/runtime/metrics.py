@@ -209,12 +209,32 @@ class MetricsCollector:
         total = local + remote
         return remote / total if total else 0.0
 
+    def total_bytes_sent(self) -> int:
+        """Total modeled payload bytes shipped across partitions."""
+        return sum(r.bytes_sent for r in self.step_records)
+
     def total_supersteps(self) -> int:
         """Total BSP supersteps across all timesteps plus the merge phase."""
         return sum(self.supersteps_per_timestep.values()) + self.merge_supersteps
 
     def num_timesteps_executed(self) -> int:
         return len(self.supersteps_per_timestep)
+
+    def total_load_s(self) -> float:
+        """Instance-load seconds summed over every (timestep, partition)."""
+        return sum(self.load_s.values())
+
+    def total_gc_s(self) -> float:
+        """GC-pause seconds summed over every (timestep, partition)."""
+        return sum(self.gc_s.values())
+
+    def total_migrations(self) -> int:
+        """Subgraph migrations applied by dynamic rebalancing."""
+        return sum(self.migrations.values())
+
+    def total_migration_s(self) -> float:
+        """Modeled transfer seconds spent on rebalancing migrations."""
+        return sum(self.migration_s.values())
 
     def summary(self) -> dict:
         """Flat summary dict for reports and benches."""
@@ -226,5 +246,11 @@ class MetricsCollector:
             "local_messages": self.total_local_messages(),
             "remote_messages": self.total_remote_messages(),
             "frames": self.total_frames(),
+            "bytes_sent": self.total_bytes_sent(),
+            "cut_traffic_ratio": round(self.cut_traffic_ratio(), 6),
+            "migrations": self.total_migrations(),
+            "migration_s": round(self.total_migration_s(), 6),
+            "load_s": round(self.total_load_s(), 6),
+            "gc_s": round(self.total_gc_s(), 6),
             "merge_wall_s": round(self.merge_wall(), 6),
         }

@@ -79,18 +79,34 @@ def _recv_oob(conn) -> Any:
 
 
 def _worker_main(
-    conn, partition, computation, meta, source, sg_part, cost_model, use_combiners
+    conn, partition, computation, meta, source, sg_part, cost_model, use_combiners, tracing
 ) -> None:
     """Worker loop: owns one host, serves engine commands until ``stop``.
 
     Failures while executing a command (e.g. the user's ``compute`` raising)
     are shipped back as ``("error", traceback_text)`` so the driver can
     re-raise with context instead of dying on a broken pipe.
+
+    When ``tracing`` is set the host gets its own tracer; spans recorded in
+    the worker ride back to the driver as ``HostStepResult.telemetry`` on
+    ordinary replies.  ``time.perf_counter_ns`` is CLOCK_MONOTONIC — one
+    system-wide timebase shared with the (forked) driver — so worker span
+    timestamps need no clock translation.
     """
     import traceback
 
+    from ..observability import Tracer, partition_pid
+
+    pid = partition.partition_id
     host = ComputeHost(
-        partition, computation, meta, source, sg_part, cost_model, use_combiners=use_combiners
+        partition,
+        computation,
+        meta,
+        source,
+        sg_part,
+        cost_model,
+        use_combiners=use_combiners,
+        tracer=Tracer(partition_pid(pid), f"partition {pid}") if tracing else None,
     )
     try:
         while True:
@@ -145,6 +161,7 @@ class ProcessCluster(Cluster):
         cost_model: CostModel | None = None,
         mp_context: Any = "fork",
         use_combiners: bool = True,
+        tracing: bool = False,
     ) -> None:
         if len(sources) != pg.num_partitions:
             raise ValueError("need exactly one instance source per partition")
@@ -172,6 +189,7 @@ class ProcessCluster(Cluster):
                             sg_part,
                             cost_model,
                             use_combiners,
+                            tracing,
                         ),
                         daemon=True,
                     )
@@ -190,9 +208,20 @@ class ProcessCluster(Cluster):
     # -- scatter/gather ---------------------------------------------------------------
 
     def _broadcast(self, make_cmd) -> list[HostStepResult]:
-        for p, conn in enumerate(self._conns):
-            _send_oob(conn, make_cmd(p))
-        replies = [_recv_oob(conn) for conn in self._conns]
+        tr = self.driver_tracer
+        if tr is None:
+            for p, conn in enumerate(self._conns):
+                _send_oob(conn, make_cmd(p))
+            replies = [_recv_oob(conn) for conn in self._conns]
+        else:
+            # Driver-side view of the scatter/gather round: the ship span
+            # covers pickling + pipe writes, the barrier span the gather
+            # (the BSP synchronisation point).
+            with tr.span("ship"):
+                for p, conn in enumerate(self._conns):
+                    _send_oob(conn, make_cmd(p))
+            with tr.span("barrier"):
+                replies = [_recv_oob(conn) for conn in self._conns]
         for p, reply in enumerate(replies):
             if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "error":
                 raise WorkerError(f"partition {p} worker failed:\n{reply[1]}")

@@ -110,6 +110,7 @@ def apply_migrations(
     migrations: list[Migration],
     sg_part: np.ndarray,
     cost_model: CostModel,
+    tracer=None,
 ) -> float:
     """Execute migrations on an in-process cluster.
 
@@ -117,6 +118,7 @@ def apply_migrations(
     temporal inbox buffered for the next timestep) between hosts, updates
     the shared routing array in place, and returns the modeled transfer
     cost in seconds (charged to the next timestep's wall by the engine).
+    When ``tracer`` is given, one ``migrate`` event is emitted per move.
     """
     if not isinstance(cluster, LocalCluster):
         raise NotImplementedError(
@@ -133,7 +135,17 @@ def apply_migrations(
         # shipped over the interconnect.
         nbytes = _state_nbytes(state) + 16 * sg.num_vertices
         nbytes += sum(m.approx_size() for m in temporal)
-        total_cost += cost_model.remote_send_cost(1, nbytes)
+        cost = cost_model.remote_send_cost(1, nbytes)
+        total_cost += cost
+        if tracer is not None:
+            tracer.event(
+                "migrate",
+                subgraph=move.subgraph_id,
+                src=move.source_partition,
+                dst=move.target_partition,
+                nbytes=nbytes,
+                cost_s=cost,
+            )
     return total_cost
 
 

@@ -157,6 +157,13 @@ class GoFSPartitionView:
         self._cache: dict[int, list[dict[str, np.ndarray]]] = {}
         #: (timestep, seconds) for every pack load — Fig 6 evidence.
         self.load_events: list[tuple[int, float]] = []
+        #: Observability tracer, attached by the owning host when the run is
+        #: traced (see :meth:`attach_tracer`).  Deliberately not pickled.
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Record slice loads on ``tracer`` (called by a traced ComputeHost)."""
+        self.tracer = tracer
 
     # -- pickling: drop the cached packs, reopen lazily -------------------------------
 
@@ -187,7 +194,18 @@ class GoFSPartitionView:
         self._cache[pack] = data
         while len(self._cache) > self.cache_packs:
             self._cache.pop(next(iter(self._cache)))  # evict least recent
-        self.load_events.append((timestep, time.perf_counter() - start))
+        seconds = time.perf_counter() - start
+        self.load_events.append((timestep, seconds))
+        if self.tracer is not None:
+            self.tracer.event(
+                "slice_load",
+                partition=self.partition_id,
+                timestep=timestep,
+                pack=pack,
+                bins=self._num_bins,
+                seconds=seconds,
+            )
+            self.tracer.count("gofs.packs_loaded")
         return data
 
     def instance(self, timestep: int) -> GraphInstance:

@@ -88,3 +88,52 @@ class TestNewSubcommands:
             "run", "meme", "--scale", "300", "--instances", "4",
             "--partitions", "2", "--executor", "thread",
         ]) == 0
+
+
+class TestTraceSubcommand:
+    def test_trace_writes_three_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.observability import read_event_log, validate_chrome_trace
+
+        out = tmp_path / "trace-out"
+        assert main([
+            "trace", "tdsp", "--scale", "300", "--instances", "4",
+            "--partitions", "3", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "trace valid" in text
+        trace = json.loads((out / "trace.json").read_text())
+        assert validate_chrome_trace(trace) == []
+        events = read_event_log(out / "events.jsonl")
+        assert events and all("kind" in e and "ts_us" in e for e in events)
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["algorithm"] == "tdsp"
+        assert manifest["schema_version"] == 1
+        assert "barrier_s" in manifest and "counters" in manifest
+        assert "created_utc" in manifest and "metrics" in manifest
+
+    def test_trace_serial_executor(self, tmp_path, capsys):
+        out = tmp_path / "t"
+        assert main([
+            "trace", "meme", "--scale", "300", "--instances", "4",
+            "--partitions", "2", "--graph", "WIKI",
+            "--executor", "serial", "--out", str(out),
+        ]) == 0
+        assert (out / "trace.json").exists()
+
+    def test_export_carries_provenance(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "summary.json"
+        assert main([
+            "run", "tdsp", "--scale", "300", "--instances", "4",
+            "--partitions", "3", "--export", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        prov = payload["provenance"]
+        assert prov["schema_version"] == 1
+        assert prov["algorithm"] == "tdsp" and prov["graph"] == "CARN"
+        assert prov["executor"] == "serial"
+        assert prov["scale"] == 300 and prov["seed"] == 0
+        assert "created_utc" in prov and "git_describe" in prov

@@ -1,0 +1,134 @@
+"""Integration: traced engine runs across executors, storage, and rebalancing."""
+
+import pickle
+
+import pytest
+
+from repro.algorithms import MemeTrackingComputation, TDSPComputation
+from repro.analysis import crosscheck_trace, replay_partition_breakdown
+from repro.core import EngineConfig, run_application
+from repro.generators import road_latency_collection, tweet_collection
+from repro.observability import validate_chrome_trace
+from repro.partition import HashPartitioner, partition_graph
+from repro.runtime.gc_model import GCModel
+from repro.runtime.rebalance import GreedyRebalancer
+from repro.storage import GoFS
+from tests.conftest import make_grid_template
+
+PARTITIONS = 3
+
+
+@pytest.fixture
+def road_case():
+    tpl = make_grid_template(5, 6)
+    coll = road_latency_collection(tpl, 6, seed=2, delta=5.0)
+    pg = partition_graph(tpl, PARTITIONS, HashPartitioner(seed=1))
+    return tpl, coll, pg
+
+
+@pytest.fixture
+def tweet_case():
+    tpl = make_grid_template(6, 6)
+    coll = tweet_collection(tpl, 5, seed=3, delta=5.0)
+    pg = partition_graph(tpl, PARTITIONS, HashPartitioner(seed=1))
+    return tpl, coll, pg
+
+
+class TestTracedRun:
+    def test_untraced_by_default(self, road_case):
+        _tpl, coll, pg = road_case
+        res = run_application(TDSPComputation(0), pg, coll)
+        assert res.trace is None
+
+    def test_tracing_does_not_change_results(self, road_case):
+        _tpl, coll, pg = road_case
+        plain = run_application(TDSPComputation(0), pg, coll)
+        traced = run_application(
+            TDSPComputation(0), pg, coll, config=EngineConfig(tracing=True)
+        )
+        assert pickle.dumps(plain.states) == pickle.dumps(traced.states)
+        assert pickle.dumps(plain.outputs) == pickle.dumps(traced.outputs)
+        # wall times are measured (vary run to run); counts are deterministic
+        deterministic = (
+            "timesteps", "supersteps", "messages", "local_messages",
+            "remote_messages", "frames", "bytes_sent", "cut_traffic_ratio",
+        )
+        a, b = plain.metrics.summary(), traced.metrics.summary()
+        assert {k: a[k] for k in deterministic} == {k: b[k] for k in deterministic}
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_trace_validates_and_replays(self, road_case, executor):
+        _tpl, coll, pg = road_case
+        res = run_application(
+            TDSPComputation(0), pg, coll,
+            config=EngineConfig(executor=executor, tracing=True),
+        )
+        assert res.trace is not None
+        assert validate_chrome_trace(res.trace.chrome_trace()) == []
+        assert crosscheck_trace(res) == []
+        # one track per partition plus the driver
+        pids = {pid for pid, _ in res.trace.spans}
+        assert pids == {0, 1, 2, 3}
+
+    def test_replay_matches_partition_breakdown(self, road_case):
+        _tpl, coll, pg = road_case
+        res = run_application(
+            TDSPComputation(0), pg, coll, config=EngineConfig(tracing=True)
+        )
+        m = res.metrics
+        replayed = replay_partition_breakdown(
+            res.trace.event_records(), m.num_partitions, barrier_s=m.barrier_s
+        )
+        for got, want in zip(replayed, m.partition_breakdown()):
+            assert got.compute_s == pytest.approx(want.compute_s, abs=1e-9)
+            assert got.partition_overhead_s == pytest.approx(
+                want.partition_overhead_s, abs=1e-9
+            )
+            assert got.sync_overhead_s == pytest.approx(want.sync_overhead_s, abs=1e-9)
+
+    def test_expected_event_kinds_present(self, road_case):
+        _tpl, coll, pg = road_case
+        res = run_application(
+            TDSPComputation(0), pg, coll, config=EngineConfig(tracing=True)
+        )
+        kinds = {e["kind"] for e in res.trace.event_records()}
+        assert {"step", "barrier", "sends", "frame_ship", "instance_load"} <= kinds
+
+    def test_gc_and_rebalance_events(self, tweet_case):
+        _tpl, coll, pg = tweet_case
+        cfg = EngineConfig(
+            tracing=True,
+            rebalancer=GreedyRebalancer(imbalance_threshold=1.01),
+            gc_model=GCModel(interval=2, pause_per_gib_s=0.5),
+        )
+        res = run_application(MemeTrackingComputation(0), pg, coll, config=cfg)
+        events = res.trace.event_records()
+        kinds = {e["kind"] for e in events}
+        assert "gc_pause" in kinds
+        if res.metrics.total_migrations():
+            assert {"migration", "migrate"} <= kinds
+            moves = [e for e in events if e["kind"] == "migrate"]
+            assert all({"subgraph", "src", "dst", "nbytes", "cost_s"} <= set(e) for e in moves)
+        # replay still matches with GC + migrations in the wall accounting
+        assert crosscheck_trace(res) == []
+
+
+class TestProcessClusterTracing:
+    def test_worker_telemetry_marshalled(self, road_case, tmp_path):
+        _tpl, coll, pg = road_case
+        root = tmp_path / "store"
+        GoFS.write_collection(root, pg, coll, packing=2)
+        res = run_application(
+            TDSPComputation(0), pg, coll,
+            config=EngineConfig(executor="process", tracing=True),
+            sources=GoFS.partition_views(root),
+        )
+        assert validate_chrome_trace(res.trace.chrome_trace()) == []
+        assert crosscheck_trace(res) == []
+        pids = {pid for pid, _ in res.trace.spans}
+        assert {1, 2, 3} <= pids, "worker spans did not make it back to the driver"
+        kinds = {e["kind"] for e in res.trace.event_records()}
+        assert "slice_load" in kinds  # GoFS pack loads traced inside workers
+        # driver-side scatter/gather spans
+        driver_spans = {s.name for pid, s in res.trace.spans if pid == 0}
+        assert {"ship", "barrier"} <= driver_spans

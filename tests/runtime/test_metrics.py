@@ -104,3 +104,40 @@ class TestCounting:
         assert s["timesteps"] == 2 and s["messages"] == 6
         assert s["supersteps"] == 4
         assert s["total_wall_s"] > 0
+
+    def test_summary_traffic_and_boundary_totals(self):
+        m = MetricsCollector(2)
+        m.record_step(
+            StepRecord(
+                PHASE_COMPUTE, 0, 0, 0, 1.0, 0.1, 1, 10, 512,
+                local_messages=6, remote_messages=4, frames_sent=2,
+            )
+        )
+        m.record_step(
+            StepRecord(
+                PHASE_COMPUTE, 0, 0, 1, 1.0, 0.0, 1, 5, 256,
+                local_messages=5, remote_messages=0, frames_sent=0,
+            )
+        )
+        m.record_load(0, 0, 0.2)
+        m.record_load(0, 1, 0.3)
+        m.record_gc(0, 0, 0.05)
+        m.record_migration(0, 3, 0.4)
+        assert m.total_bytes_sent() == 768
+        assert m.total_load_s() == pytest.approx(0.5)
+        assert m.total_gc_s() == pytest.approx(0.05)
+        assert m.total_migrations() == 3
+        assert m.total_migration_s() == pytest.approx(0.4)
+        assert m.cut_traffic_ratio() == pytest.approx(4 / 15)
+        s = m.summary()
+        assert s["bytes_sent"] == 768
+        assert s["cut_traffic_ratio"] == pytest.approx(4 / 15, abs=1e-6)
+        assert s["migrations"] == 3
+        assert s["migration_s"] == pytest.approx(0.4)
+        assert s["load_s"] == pytest.approx(0.5)
+        assert s["gc_s"] == pytest.approx(0.05)
+
+    def test_summary_ratio_zero_when_no_traffic(self):
+        m = MetricsCollector(1)
+        m.record_step(rec(0, 0, 0, 1.0))
+        assert m.summary()["cut_traffic_ratio"] == 0.0
