@@ -5,6 +5,7 @@ from .report import render_bar_chart, render_series, render_table
 from .timeline import frontier_matrix, frontier_totals, timestep_times
 from .trace_replay import (
     crosscheck_trace,
+    purge_rolled_back_events,
     replay_partition_breakdown,
     replay_timestep_walls,
 )
@@ -12,6 +13,7 @@ from .utilization import UtilizationRow, utilization_rows
 
 __all__ = [
     "crosscheck_trace",
+    "purge_rolled_back_events",
     "replay_partition_breakdown",
     "replay_timestep_walls",
     "result_summary",

@@ -21,10 +21,72 @@ from ..core.results import AppResult
 from ..runtime.metrics import PHASE_COMPUTE, PartitionBreakdown
 
 __all__ = [
+    "purge_rolled_back_events",
     "replay_partition_breakdown",
     "replay_timestep_walls",
     "crosscheck_trace",
 ]
+
+
+def _rolled_back(e: Mapping, t0: int, s0: int | None) -> bool:
+    """Did rollback-to-``(t0, s0)`` discard the work ``e`` records?
+
+    The restored checkpoint blob was serialized at that boundary, so the
+    collector state it carries predates everything at-or-after it — the
+    matching events must be dropped for the replay to agree:
+
+    * ``step`` — merge-phase steps always (the merge runs after every
+      timestep, so any rollback re-runs it); compute steps at a later
+      timestep, or at ``t0`` itself when the restore re-enters it (any
+      superstep for a timestep-boundary restore, supersteps >= ``s0`` for a
+      superstep-boundary one).
+    * ``instance_load`` / ``gc_pause`` — charged when a timestep begins;
+      kept at ``t0`` under a superstep-boundary restore (the begin phase ran
+      before the checkpoint, so its costs are inside the restored metrics).
+    * ``checkpoint_write`` — a checkpoint's own cost is recorded *after*
+      its blob is serialized, so the restored-from checkpoint's cost (keyed
+      exactly at the restore point) is absent from the restored collector.
+    * ``restore`` — an earlier recovery's measured seconds survive only if
+      a later checkpoint captured them; one at-or-after this restore point
+      cannot have (its recording postdates every blob at-or-before it).
+    """
+    kind = e.get("kind")
+    te = e.get("timestep")
+    if kind == "step":
+        if e["phase"] != PHASE_COMPUTE:
+            return True
+        return te > t0 or (te == t0 and (s0 is None or e["superstep"] >= s0))
+    if kind in ("instance_load", "gc_pause"):
+        return te > t0 or (te == t0 and s0 is None)
+    if kind == "checkpoint_write":
+        sck = e.get("superstep")
+        return te > t0 or (
+            te == t0 and (s0 is None or (sck is not None and sck >= s0))
+        )
+    if kind == "restore":
+        rs = e.get("superstep")
+        return te > t0 or (
+            te == t0 and (s0 is None or (rs is not None and rs >= s0))
+        )
+    return False
+
+
+def purge_rolled_back_events(events: Iterable[Mapping]) -> list[Mapping]:
+    """Drop events describing work that rollback recovery discarded.
+
+    Each ``restore`` event (other than a ``resumed`` one, which starts a
+    fresh trace) rewinds the run to its ``(timestep, superstep)`` target:
+    everything recorded at-or-after that boundary was re-executed, and the
+    restored metrics never saw the discarded attempt.  Replaying the raw log
+    would double-count loads and mis-attribute checkpoint/recovery costs.
+    """
+    kept: list[Mapping] = []
+    for e in events:
+        if e.get("kind") == "restore" and not e.get("resumed"):
+            t0, s0 = e["timestep"], e.get("superstep")
+            kept = [k for k in kept if not _rolled_back(k, t0, s0)]
+        kept.append(e)
+    return kept
 
 
 def _step_groups(
@@ -64,6 +126,7 @@ def replay_partition_breakdown(
     per-superstep barrier cost (``CostModel.barrier_cost``), recorded in the
     run manifest.
     """
+    events = purge_rolled_back_events(events)
     compute = [0.0] * num_partitions
     send = [0.0] * num_partitions
     sync = [0.0] * num_partitions
@@ -97,8 +160,11 @@ def replay_timestep_walls(
     """Fig 6 series rebuilt from events: ``timestep -> wall seconds``.
 
     Sums the compute-phase superstep walls per timestep and adds the slowest
-    host's load and GC pause plus any rebalancing transfer cost.
+    host's load and GC pause, any rebalancing transfer cost, modeled
+    checkpoint-write I/O, and measured rollback-recovery time (rolled-back
+    events are purged first, so discarded attempts are not double-counted).
     """
+    events = purge_rolled_back_events(events)
     walls: dict[int, float] = defaultdict(float)
     for (phase, t, _s), rows in _step_groups(events).items():
         if phase != PHASE_COMPUTE:
@@ -109,8 +175,13 @@ def replay_timestep_walls(
         for t, seconds in _per_timestep_max(events, kind, num_partitions).items():
             walls[t] += max(seconds)
     for e in events:
-        if e.get("kind") == "migration":
+        kind = e.get("kind")
+        if kind == "migration":
             walls[e["timestep"]] += e["cost_s"]
+        elif kind == "checkpoint_write":
+            walls[e["timestep"]] += e["cost_s"]
+        elif kind == "restore":
+            walls[e["timestep"]] += e["seconds"]
     return dict(walls)
 
 
@@ -132,6 +203,11 @@ def crosscheck_trace(
         raise ValueError("result has no metrics")
     m = result.metrics
     events = result.trace.event_records()
+    if any(e.get("kind") == "restore" and e.get("resumed") for e in events):
+        raise ValueError(
+            "cannot cross-check a resumed run: its metrics carry records from "
+            "the original run, but its trace starts at the resume point"
+        )
     problems: list[str] = []
 
     replayed = replay_partition_breakdown(

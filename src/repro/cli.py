@@ -49,7 +49,8 @@ from .generators import (
 from .graph import AttributeSchema, AttributeSpec, GraphTemplate
 from .observability import run_provenance, validate_chrome_trace
 from .partition import MetisLikePartitioner, compute_stats, partition_graph
-from .runtime import GCModel, GreedyRebalancer
+from .resilience import CheckpointConfig, FaultPlan, RecoveryPolicy, RunFailureError
+from .runtime import CollectionInstanceSource, GCModel, GreedyRebalancer
 from .storage import GoFS
 
 __all__ = ["main"]
@@ -139,18 +140,74 @@ def _provenance(args: argparse.Namespace) -> dict:
     )
 
 
+def _resilience_config(args: argparse.Namespace) -> dict:
+    """EngineConfig kwargs for the resilience flags (empty when all are off)."""
+    kwargs: dict = {}
+    if args.checkpoint_every or args.resume_from is not None:
+        kwargs["checkpoint"] = CheckpointConfig(
+            dir=args.checkpoint_dir, every=args.checkpoint_every or 1
+        )
+    if args.inject_faults:
+        kwargs["faults"] = FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+    if args.max_retries is not None or args.degrade:
+        kwargs["recovery"] = RecoveryPolicy(
+            max_retries=args.max_retries if args.max_retries is not None else 2,
+            on_exhausted="degrade" if args.degrade else "raise",
+        )
+    if args.gather_timeout is not None:
+        kwargs["gather_timeout_s"] = args.gather_timeout
+    return kwargs
+
+
+def _write_failure_log(path: str, result) -> None:
+    import json
+
+    payload = {
+        "failure": result.failure.as_dict() if result.failure is not None else None,
+        "failure_log": [rec.as_dict() for rec in result.failure_log],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+    print(f"failure log written to {path}")
+
+
 def _run(args: argparse.Namespace) -> int:
     _template, collection, pg, comp = _problem_setup(args)
     config = EngineConfig(
         executor=args.executor,
         gc_model=GCModel() if args.gc else GCModel.disabled(),
         rebalancer=GreedyRebalancer() if args.rebalance else None,
+        **_resilience_config(args),
     )
-    result = run_application(comp, pg, collection, config=config)
+    sources = None
+    if args.executor == "process":
+        sources = [CollectionInstanceSource(collection) for _ in range(pg.num_partitions)]
+    try:
+        result = run_application(
+            comp, pg, collection, config=config, sources=sources, resume_from=args.resume_from
+        )
+    except RunFailureError as exc:
+        print(f"RUN FAILED: {exc.failure.reason} (timestep {exc.failure.timestep})")
+        for rec in exc.failure.failure_log:
+            print(f"  {rec.as_dict()}")
+        if args.failure_log and exc.partial is not None:
+            _write_failure_log(args.failure_log, exc.partial)
+        return 2
+    if result.failure is not None:
+        print(
+            f"DEGRADED RUN: {result.failure.reason} (timestep {result.failure.timestep}) — "
+            "metrics below cover the recovered prefix only"
+        )
+    elif result.failure_log:
+        print(
+            f"recovered from {len(result.failure_log)} fault(s); "
+            f"recovery time {result.metrics.total_recovery_s():.3f}s"
+        )
+    if args.failure_log:
+        _write_failure_log(args.failure_log, result)
     print(render_table([result.metrics.summary()], title=f"{args.algorithm} on {args.graph}"))
     print(render_series(result.metrics.timestep_series(), label="time per timestep (s)"))
     print(render_table([r.as_row() for r in utilization_rows(result)], title="Per-partition utilization"))
-    if args.algorithm == "evolve":
+    if args.algorithm == "evolve" and result.failure is None:
         (_sg, summary), = result.merge_outputs
         print(render_series(summary.num_communities, label="communities per timestep", fmt="{:d}"))
     elif args.algorithm == "stats":
@@ -245,13 +302,49 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--source", type=int, default=0)
     p.add_argument("--gc", action="store_true", help="enable the GC pause model")
     p.add_argument(
-        "--executor", choices=["serial", "thread"], default="serial",
-        help="cluster backend (process needs GoFS sources; use the API)",
+        "--executor", choices=["serial", "thread", "process"], default="serial",
+        help="cluster backend (process = one worker process per partition)",
     )
     p.add_argument(
         "--rebalance", action="store_true", help="enable greedy dynamic rebalancing"
     )
     p.add_argument("--export", metavar="PATH", help="write a JSON run summary")
+    res = p.add_argument_group("resilience")
+    res.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="write a durable checkpoint every N timesteps (0 = off)",
+    )
+    res.add_argument(
+        "--checkpoint-dir", default="checkpoints", metavar="DIR",
+        help="checkpoint directory (default: checkpoints)",
+    )
+    res.add_argument(
+        "--resume-from", nargs="?", const=True, default=None, metavar="NAME",
+        help="resume from the latest checkpoint (or a named one) in --checkpoint-dir",
+    )
+    res.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="deterministic fault plan, e.g. 'kill@t2:p1,delay@t3:s0:p0:d0.1' "
+        "(kinds: kill, delay, drop, corrupt, fail_load)",
+    )
+    res.add_argument("--fault-seed", type=int, default=0, help="fault plan RNG seed")
+    res.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="rollback retries per incident (default 2 when faults/recovery active)",
+    )
+    res.add_argument(
+        "--degrade", action="store_true",
+        help="on exhausted retries, report a structured failure with partial "
+        "results instead of raising",
+    )
+    res.add_argument(
+        "--gather-timeout", type=float, default=None, metavar="S",
+        help="bound each driver-side pipe read (process executor; default: none, "
+        "or 10s when faults are injected)",
+    )
+    res.add_argument(
+        "--failure-log", metavar="PATH", help="write the failure log as JSON"
+    )
     p.set_defaults(func=_run)
 
     p = sub.add_parser(

@@ -17,10 +17,28 @@ Timestep ranges behave like the paper's For loop (fixed range of instances)
 or While loop: the run ends early when every subgraph voted
 ``vote_to_halt_timestep`` during some timestep *and* no temporal messages
 were emitted in it.
+
+Fault tolerance (the resilience plane)
+--------------------------------------
+TI-BSP's barriers double as durable boundaries.  When
+``EngineConfig.checkpoint`` is set, the engine snapshots every partition's
+host state plus its own driver state (buffered temporal frames, outputs,
+metrics) into a :class:`~repro.resilience.checkpoint.CheckpointManager`
+directory at timestep (and optionally superstep) boundaries.  When a
+*recoverable* failure surfaces — a dead worker process, a wedged gather, a
+corrupt reply, an injected fault — the engine performs global-rollback
+recovery in the Pregel/GoFFish style: respawn the entire worker cohort at a
+higher incarnation, restore all partitions from the latest checkpoint (or
+replay from the beginning when none exists yet), roll its own state back,
+and re-execute.  Retries are bounded per incident by
+:class:`~repro.resilience.recovery.RecoveryPolicy`; when they run out the
+run surfaces a structured :class:`~repro.resilience.recovery.RunFailure`
+instead of hanging.  Deterministic application errors are never retried.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
@@ -30,6 +48,15 @@ import numpy as np
 from ..graph.collection import TimeSeriesGraphCollection
 from ..observability import NULL_SPAN, RunTrace, tracing_enabled
 from ..partition.base import PartitionedGraph
+from ..resilience.checkpoint import CheckpointConfig, CheckpointCorrupt, CheckpointManager
+from ..resilience.faults import FaultPlan
+from ..resilience.recovery import (
+    FailureRecord,
+    RecoverableError,
+    RecoveryPolicy,
+    RunFailure,
+    RunFailureError,
+)
 from ..runtime.cluster import Cluster, LocalCluster
 from ..runtime.cost import CostModel
 from ..runtime.gc_model import GCModel
@@ -42,6 +69,11 @@ from .patterns import Pattern
 from .results import AppResult
 
 __all__ = ["EngineConfig", "TIBSPEngine", "run_application"]
+
+#: Gather timeout applied to process clusters when fault injection is on but
+#: the user did not configure one: ``drop``/``delay`` faults must surface as
+#: detected failures, not infinite barriers.
+_DEFAULT_FAULT_GATHER_TIMEOUT_S = 10.0
 
 
 @dataclass(frozen=True)
@@ -69,7 +101,10 @@ class EngineConfig:
         Optional dynamic-rebalancing policy (see
         :mod:`repro.runtime.rebalance`): between timesteps, subgraphs may
         migrate from busy to idle partitions.  In-process executors with
-        shared-collection sources only.
+        shared-collection sources only.  Mutually exclusive with the
+        resilience plane (checkpoint / faults / recovery): migrations
+        mutate subgraph ownership mid-run, so a restored snapshot would no
+        longer match the cluster's routing state.
     tracing:
         ``None``/``False`` (default, a strict no-op), ``True``, or a
         :class:`~repro.observability.TraceConfig`.  When enabled, the run
@@ -79,6 +114,25 @@ class EngineConfig:
         the result as ``result.trace`` — exportable to Perfetto and the
         JSONL event log.  Tracing only observes: engine results are
         bit-identical with it on or off.
+    checkpoint:
+        Optional :class:`~repro.resilience.checkpoint.CheckpointConfig`.
+        When set, durable boundary snapshots are written on the configured
+        cadence and ``run(resume_from=...)`` / rollback recovery can
+        restore from them.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultPlan` of scripted,
+        deterministic failures (testing/bench use).  Enabling faults also
+        enables recovery with the default policy unless ``recovery`` is
+        given explicitly.
+    recovery:
+        Optional :class:`~repro.resilience.recovery.RecoveryPolicy`
+        bounding rollback retries.  ``None`` (with ``faults`` also None)
+        keeps the pre-resilience behavior: failures propagate immediately.
+    gather_timeout_s:
+        Bound on every driver-side pipe read per scatter/gather round
+        (process executor).  ``None`` (default) preserves the original
+        block-forever behavior, except that fault injection substitutes a
+        10 s default so dropped replies surface as ``GatherTimeout``.
     """
 
     executor: str = "serial"
@@ -89,6 +143,10 @@ class EngineConfig:
     combiners: bool = True
     rebalancer: object | None = None
     tracing: object | None = None
+    checkpoint: CheckpointConfig | None = None
+    faults: FaultPlan | None = None
+    recovery: RecoveryPolicy | None = None
+    gather_timeout_s: float | None = None
 
 
 class TIBSPEngine:
@@ -135,6 +193,9 @@ class TIBSPEngine:
                     "(lazy/generator or GoFS-backed) so workers can load data "
                     "in their own address space"
                 )
+            gather_timeout = cfg.gather_timeout_s
+            if gather_timeout is None and cfg.faults is not None:
+                gather_timeout = _DEFAULT_FAULT_GATHER_TIMEOUT_S
             return ProcessCluster(
                 self.pg,
                 computation,
@@ -143,6 +204,8 @@ class TIBSPEngine:
                 cost_model=cfg.cost_model,
                 use_combiners=cfg.combiners,
                 tracing=tracing,
+                gather_timeout_s=gather_timeout,
+                fault_plan=cfg.faults,
             )
         return LocalCluster(
             self.pg,
@@ -154,6 +217,7 @@ class TIBSPEngine:
             executor=cfg.executor,
             use_combiners=cfg.combiners,
             tracing=tracing,
+            fault_plan=cfg.faults,
         )
 
     # -- routing helpers --------------------------------------------------------------
@@ -178,6 +242,7 @@ class TIBSPEngine:
         computation: TimeSeriesComputation,
         inputs: Iterable[tuple[int, Any]] | None = None,
         timestep_range: tuple[int, int] | None = None,
+        resume_from: str | bool | None = None,
     ) -> AppResult:
         """Execute ``computation`` over the collection.
 
@@ -194,11 +259,37 @@ class TIBSPEngine:
         timestep_range:
             Half-open ``(start, stop)`` range of timesteps; defaults to the
             whole collection (the paper's For-loop mode over ``ti..tj``).
+        resume_from:
+            Restart from a durable checkpoint instead of the beginning:
+            ``True`` resumes from the latest complete checkpoint under
+            ``EngineConfig.checkpoint.dir``, a string names a specific
+            checkpoint directory.  The driver state stored in the
+            checkpoint (including inputs and metrics) takes precedence
+            over ``inputs``.
         """
         pattern = computation.pattern
+        cfg = self.config
         start, stop = timestep_range or (0, len(self.collection))
         if not 0 <= start <= stop <= len(self.collection):
             raise ValueError(f"timestep range [{start}, {stop}) out of bounds")
+        resilient = (
+            cfg.checkpoint is not None
+            or cfg.faults is not None
+            or cfg.recovery is not None
+            or resume_from is not None
+        )
+        if resilient and cfg.rebalancer is not None:
+            raise ValueError(
+                "dynamic rebalancing is incompatible with the resilience plane "
+                "(checkpoint / faults / recovery): migrations mutate subgraph "
+                "ownership mid-run, so a restored snapshot would no longer "
+                "match the cluster's routing state"
+            )
+        if resume_from is not None and cfg.checkpoint is None:
+            raise ValueError(
+                "resume_from requires EngineConfig.checkpoint (it names the "
+                "directory holding the checkpoints)"
+            )
 
         meta = RunMeta(
             pattern=pattern,
@@ -207,37 +298,336 @@ class TIBSPEngine:
             t0=self.collection.t0,
         )
         metrics = MetricsCollector(
-            self.pg.num_partitions, barrier_s=self.config.cost_model.barrier_cost(self.pg.num_partitions)
+            self.pg.num_partitions, barrier_s=cfg.cost_model.barrier_cost(self.pg.num_partitions)
         )
-        trace = RunTrace() if tracing_enabled(self.config.tracing) else None
+        trace = RunTrace() if tracing_enabled(cfg.tracing) else None
         result = AppResult(metrics=metrics, trace=trace)
         input_msgs = self._as_input_messages(inputs)
+
+        manager = (
+            CheckpointManager(cfg.checkpoint.dir, retain=cfg.checkpoint.retain)
+            if cfg.checkpoint is not None
+            else None
+        )
+        policy = cfg.recovery if cfg.recovery is not None else (
+            RecoveryPolicy() if cfg.faults is not None else None
+        )
 
         cluster = self._make_cluster(computation, meta, trace is not None)
         if trace is not None:
             cluster.driver_tracer = trace.tracer
+
+        # Remote temporal sends buffered between timesteps, still framed;
+        # same-partition temporal sends never leave their host.  This list's
+        # identity is stable across rollbacks (restores slice-assign it).
+        temporal_frames: list[MessageFrame] = []
+        resume_inner: dict | None = None
+        t = start
         try:
-            # Remote temporal sends buffered between timesteps, still framed;
-            # same-partition temporal sends never leave their host.
-            temporal_frames: list[MessageFrame] = []
-            for t in range(start, stop):
-                with trace.tracer.span("timestep", t=t) if trace is not None else NULL_SPAN:
-                    halted_early = self._run_timestep(
-                        cluster, metrics, trace, result, pattern, t, start, input_msgs, temporal_frames
+            if resume_from is not None:
+                loaded = manager.load(None if resume_from is True else resume_from)
+                self._verify_signature(loaded.meta, pattern)
+                blob = loaded.driver
+                t, resume_inner, input_msgs, metrics = self._install_driver_blob(
+                    blob, result, temporal_frames
+                )
+                cluster.restore(
+                    loaded.parts,
+                    reload_timestep=t if blob["phase"] == "superstep" else None,
+                )
+                if trace is not None:
+                    trace.tracer.event(
+                        "restore",
+                        timestep=t,
+                        superstep=None if resume_inner is None else resume_inner["superstep"],
+                        seconds=0.0,
+                        resumed=True,
+                        checkpoint=loaded.meta.get("seq"),
                     )
-                result.timesteps_executed += 1
-                if halted_early:
-                    # Only count as early when timesteps actually remained.
-                    result.halted_early = t < stop - 1
-                    break
-            if pattern.has_merge:
-                self._run_merge(cluster, metrics, trace, result)
-            if self.config.collect_states:
+
+            # The rollback target of last resort: the driver state at the
+            # start of the run, held in memory.  Restoring it needs no part
+            # snapshots — freshly respawned hosts *are* the start-of-run
+            # state.  Invalid after a resume (hosts then carry history), but
+            # a resume guarantees a durable checkpoint exists instead.
+            genesis: bytes | None = None
+            if policy is not None and resume_from is None:
+                genesis = pickle.dumps(
+                    self._driver_blob(
+                        "timestep", t, None, None, None,
+                        temporal_frames, input_msgs, result, metrics,
+                    )
+                )
+
+            incident_attempt = 0
+            merge_done = not pattern.has_merge
+            while True:
+                while t < stop:
+                    try:
+                        with trace.tracer.span("timestep", t=t) if trace is not None else NULL_SPAN:
+                            halted_early = self._run_timestep(
+                                cluster, metrics, trace, result, pattern, t, start,
+                                input_msgs, temporal_frames,
+                                resume=resume_inner, manager=manager,
+                            )
+                    except RecoverableError as exc:
+                        if policy is None:
+                            raise
+                        incident_attempt += 1
+                        outcome = self._attempt_recovery(
+                            exc, incident_attempt, policy, manager, genesis,
+                            cluster, result, trace, temporal_frames, at_t=t,
+                        )
+                        if outcome is None:
+                            return self._exhausted(exc, policy, result, t)
+                        t, resume_inner, input_msgs, metrics = outcome
+                        continue
+                    resume_inner = None
+                    incident_attempt = 0
+                    result.timesteps_executed += 1
+                    if manager is not None and (t - start + 1) % cfg.checkpoint.every == 0:
+                        self._write_checkpoint(
+                            manager, cluster, metrics, trace, pattern,
+                            "timestep", t + 1, None, None, None,
+                            temporal_frames, input_msgs, result,
+                        )
+                    t += 1
+                    if halted_early:
+                        # Only count as early when timesteps actually remained.
+                        result.halted_early = t < stop
+                        break
+                if not merge_done:
+                    try:
+                        self._run_merge(cluster, metrics, trace, result)
+                        merge_done = True
+                    except RecoverableError as exc:
+                        if policy is None:
+                            raise
+                        incident_attempt += 1
+                        outcome = self._attempt_recovery(
+                            exc, incident_attempt, policy, manager, genesis,
+                            cluster, result, trace, temporal_frames, at_t=-1,
+                        )
+                        if outcome is None:
+                            return self._exhausted(exc, policy, result, -1)
+                        t, resume_inner, input_msgs, metrics = outcome
+                        # Rollback may land before ``stop``; the timestep
+                        # loop above re-runs the remainder, then merge again.
+                        continue
+                break
+            if cfg.collect_states:
                 result.states = cluster.final_states()
         finally:
             cluster.shutdown()
             if trace is not None:
                 trace.finish()
+        return result
+
+    # -- resilience plumbing ---------------------------------------------------------
+
+    def _signature(self, pattern: Pattern) -> dict[str, Any]:
+        """Checkpoint compatibility fingerprint (validated on resume)."""
+        return {
+            "num_partitions": self.pg.num_partitions,
+            "num_subgraphs": len(self.pg.subgraphs),
+            "pattern": pattern.name,
+        }
+
+    def _verify_signature(self, manifest: dict[str, Any], pattern: Pattern) -> None:
+        sig = manifest.get("signature") or {}
+        mine = self._signature(pattern)
+        for key, want in mine.items():
+            if key in sig and sig[key] != want:
+                raise ValueError(
+                    f"checkpoint does not match this run: {key} is {sig[key]!r} "
+                    f"in the checkpoint but {want!r} here"
+                )
+
+    def _driver_blob(
+        self,
+        phase: str,
+        next_t: int,
+        superstep: int | None,
+        per_part: list[list[MessageFrame]] | None,
+        halt_votes: set[int] | None,
+        temporal_frames: list[MessageFrame],
+        input_msgs: dict[int, list[Message]],
+        result: AppResult,
+        metrics: MetricsCollector,
+    ) -> dict[str, Any]:
+        """Everything the *driver* must roll back to re-execute from a boundary."""
+        return {
+            "phase": phase,
+            "next_t": int(next_t),
+            "superstep": superstep,
+            "per_part": per_part,
+            "halt_votes": None if halt_votes is None else set(halt_votes),
+            "temporal_frames": list(temporal_frames),
+            "input_msgs": input_msgs,
+            "outputs": list(result.outputs),
+            "merge_outputs": list(result.merge_outputs),
+            "timesteps_executed": result.timesteps_executed,
+            "metrics": metrics,
+        }
+
+    def _install_driver_blob(
+        self, blob: dict[str, Any], result: AppResult, temporal_frames: list[MessageFrame]
+    ) -> tuple[int, dict | None, dict[int, list[Message]], MetricsCollector]:
+        """Roll the driver state back to ``blob``; returns the resume point."""
+        metrics = blob["metrics"]
+        result.metrics = metrics
+        result.outputs[:] = blob["outputs"]
+        result.merge_outputs[:] = blob["merge_outputs"]
+        result.timesteps_executed = blob["timesteps_executed"]
+        result.halted_early = False
+        temporal_frames[:] = blob["temporal_frames"]
+        resume_inner = None
+        if blob["phase"] == "superstep":
+            resume_inner = {
+                "superstep": blob["superstep"],
+                "per_part": blob["per_part"],
+                "halt_votes": blob["halt_votes"],
+            }
+        return blob["next_t"], resume_inner, blob["input_msgs"], metrics
+
+    def _write_checkpoint(
+        self,
+        manager: CheckpointManager,
+        cluster: Cluster,
+        metrics: MetricsCollector,
+        trace: RunTrace | None,
+        pattern: Pattern,
+        phase: str,
+        next_t: int,
+        superstep: int | None,
+        per_part: list[list[MessageFrame]] | None,
+        halt_votes: set[int] | None,
+        temporal_frames: list[MessageFrame],
+        input_msgs: dict[int, list[Message]],
+        result: AppResult,
+    ) -> None:
+        """Snapshot cluster + driver state into one durable checkpoint.
+
+        The driver blob is serialized *before* this checkpoint's own cost is
+        recorded, so a restore rolls metrics back to a state consistent with
+        the event log's surviving ``checkpoint_write`` events (the replay
+        purge drops events at-or-after the restore point — including the
+        event of the checkpoint restored from).
+        """
+        parts = cluster.snapshot()
+        blob = self._driver_blob(
+            phase, next_t, superstep, per_part, halt_votes,
+            temporal_frames, input_msgs, result, metrics,
+        )
+        info = manager.write(
+            next_t, blob, parts, superstep=superstep, signature=self._signature(pattern)
+        )
+        cost = self.config.cost_model.checkpoint_cost(info.nbytes)
+        metrics.record_checkpoint(next_t, info.nbytes, cost)
+        if trace is not None:
+            trace.tracer.event(
+                "checkpoint_write",
+                timestep=next_t,
+                superstep=superstep,
+                nbytes=info.nbytes,
+                seconds=info.seconds,
+                cost_s=cost,
+                name=info.path.name,
+            )
+
+    def _attempt_recovery(
+        self,
+        exc: RecoverableError,
+        attempt: int,
+        policy: RecoveryPolicy,
+        manager: CheckpointManager | None,
+        genesis: bytes | None,
+        cluster: Cluster,
+        result: AppResult,
+        trace: RunTrace | None,
+        temporal_frames: list[MessageFrame],
+        *,
+        at_t: int,
+    ) -> tuple[int, dict | None, dict[int, list[Message]], MetricsCollector] | None:
+        """Handle one recoverable failure: rollback-and-retry, or give up.
+
+        Returns the new ``(t, resume_inner, input_msgs, metrics)`` resume
+        point, or ``None`` when the per-incident retry budget is exhausted
+        (the caller then degrades or raises per the policy).
+        """
+        kind = type(exc).__name__
+        partition = getattr(exc, "partition", None)
+        tr = trace.tracer if trace is not None else None
+        if tr is not None:
+            tr.event(
+                "worker_lost", error=kind, timestep=at_t, partition=partition, attempt=attempt
+            )
+        exhausted = attempt > policy.max_retries
+        result.failure_log.append(
+            FailureRecord(
+                kind=kind,
+                timestep=at_t,
+                superstep=-1,
+                partition=partition,
+                attempt=attempt,
+                error=str(exc),
+                action="retry" if not exhausted else policy.on_exhausted,
+            )
+        )
+        if exhausted:
+            return None
+        backoff = policy.backoff_for(attempt)
+        if tr is not None:
+            tr.event("retry", timestep=at_t, attempt=attempt, backoff_s=backoff)
+        if backoff > 0:
+            time.sleep(backoff)
+        started = time.perf_counter()
+        cluster.respawn_all()
+        loaded = None
+        if manager is not None and manager.latest_name() is not None:
+            try:
+                loaded = manager.load()
+            except CheckpointCorrupt:
+                if genesis is None:
+                    raise
+        if loaded is not None:
+            blob = loaded.driver
+            cluster.restore(
+                loaded.parts,
+                reload_timestep=blob["next_t"] if blob["phase"] == "superstep" else None,
+            )
+        elif genesis is not None:
+            # Fresh hosts from respawn_all *are* the start-of-run state.
+            blob = pickle.loads(genesis)
+        else:  # pragma: no cover - run() guarantees one of the two exists
+            raise RuntimeError("no rollback target available") from exc
+        next_t, resume_inner, input_msgs, metrics = self._install_driver_blob(
+            blob, result, temporal_frames
+        )
+        seconds = time.perf_counter() - started
+        metrics.record_recovery(next_t, seconds)
+        if tr is not None:
+            tr.event(
+                "restore",
+                timestep=next_t,
+                superstep=None if resume_inner is None else resume_inner["superstep"],
+                seconds=seconds,
+                resumed=False,
+            )
+        return next_t, resume_inner, input_msgs, metrics
+
+    def _exhausted(
+        self, exc: RecoverableError, policy: RecoveryPolicy, result: AppResult, at_t: int
+    ) -> AppResult:
+        """Retries ran out: degrade to a partial result or raise, per policy."""
+        failure = RunFailure(
+            reason=f"{type(exc).__name__}: {exc}",
+            timestep=at_t,
+            failure_log=list(result.failure_log),
+        )
+        result.failure = failure
+        if policy.on_exhausted == "raise":
+            raise RunFailureError(failure, partial=result) from exc
         return result
 
     # -- one timestep ---------------------------------------------------------------------
@@ -302,51 +692,65 @@ class TIBSPEngine:
         start: int,
         input_msgs: dict[int, list[Message]],
         temporal_frames: list[MessageFrame],
+        resume: dict | None = None,
+        manager: CheckpointManager | None = None,
     ) -> bool:
-        """Run one BSP timestep.  Returns True when the app halted early."""
+        """Run one BSP timestep.  Returns True when the app halted early.
+
+        With ``resume`` (a superstep-boundary restore), the begin/seeding
+        phase is skipped — the hosts were restored with the instance already
+        reloaded — and the BSP loop continues from the stored superstep with
+        the stored deliveries and halt votes.
+        """
         tr = trace.tracer if trace is not None else None
         if self.config.rebalancer is not None and t > start:
             self._rebalance(cluster, metrics, trace, t)
-        gc = self.config.gc_model
-        if gc.enabled:
-            resident = cluster.resident_bytes()
-            pauses = [gc.pause_at(t - start, b) for b in resident]
+        if resume is not None:
+            superstep = resume["superstep"]
+            per_part = resume["per_part"]
+            halt_votes: set[int] = set(resume["halt_votes"])
         else:
-            pauses = [0.0] * self.pg.num_partitions
-
-        with tr.span("begin_timestep", t=t) if tr is not None else NULL_SPAN:
-            begin_results = cluster.begin_timestep(t, pauses)
-        for r in begin_results:
-            metrics.record_load(t, r.partition, r.load_s)
-            if r.gc_pause_s:
-                metrics.record_gc(t, r.partition, r.gc_pause_s)
-        if trace is not None:
-            trace.absorb_results(begin_results)
-            for r in begin_results:
-                tr.event("instance_load", timestep=t, partition=r.partition, seconds=r.load_s)
-                if r.gc_pause_s:
-                    tr.event("gc_pause", timestep=t, partition=r.partition, seconds=r.gc_pause_s)
-
-        # Superstep-0 deliveries per the pattern (Section II-D message rules).
-        if pattern is Pattern.SEQUENTIALLY_DEPENDENT:
-            if t == start:
-                per_part = self._frames_for(input_msgs)
+            gc = self.config.gc_model
+            if gc.enabled:
+                resident = cluster.resident_bytes()
+                pauses = [gc.pause_at(t - start, b) for b in resident]
             else:
-                # Unpack and re-frame against the *current* routing array: a
-                # frame's dst_partition was computed at pack time, last
-                # timestep, and rebalancing may since have migrated its
-                # destination subgraphs to other partitions.  Frame order is
-                # preserved, so per-subgraph message order is unchanged.
-                buffered: dict[int, list[Message]] = {}
-                for frame in temporal_frames:
-                    frame.deliver_into(buffered)
-                per_part = self._frames_for(buffered)
-                temporal_frames.clear()
-        else:
-            per_part = self._frames_for(input_msgs)
-        halt_votes: set[int] = set()
+                pauses = [0.0] * self.pg.num_partitions
 
-        superstep = 0
+            with tr.span("begin_timestep", t=t) if tr is not None else NULL_SPAN:
+                begin_results = cluster.begin_timestep(t, pauses)
+            for r in begin_results:
+                metrics.record_load(t, r.partition, r.load_s)
+                if r.gc_pause_s:
+                    metrics.record_gc(t, r.partition, r.gc_pause_s)
+            if trace is not None:
+                trace.absorb_results(begin_results)
+                for r in begin_results:
+                    tr.event("instance_load", timestep=t, partition=r.partition, seconds=r.load_s)
+                    if r.gc_pause_s:
+                        tr.event("gc_pause", timestep=t, partition=r.partition, seconds=r.gc_pause_s)
+
+            # Superstep-0 deliveries per the pattern (Section II-D message rules).
+            if pattern is Pattern.SEQUENTIALLY_DEPENDENT:
+                if t == start:
+                    per_part = self._frames_for(input_msgs)
+                else:
+                    # Unpack and re-frame against the *current* routing array: a
+                    # frame's dst_partition was computed at pack time, last
+                    # timestep, and rebalancing may since have migrated its
+                    # destination subgraphs to other partitions.  Frame order is
+                    # preserved, so per-subgraph message order is unchanged.
+                    buffered: dict[int, list[Message]] = {}
+                    for frame in temporal_frames:
+                        frame.deliver_into(buffered)
+                    per_part = self._frames_for(buffered)
+                    temporal_frames.clear()
+            else:
+                per_part = self._frames_for(input_msgs)
+            halt_votes = set()
+            superstep = 0
+
+        ckpt_cfg = self.config.checkpoint
         while True:
             if superstep >= self.config.max_supersteps:
                 raise RuntimeError(
@@ -380,6 +784,19 @@ class TIBSPEngine:
                 r.all_halted and not r.has_pending_local for r in step_results
             ):
                 break
+            if (
+                manager is not None
+                and ckpt_cfg is not None
+                and ckpt_cfg.superstep_every is not None
+                and superstep % ckpt_cfg.superstep_every == 0
+            ):
+                # Mid-timestep durable boundary: ``superstep`` is the next
+                # one to execute, with its deliveries and votes in the blob.
+                self._write_checkpoint(
+                    manager, cluster, metrics, trace, pattern,
+                    "superstep", t, superstep, per_part, halt_votes,
+                    temporal_frames, input_msgs, result,
+                )
 
         with tr.span("end_of_timestep", t=t) if tr is not None else NULL_SPAN:
             eot_results = cluster.end_of_timestep(t)
@@ -489,7 +906,10 @@ def run_application(
     timestep_range: tuple[int, int] | None = None,
     config: EngineConfig | None = None,
     sources: Sequence[InstanceSource] | None = None,
+    resume_from: str | bool | None = None,
 ) -> AppResult:
     """One-call convenience wrapper around :class:`TIBSPEngine`."""
     engine = TIBSPEngine(pg, collection, config=config, sources=sources)
-    return engine.run(computation, inputs=inputs, timestep_range=timestep_range)
+    return engine.run(
+        computation, inputs=inputs, timestep_range=timestep_range, resume_from=resume_from
+    )

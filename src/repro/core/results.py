@@ -41,6 +41,15 @@ class AppResult:
         was configured with ``EngineConfig(tracing=...)``; ``None``
         otherwise.  Use ``result.trace.write(out_dir, manifest)`` to emit
         the Perfetto trace, the JSONL event log, and the run manifest.
+    failure:
+        ``None`` for a fully completed run.  In graceful-degradation mode
+        (``RecoveryPolicy(on_exhausted="degrade")``), the structured
+        :class:`~repro.resilience.recovery.RunFailure` describing why the
+        run stopped — outputs/metrics then cover only the recovered prefix.
+    failure_log:
+        Every :class:`~repro.resilience.recovery.FailureRecord` the
+        recovery loop handled, including faults that were successfully
+        retried (empty for fault-free runs).
     """
 
     outputs: list[tuple[int, int, Any]] = field(default_factory=list)
@@ -51,6 +60,8 @@ class AppResult:
     halted_early: bool = False
     simulated_makespan: float | None = None
     trace: Any | None = None
+    failure: Any | None = None
+    failure_log: list[Any] = field(default_factory=list)
 
     def outputs_by_timestep(self) -> dict[int, list[Any]]:
         """Group output records by the timestep that emitted them."""

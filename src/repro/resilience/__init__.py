@@ -1,0 +1,51 @@
+"""Fault-tolerance plane: checkpointing, fault injection, and recovery.
+
+TI-BSP's barriered structure gives clean durable boundaries — the end of a
+superstep and the end of a timestep — exactly where Pregel-lineage systems
+(GoFFish, Giraph) checkpoint.  This package supplies the three pillars the
+engine wires together:
+
+* :mod:`~repro.resilience.checkpoint` — GoFS-style checkpoint directories
+  (per-partition state blobs + a hashed manifest) written at boundaries and
+  restored by ``TIBSPEngine.run(resume_from=...)`` or in-run rollback;
+* :mod:`~repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan` that kills workers, drops/corrupts pipe replies,
+  delays stragglers, and fails slice loads at scripted
+  ``(timestep, superstep, partition)`` coordinates;
+* :mod:`~repro.resilience.recovery` — the failure taxonomy
+  (:class:`RecoverableError` vs application errors), the bounded-retry
+  :class:`RecoveryPolicy`, and the structured :class:`RunFailure` surfaced
+  when retries are exhausted instead of hanging the driver.
+"""
+
+from .checkpoint import CheckpointConfig, CheckpointCorrupt, CheckpointInfo, CheckpointManager
+from .faults import AT_BEGIN, AT_EOT, FAULT_KINDS, FaultPlan, FaultSpec, parse_fault_specs
+from .recovery import (
+    FailureRecord,
+    InjectedFault,
+    RecoverableError,
+    RecoveryPolicy,
+    RunFailure,
+    RunFailureError,
+    WorkerCrash,
+)
+
+__all__ = [
+    "CheckpointConfig",
+    "CheckpointCorrupt",
+    "CheckpointInfo",
+    "CheckpointManager",
+    "AT_BEGIN",
+    "AT_EOT",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "parse_fault_specs",
+    "FailureRecord",
+    "InjectedFault",
+    "RecoverableError",
+    "RecoveryPolicy",
+    "RunFailure",
+    "RunFailureError",
+    "WorkerCrash",
+]

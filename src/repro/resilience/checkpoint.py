@@ -1,0 +1,238 @@
+"""GoFS-style checkpoint store: durable TI-BSP boundary snapshots.
+
+Layout of a checkpoint directory rooted at ``dir/``::
+
+    dir/LATEST                        — name of the newest complete checkpoint
+    dir/ckpt-000003-t4/manifest.json  — coordinates, signature, file hashes
+    dir/ckpt-000003-t4/driver.bin     — driver blob (frames, outputs, metrics)
+    dir/ckpt-000003-t4/part-0.bin     — one host-state blob per partition
+    dir/ckpt-000003-t4/part-1.bin
+
+A checkpoint is *complete* only once its ``manifest.json`` exists: blobs
+are written first, then the manifest (with each blob's byte count and
+SHA-256), then ``LATEST`` is swung atomically (write-temp + rename).  A
+crash mid-write therefore never produces a checkpoint that
+:meth:`CheckpointManager.load` would accept — it either verifies every
+hash or raises :class:`CheckpointCorrupt`.
+
+Superstep-boundary checkpoints name their directory ``ckpt-<seq>-t<T>s<S>``
+and set ``superstep`` in the manifest; timestep-boundary checkpoints store
+the *next* timestep to execute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..storage.serde import read_blob, write_blob
+
+__all__ = ["CheckpointConfig", "CheckpointCorrupt", "CheckpointInfo", "CheckpointManager"]
+
+CHECKPOINT_FORMAT_VERSION = 1
+_LATEST = "LATEST"
+_MANIFEST = "manifest.json"
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint failed integrity validation (missing file / bad hash)."""
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpointing knobs for :class:`~repro.core.engine.EngineConfig`.
+
+    Attributes
+    ----------
+    dir:
+        Checkpoint directory (created on first write).
+    every:
+        Write a checkpoint after every ``every`` completed timesteps.
+    superstep_every:
+        Optionally also checkpoint *inside* a timestep, every this many
+        compute supersteps — for long-converging BSPs where losing a whole
+        timestep of supersteps is expensive.  ``None`` (default) disables.
+    retain:
+        Keep at most this many complete checkpoints (older ones pruned).
+    """
+
+    dir: str | Path = "checkpoints"
+    every: int = 1
+    superstep_every: int | None = None
+    retain: int = 2
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError("checkpoint every must be >= 1")
+        if self.superstep_every is not None and self.superstep_every < 1:
+            raise ValueError("superstep_every must be >= 1 (or None)")
+        if self.retain < 1:
+            raise ValueError("retain must be >= 1")
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """What one :meth:`CheckpointManager.write` produced."""
+
+    path: Path
+    seq: int
+    timestep: int
+    superstep: int | None
+    nbytes: int
+    seconds: float  #: measured write wall time
+
+
+@dataclass
+class _LoadedCheckpoint:
+    """A verified checkpoint read back from disk."""
+
+    meta: dict[str, Any]
+    driver: Any
+    parts: list[Any] = field(default_factory=list)
+
+    @property
+    def timestep(self) -> int:
+        return int(self.meta["timestep"])
+
+    @property
+    def superstep(self) -> int | None:
+        s = self.meta.get("superstep")
+        return None if s is None else int(s)
+
+
+class CheckpointManager:
+    """Writes, lists, verifies, and prunes checkpoints under one directory."""
+
+    def __init__(self, root: str | Path, *, retain: int = 2) -> None:
+        self.root = Path(root)
+        self.retain = int(retain)
+        self._seq = self._next_seq()
+
+    def _next_seq(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        seqs = [
+            int(p.name.split("-")[1])
+            for p in self.root.iterdir()
+            if p.is_dir() and p.name.startswith("ckpt-")
+        ]
+        return max(seqs, default=-1) + 1
+
+    # -- write -------------------------------------------------------------------------
+
+    def write(
+        self,
+        timestep: int,
+        driver_blob: Any,
+        part_blobs: Sequence[Any],
+        *,
+        superstep: int | None = None,
+        signature: dict[str, Any] | None = None,
+    ) -> CheckpointInfo:
+        """Write one complete checkpoint; returns its :class:`CheckpointInfo`.
+
+        ``timestep`` is the next timestep the restored run executes (for a
+        superstep checkpoint, the timestep being executed, with
+        ``superstep`` the next superstep to run).
+        """
+        import time
+
+        start = time.perf_counter()
+        seq = self._seq
+        self._seq += 1
+        name = f"ckpt-{seq:06d}-t{timestep}" + (f"s{superstep}" if superstep is not None else "")
+        ckpt_dir = self.root / name
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+
+        files: dict[str, dict[str, Any]] = {}
+        total = 0
+        nbytes, digest = write_blob(ckpt_dir / "driver.bin", driver_blob)
+        files["driver.bin"] = {"nbytes": nbytes, "sha256": digest}
+        total += nbytes
+        for p, blob in enumerate(part_blobs):
+            nbytes, digest = write_blob(ckpt_dir / f"part-{p}.bin", blob)
+            files[f"part-{p}.bin"] = {"nbytes": nbytes, "sha256": digest}
+            total += nbytes
+
+        manifest = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "seq": seq,
+            "timestep": int(timestep),
+            "superstep": None if superstep is None else int(superstep),
+            "num_partitions": len(part_blobs),
+            "signature": signature or {},
+            "files": files,
+        }
+        (ckpt_dir / _MANIFEST).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        # Swing LATEST atomically: a reader sees either the old complete
+        # checkpoint or the new one, never a torn pointer.
+        tmp = self.root / (_LATEST + ".tmp")
+        tmp.write_text(name)
+        os.replace(tmp, self.root / _LATEST)
+        self._prune()
+        return CheckpointInfo(
+            ckpt_dir, seq, int(timestep), superstep, total, time.perf_counter() - start
+        )
+
+    def _prune(self) -> None:
+        import shutil
+
+        complete = sorted(
+            (p for p in self.root.iterdir() if p.is_dir() and (p / _MANIFEST).is_file()),
+            key=lambda p: int(p.name.split("-")[1]),
+        )
+        latest_name = self.latest_name()
+        for old in complete[: max(0, len(complete) - self.retain)]:
+            if old.name != latest_name:
+                shutil.rmtree(old, ignore_errors=True)
+
+    # -- read --------------------------------------------------------------------------
+
+    def latest_name(self) -> str | None:
+        """Name of the newest complete checkpoint, or ``None``."""
+        pointer = self.root / _LATEST
+        if pointer.is_file():
+            name = pointer.read_text().strip()
+            if (self.root / name / _MANIFEST).is_file():
+                return name
+        # Fall back to scanning (LATEST lost but checkpoints intact).
+        complete = [
+            p.name
+            for p in (self.root.iterdir() if self.root.is_dir() else ())
+            if p.is_dir() and (p / _MANIFEST).is_file()
+        ]
+        if not complete:
+            return None
+        return max(complete, key=lambda n: int(n.split("-")[1]))
+
+    def load(self, name: str | None = None) -> _LoadedCheckpoint:
+        """Load and verify a checkpoint (the latest when ``name`` is None)."""
+        name = name or self.latest_name()
+        if name is None:
+            raise FileNotFoundError(f"no complete checkpoint under {self.root}")
+        ckpt_dir = self.root / name
+        manifest_path = ckpt_dir / _MANIFEST
+        if not manifest_path.is_file():
+            raise CheckpointCorrupt(f"checkpoint {ckpt_dir} has no manifest")
+        meta = json.loads(manifest_path.read_text())
+        if meta.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointCorrupt(
+                f"checkpoint {ckpt_dir}: unsupported format version {meta.get('format_version')!r}"
+            )
+        try:
+            driver = read_blob(
+                ckpt_dir / "driver.bin", expected_sha256=meta["files"]["driver.bin"]["sha256"]
+            )
+            parts = [
+                read_blob(
+                    ckpt_dir / f"part-{p}.bin",
+                    expected_sha256=meta["files"][f"part-{p}.bin"]["sha256"],
+                )
+                for p in range(meta["num_partitions"])
+            ]
+        except (OSError, KeyError, ValueError) as exc:
+            raise CheckpointCorrupt(f"checkpoint {ckpt_dir} failed validation: {exc}") from exc
+        return _LoadedCheckpoint(meta, driver, parts)

@@ -1,0 +1,236 @@
+"""Deterministic fault injection for TI-BSP runs.
+
+The paper's platform runs on cloud VMs where workers die, pipes corrupt,
+and hosts straggle.  Those failures are inherently nondeterministic; to
+*test* the recovery machinery they must be anything but.  A
+:class:`FaultPlan` is a seeded, picklable script of failures: each
+:class:`FaultSpec` names a fault kind, the protocol coordinate at which it
+fires — ``(timestep, superstep, partition)`` — and the worker *incarnation*
+it targets.  Freshly respawned workers carry a higher incarnation, so a
+fault injected at incarnation 0 does not re-fire after recovery (unless a
+spec explicitly targets the respawned worker, which is how the
+retries-exhausted path is tested).
+
+Fault kinds and where they are enforced:
+
+``kill``
+    The worker process exits abruptly (``os._exit``) before replying —
+    the driver observes a dead pipe.  In-process clusters simulate it by
+    raising :class:`~repro.resilience.recovery.WorkerCrash`.
+``delay``
+    A straggler: the worker sleeps ``delay_s`` before replying.  With a
+    driver gather timeout shorter than the delay this becomes a detected
+    wedge; otherwise it is just visible recovery-free slowness.
+``drop``
+    The worker silently never replies to one command (a lost pipe
+    message).  Only detectable with a gather timeout.
+``corrupt``
+    The worker replies with garbage bytes instead of a framed message —
+    exercises the driver's stream validation.  In-process clusters treat
+    it like ``kill`` (a corrupted reply loses the worker's round).
+``fail_load``
+    The instance load at ``begin_timestep`` raises an I/O-style error
+    (a failed GoFS slice read), reported as a *recoverable* worker error.
+
+Superstep coordinates: ``superstep`` in a spec may be an ordinary compute
+superstep number, one of the sentinels :data:`AT_BEGIN` / :data:`AT_EOT`
+(the begin-timestep / end-of-timestep protocol calls), or ``None`` to match
+any call within the timestep.  Merge-phase calls carry ``timestep == -1``.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "AT_BEGIN",
+    "AT_EOT",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "parse_fault_specs",
+]
+
+#: Superstep sentinel for the ``begin_timestep`` protocol call.
+AT_BEGIN = -101
+#: Superstep sentinel for the ``end_of_timestep`` protocol call.
+AT_EOT = -102
+
+FAULT_KINDS = ("kill", "delay", "drop", "corrupt", "fail_load")
+
+#: Default straggler delay when a ``delay`` spec does not set one (seconds).
+_DEFAULT_DELAY_S = 0.05
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted failure at one protocol coordinate.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    timestep:
+        Timestep of the protocol call the fault targets (``-1`` = merge).
+    partition:
+        Partition whose worker/host misbehaves.
+    superstep:
+        Compute superstep, :data:`AT_BEGIN`, :data:`AT_EOT`, or ``None``
+        to match any call in the timestep.
+    delay_s:
+        Straggler sleep for ``delay`` faults; ``None`` derives a
+        deterministic value from the plan seed.
+    incarnation:
+        Worker incarnation the spec targets (0 = the original spawn; each
+        recovery respawn increments it).  A fault never outlives its
+        incarnation, which is what makes recovery testable: the replay
+        after restore does not re-trip the same failure.
+    """
+
+    kind: str
+    timestep: int
+    partition: int
+    superstep: int | None = None
+    delay_s: float | None = None
+    incarnation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+
+    def matches(self, timestep: int, superstep: int, partition: int, incarnation: int) -> bool:
+        return (
+            self.timestep == timestep
+            and self.partition == partition
+            and self.incarnation == incarnation
+            and (self.superstep is None or self.superstep == superstep)
+        )
+
+
+class FaultPlan:
+    """A seeded, picklable script of :class:`FaultSpec` failures.
+
+    Each spec fires at most once per plan *instance* (workers hold their
+    own copy; the incarnation guard is what prevents re-firing across
+    respawns).  The seed only feeds derived quantities — currently the
+    default straggler delay — so two runs with the same plan observe
+    byte-identical fault behavior.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs: list[FaultSpec] = list(specs)
+        self.seed = int(seed)
+        self._spent: set[int] = set()
+
+    # -- construction ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from the CLI mini-language (see :func:`parse_fault_specs`)."""
+        return cls(parse_fault_specs(text), seed=seed)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __getstate__(self) -> dict:
+        # Workers receive a fresh copy with nothing spent: firing state is
+        # process-local by design (the incarnation guard carries the
+        # cross-process semantics).
+        return {"specs": self.specs, "seed": self.seed}
+
+    def __setstate__(self, state: dict) -> None:
+        self.specs = state["specs"]
+        self.seed = state["seed"]
+        self._spent = set()
+
+    # -- firing ------------------------------------------------------------------------
+
+    def fire(
+        self,
+        timestep: int,
+        superstep: int,
+        partition: int,
+        incarnation: int,
+        kinds: Sequence[str] | None = None,
+    ) -> FaultSpec | None:
+        """Return (and spend) the first armed spec matching this call."""
+        for i, spec in enumerate(self.specs):
+            if i in self._spent:
+                continue
+            if kinds is not None and spec.kind not in kinds:
+                continue
+            if spec.matches(timestep, superstep, partition, incarnation):
+                self._spent.add(i)
+                return spec
+        return None
+
+    def delay_for(self, spec: FaultSpec) -> float:
+        """The straggler sleep for ``spec`` (seed-derived when unset)."""
+        if spec.delay_s is not None:
+            return float(spec.delay_s)
+        rng = random.Random((self.seed << 20) ^ hash((spec.timestep, spec.partition)))
+        return _DEFAULT_DELAY_S * (0.5 + rng.random())
+
+
+_SPEC_RE = re.compile(r"^(?P<kind>[a-z_]+)@(?P<parts>.+)$")
+
+
+def parse_fault_specs(text: str) -> list[FaultSpec]:
+    """Parse the CLI fault mini-language into specs.
+
+    Grammar: comma/semicolon-separated entries of the form
+    ``kind@t<T>[:s<S>|:begin|:eot]:p<P>[:d<DELAY>][:i<INC>]``, e.g.::
+
+        kill@t1:s0:p0
+        delay@t2:p1:d0.2
+        fail_load@t3:p0:i0
+        corrupt@t1:eot:p2
+    """
+    specs: list[FaultSpec] = []
+    for entry in re.split(r"[,;]", text):
+        entry = entry.strip()
+        if not entry:
+            continue
+        m = _SPEC_RE.match(entry)
+        if m is None:
+            raise ValueError(f"bad fault spec {entry!r}: expected kind@t<T>:p<P>[...]")
+        kind = m.group("kind")
+        timestep = partition = None
+        superstep: int | None = None
+        delay_s: float | None = None
+        incarnation = 0
+        for token in m.group("parts").split(":"):
+            if token == "begin":
+                superstep = AT_BEGIN
+            elif token == "eot":
+                superstep = AT_EOT
+            elif token.startswith("t"):
+                timestep = int(token[1:])
+            elif token.startswith("s"):
+                superstep = int(token[1:])
+            elif token.startswith("p"):
+                partition = int(token[1:])
+            elif token.startswith("d"):
+                delay_s = float(token[1:])
+            elif token.startswith("i"):
+                incarnation = int(token[1:])
+            else:
+                raise ValueError(f"bad fault spec token {token!r} in {entry!r}")
+        if timestep is None or partition is None:
+            raise ValueError(f"fault spec {entry!r} needs both t<T> and p<P>")
+        specs.append(
+            FaultSpec(
+                kind,
+                timestep,
+                partition,
+                superstep=superstep,
+                delay_s=delay_s,
+                incarnation=incarnation,
+            )
+        )
+    if not specs:
+        raise ValueError(f"no fault specs in {text!r}")
+    return specs

@@ -1,0 +1,156 @@
+"""Failure taxonomy, retry policy, and structured run failures.
+
+The engine's recovery loop needs exactly one bit from an exception: *is
+re-executing from the last durable boundary worth trying?*
+:class:`RecoverableError` is the marker that says yes — infrastructure
+failures (a dead worker process, a wedged pipe, a corrupt reply stream, a
+transient slice-load error) subclass it; deterministic application bugs
+(the user's ``compute`` raising) do not, because replaying them would fail
+identically.
+
+When bounded retries are exhausted the run does not hang and does not lose
+the work already barriered: a :class:`RunFailure` (failure log + the reason
+the last retry died) is either attached to the partial
+:class:`~repro.core.results.AppResult` (graceful degradation) or raised as
+a :class:`RunFailureError` that still carries the partial result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "FailureRecord",
+    "InjectedFault",
+    "RecoverableError",
+    "RecoveryPolicy",
+    "RunFailure",
+    "RunFailureError",
+    "WorkerCrash",
+]
+
+
+class RecoverableError(RuntimeError):
+    """Marker: an infrastructure failure that checkpoint replay may cure.
+
+    Attributes
+    ----------
+    partition:
+        The partition whose worker/host failed, when known (else ``None``).
+    """
+
+    def __init__(self, message: str, partition: int | None = None) -> None:
+        super().__init__(message)
+        self.partition = partition
+
+
+class WorkerCrash(RecoverableError):
+    """An in-process host crashed (simulated worker death / corrupt reply)."""
+
+
+class InjectedFault(RecoverableError):
+    """A scripted fault fired (e.g. a failed slice load) — transient by design."""
+
+
+# The process-cluster variants — WorkerLost, GatherTimeout, and the
+# recoverable worker-error reply — live in repro.runtime.process_cluster,
+# where they also subclass WorkerError so existing ``except WorkerError``
+# call sites keep working.  This module stays dependency-free.
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded-retry policy for recoverable failures.
+
+    Attributes
+    ----------
+    max_retries:
+        Recovery attempts allowed *per incident* — the counter resets every
+        time a timestep completes, so independent transient faults spread
+        over a long run each get a fresh budget, while a persistent failure
+        at one boundary stays bounded.
+    backoff_s / backoff_factor:
+        Exponential backoff actually slept between retries (attempt *n*
+        sleeps ``backoff_s * backoff_factor**(n-1)``).  Kept small by
+        default; real deployments would use seconds.
+    on_exhausted:
+        ``"raise"`` (default) raises :class:`RunFailureError`;
+        ``"degrade"`` returns the partial result with ``result.failure``
+        set — the graceful-degradation mode.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.01
+    backoff_factor: float = 2.0
+    on_exhausted: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.on_exhausted not in ("raise", "degrade"):
+            raise ValueError("on_exhausted must be 'raise' or 'degrade'")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based)."""
+        return self.backoff_s * self.backoff_factor ** max(0, attempt - 1)
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One entry of a run's failure log (also emitted as trace events)."""
+
+    kind: str  #: worker_lost | gather_timeout | worker_crash | injected_fault | worker_error
+    timestep: int
+    superstep: int
+    partition: int | None
+    attempt: int
+    error: str
+    action: str  #: retry | exhausted | unrecoverable
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "timestep": self.timestep,
+            "superstep": self.superstep,
+            "partition": self.partition,
+            "attempt": self.attempt,
+            "error": self.error,
+            "action": self.action,
+        }
+
+
+@dataclass
+class RunFailure:
+    """Structured description of a run that could not be fully recovered.
+
+    Attached to the partial :class:`~repro.core.results.AppResult` in
+    graceful-degradation mode, or carried by :class:`RunFailureError`.
+    """
+
+    reason: str
+    timestep: int
+    failure_log: list[FailureRecord] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "reason": self.reason,
+            "timestep": self.timestep,
+            "failures": [r.as_dict() for r in self.failure_log],
+        }
+
+
+class RunFailureError(RuntimeError):
+    """Raised when retries are exhausted and the policy says ``"raise"``.
+
+    Carries the structured :class:`RunFailure` and the partial result, so
+    callers choosing to catch it lose nothing over degrade mode.
+    """
+
+    def __init__(self, failure: RunFailure, partial: Any = None) -> None:
+        super().__init__(
+            f"run failed at timestep {failure.timestep} after "
+            f"{len(failure.failure_log)} failure(s): {failure.reason}"
+        )
+        self.failure = failure
+        self.partial = partial

@@ -20,7 +20,13 @@ from .host import (
     RunMeta,
 )
 from .metrics import MetricsCollector, PartitionBreakdown, StepRecord
-from .process_cluster import ProcessCluster
+from .process_cluster import (
+    GatherTimeout,
+    ProcessCluster,
+    RecoverableWorkerError,
+    WorkerError,
+    WorkerLost,
+)
 from .elastic import ElasticOutcome, ElasticPolicy, activity_grid, simulate_elastic
 from .rebalance import GreedyRebalancer, Migration, RebalancePolicy, apply_migrations
 
@@ -39,6 +45,10 @@ __all__ = [
     "PartitionBreakdown",
     "StepRecord",
     "ProcessCluster",
+    "GatherTimeout",
+    "RecoverableWorkerError",
+    "WorkerError",
+    "WorkerLost",
     "ElasticOutcome",
     "ElasticPolicy",
     "activity_grid",

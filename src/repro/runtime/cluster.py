@@ -8,10 +8,20 @@ wall-clock (max-over-hosts per superstep, see
 timing figures.  The thread pool exploits real cores for numpy-heavy
 computes.  A process-per-partition cluster with genuine address-space
 isolation lives in :mod:`repro.runtime.process_cluster`.
+
+Every cluster speaks the same *resilience protocol* on top of the step
+protocol: ``snapshot()`` collects per-partition state blobs for a
+checkpoint, ``restore()`` installs them, and ``respawn_all()`` replaces
+every host/worker with a fresh incarnation (used by recovery after a crash,
+and honored by the fault plan's incarnation guard).  In-process clusters
+*simulate* worker death: a scripted ``kill``/``corrupt``/``drop`` fault
+raises :class:`~repro.resilience.recovery.WorkerCrash` instead of taking
+down an OS process.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Mapping, Sequence
 
@@ -22,6 +32,8 @@ from ..core.messages import Message, MessageFrame
 from ..graph.collection import TimeSeriesGraphCollection
 from ..observability import Tracer, partition_pid
 from ..partition.base import PartitionedGraph
+from ..resilience.faults import AT_BEGIN, AT_EOT, FaultPlan
+from ..resilience.recovery import InjectedFault, WorkerCrash
 from .cost import CostModel
 from .host import CollectionInstanceSource, ComputeHost, HostStepResult, InstanceSource, RunMeta
 
@@ -74,6 +86,9 @@ class Cluster:
     #: sets this after construction when the run is traced; ``None`` keeps
     #: the dispatch path untouched.
     driver_tracer: Tracer | None = None
+    #: Worker incarnation: bumped by every :meth:`respawn_all`.  The fault
+    #: plan uses it to keep scripted faults from re-firing after recovery.
+    incarnation: int = 0
 
     def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
         raise NotImplementedError
@@ -95,6 +110,20 @@ class Cluster:
         raise NotImplementedError
 
     def final_states(self) -> dict[int, dict]:
+        raise NotImplementedError
+
+    # -- resilience protocol ---------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """One checkpointable state blob per partition (see ComputeHost)."""
+        raise NotImplementedError
+
+    def restore(self, snapshots: Sequence[dict], reload_timestep: int | None = None) -> None:
+        """Install checkpoint blobs on every partition."""
+        raise NotImplementedError
+
+    def respawn_all(self) -> None:
+        """Replace every host/worker with a fresh (state-empty) incarnation."""
         raise NotImplementedError
 
     def shutdown(self) -> None:  # pragma: no cover - trivial default
@@ -124,6 +153,13 @@ class LocalCluster(Cluster):
     tracing:
         When True, every host gets its own observability tracer (one trace
         track per partition) and drains telemetry into protocol replies.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`.  ``kill`` /
+        ``corrupt`` / ``drop`` faults raise
+        :class:`~repro.resilience.recovery.WorkerCrash` (the in-process
+        stand-in for a dead worker), ``fail_load`` raises
+        :class:`~repro.resilience.recovery.InjectedFault` at the
+        begin-timestep load, and ``delay`` genuinely sleeps the host.
     """
 
     def __init__(
@@ -138,14 +174,25 @@ class LocalCluster(Cluster):
         executor: str = "serial",
         use_combiners: bool = True,
         tracing: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         cost_model = cost_model or CostModel()
         if sources is None:
             if collection is None:
                 raise ValueError("provide either sources or a collection")
             sources = [CollectionInstanceSource(collection) for _ in range(pg.num_partitions)]
+        # Everything respawn_all needs to rebuild a fresh host cohort.
+        self._pg = pg
+        self._computation = computation
+        self._meta = meta
+        self._sources = list(sources)
+        self._cost_model = cost_model
+        self._use_combiners = use_combiners
+        self._tracing = tracing
+        self.fault_plan = fault_plan
+        self.incarnation = 0
         self.hosts = build_hosts(
-            pg, computation, meta, sources, cost_model,
+            pg, computation, meta, self._sources, cost_model,
             use_combiners=use_combiners, tracing=tracing,
         )
         self.num_partitions = pg.num_partitions
@@ -162,27 +209,63 @@ class LocalCluster(Cluster):
             return [fn(h) for h in self.hosts]
         return list(self._pool.map(fn, self.hosts))
 
-    def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
-        return self._map(
-            lambda h: h.begin_timestep(timestep, gc_pauses[h.partition.partition_id])
+    def _check_faults(self, timestep: int, superstep: int, host: ComputeHost) -> None:
+        """Simulate scripted faults for one host's protocol call."""
+        plan = self.fault_plan
+        if plan is None:
+            return
+        p = host.partition.partition_id
+        if superstep == AT_BEGIN and plan.fire(
+            timestep, AT_BEGIN, p, self.incarnation, kinds=("fail_load",)
+        ):
+            raise InjectedFault(
+                f"injected slice-load failure at timestep {timestep} partition {p}",
+                partition=p,
+            )
+        spec = plan.fire(
+            timestep, superstep, p, self.incarnation, kinds=("kill", "corrupt", "drop")
         )
+        if spec is not None:
+            raise WorkerCrash(
+                f"injected {spec.kind} fault at timestep {timestep} "
+                f"superstep {superstep} partition {p}",
+                partition=p,
+            )
+        spec = plan.fire(timestep, superstep, p, self.incarnation, kinds=("delay",))
+        if spec is not None:
+            time.sleep(plan.delay_for(spec))
+
+    def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
+        def call(h: ComputeHost) -> HostStepResult:
+            self._check_faults(timestep, AT_BEGIN, h)
+            return h.begin_timestep(timestep, gc_pauses[h.partition.partition_id])
+
+        return self._map(call)
 
     def run_superstep(
         self, timestep: int, superstep: int, deliveries: Sequence[Deliveries]
     ) -> list[HostStepResult]:
-        return self._map(
-            lambda h: h.run_superstep(timestep, superstep, deliveries[h.partition.partition_id])
-        )
+        def call(h: ComputeHost) -> HostStepResult:
+            self._check_faults(timestep, superstep, h)
+            return h.run_superstep(timestep, superstep, deliveries[h.partition.partition_id])
+
+        return self._map(call)
 
     def end_of_timestep(self, timestep: int) -> list[HostStepResult]:
-        return self._map(lambda h: h.end_of_timestep(timestep))
+        def call(h: ComputeHost) -> HostStepResult:
+            self._check_faults(timestep, AT_EOT, h)
+            return h.end_of_timestep(timestep)
+
+        return self._map(call)
 
     def run_merge_superstep(
         self, superstep: int, deliveries: Sequence[Deliveries]
     ) -> list[HostStepResult]:
-        return self._map(
-            lambda h: h.run_merge_superstep(superstep, deliveries[h.partition.partition_id])
-        )
+        def call(h: ComputeHost) -> HostStepResult:
+            self._check_faults(-1, superstep, h)
+            return h.run_merge_superstep(superstep, deliveries[h.partition.partition_id])
+
+        return self._map(call)
 
     def resident_bytes(self) -> list[int]:
         return [h.resident_bytes() for h in self.hosts]
@@ -192,6 +275,31 @@ class LocalCluster(Cluster):
         for h in self.hosts:
             states.update(h.final_states())
         return states
+
+    # -- resilience protocol ---------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        return [h.snapshot_state() for h in self.hosts]
+
+    def restore(self, snapshots: Sequence[dict], reload_timestep: int | None = None) -> None:
+        if len(snapshots) != len(self.hosts):
+            raise ValueError("need exactly one snapshot per partition")
+        for h, snap in zip(self.hosts, snapshots):
+            h.restore_state(snap, reload_timestep)
+
+    def respawn_all(self) -> None:
+        """Rebuild every host from scratch (a simulated worker-cohort restart).
+
+        A crashed host may hold half-mutated state (its ``compute`` raised
+        mid-iteration) and its peers may have run ahead of the failed
+        barrier; recovery discards the whole cohort and restores from the
+        checkpoint, exactly like the process cluster's full respawn.
+        """
+        self.incarnation += 1
+        self.hosts = build_hosts(
+            self._pg, self._computation, self._meta, self._sources, self._cost_model,
+            use_combiners=self._use_combiners, tracing=self._tracing,
+        )
 
     def shutdown(self) -> None:
         if self._pool is not None:

@@ -47,6 +47,10 @@ class CostModel:
     #: Memory bandwidth for host-local deliveries (~DDR4 single-channel).
     local_bandwidth_bytes_per_s: float = 12.0 * 2**30
     barrier_s: float = 1e-3
+    #: Durable-write bandwidth for checkpoint blobs (~local SSD).
+    checkpoint_bandwidth_bytes_per_s: float = 200.0 * 2**20
+    #: Fixed cost per checkpoint (manifest write + fsync-style latency).
+    checkpoint_base_s: float = 1e-3
 
     def remote_send_cost(self, num_messages: int, num_bytes: int) -> float:
         """Cost of shipping ``num_messages`` totaling ``num_bytes`` off-host."""
@@ -70,6 +74,16 @@ class CostModel:
             num_messages * self.local_per_message_s
             + num_bytes / self.local_bandwidth_bytes_per_s
         )
+
+    def checkpoint_cost(self, num_bytes: int) -> float:
+        """Modeled I/O cost of writing one checkpoint of ``num_bytes``.
+
+        Charged into the simulated wall-clock by the engine whenever the
+        resilience plane writes a durable boundary snapshot — fault
+        tolerance is not free, and Fig-6-style timestep series should show
+        the cadence.
+        """
+        return self.checkpoint_base_s + num_bytes / self.checkpoint_bandwidth_bytes_per_s
 
     def barrier_cost(self, num_partitions: int) -> float:
         """Cost of one BSP barrier across ``num_partitions`` hosts."""
@@ -99,6 +113,8 @@ class CostModel:
             local_per_message_s=base.local_per_message_s * factor,
             local_bandwidth_bytes_per_s=base.local_bandwidth_bytes_per_s,
             barrier_s=base.barrier_s * factor,
+            checkpoint_bandwidth_bytes_per_s=base.checkpoint_bandwidth_bytes_per_s,
+            checkpoint_base_s=base.checkpoint_base_s * factor,
         )
 
     @staticmethod
@@ -111,4 +127,6 @@ class CostModel:
             local_per_message_s=0.0,
             local_bandwidth_bytes_per_s=float("inf"),
             barrier_s=0.0,
+            checkpoint_bandwidth_bytes_per_s=float("inf"),
+            checkpoint_base_s=0.0,
         )

@@ -541,6 +541,57 @@ class ComputeHost:
         """Per-subgraph application state at the end of the run."""
         return self.states
 
+    # -- checkpoint / restore -----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Everything resident on this host that a checkpoint must capture.
+
+        Taken at BSP boundaries: per-subgraph application state, the shared
+        partition state, halt flags, and the three inboxes (the local
+        superstep inbox is only non-empty for *superstep*-boundary
+        checkpoints; at timestep boundaries it has been drained).  The
+        returned dict aliases live state — callers serialize it immediately
+        (pipe or pickle-to-disk), which is what produces the copy.
+        """
+        return {
+            "partition": self.partition.partition_id,
+            "subgraphs": sorted(sg.subgraph_id for sg in self.partition.subgraphs),
+            "states": self.states,
+            "partition_state": self.partition_state,
+            "halted": dict(self._halted),
+            "merge_inbox": self._merge_inbox,
+            "temporal_inbox": self._temporal_inbox,
+            "local_inbox": self._local_inbox,
+        }
+
+    def restore_state(self, snapshot: dict, reload_timestep: int | None = None) -> None:
+        """Install a :meth:`snapshot_state` blob (checkpoint rollback/resume).
+
+        ``reload_timestep`` re-loads that timestep's graph instance from
+        this host's source — required when restoring *into* a timestep (a
+        superstep-boundary checkpoint), where ``begin_timestep`` will not
+        run again.  Timestep-boundary restores leave the instance unloaded;
+        the next ``begin_timestep`` loads it as usual.
+        """
+        own = sorted(sg.subgraph_id for sg in self.partition.subgraphs)
+        if snapshot.get("subgraphs") != own:
+            raise ValueError(
+                f"checkpoint snapshot for subgraphs {snapshot.get('subgraphs')} does not "
+                f"match partition {self.partition.partition_id}'s subgraphs {own}"
+            )
+        self.states = snapshot["states"]
+        self.partition_state = snapshot["partition_state"]
+        self._halted = dict(snapshot["halted"])
+        self._merge_inbox = {sgid: list(msgs) for sgid, msgs in snapshot["merge_inbox"].items()}
+        self._temporal_inbox = {
+            sgid: list(msgs) for sgid, msgs in snapshot["temporal_inbox"].items()
+        }
+        self._local_inbox = {sgid: list(msgs) for sgid, msgs in snapshot["local_inbox"].items()}
+        if reload_timestep is not None:
+            self._instance = self.source.instance(reload_timestep)
+        else:
+            self._instance = None
+
     # -- temporal parallelism support -----------------------------------------------
 
     def drain_merge_inbox(self) -> dict[int, list[Message]]:

@@ -92,6 +92,17 @@ class MetricsCollector:
         #: number of supersteps executed per timestep
         self.supersteps_per_timestep: dict[int, int] = defaultdict(int)
         self.merge_supersteps: int = 0
+        #: timestep -> modeled checkpoint-write I/O seconds charged to it.
+        #: A timestep-boundary checkpoint is keyed by the *next* timestep
+        #: (like migrations: boundary work precedes the timestep it gates);
+        #: superstep-boundary checkpoints are keyed by their own timestep.
+        self.checkpoint_s: dict[int, float] = defaultdict(float)
+        self.checkpoints: int = 0
+        self.checkpoint_bytes: int = 0
+        #: timestep -> measured rollback-recovery seconds (respawn + restore),
+        #: keyed by the timestep execution resumed from.
+        self.recovery_s: dict[int, float] = defaultdict(float)
+        self.retries: int = 0
 
     # -- recording -----------------------------------------------------------------
 
@@ -114,6 +125,17 @@ class MetricsCollector:
         """Transfer cost of rebalancing applied before ``timestep``."""
         self.migrations[timestep] += count
         self.migration_s[timestep] += seconds
+
+    def record_checkpoint(self, timestep: int, nbytes: int, seconds: float) -> None:
+        """Modeled I/O cost of one checkpoint write charged to ``timestep``."""
+        self.checkpoints += 1
+        self.checkpoint_bytes += int(nbytes)
+        self.checkpoint_s[timestep] += seconds
+
+    def record_recovery(self, timestep: int, seconds: float) -> None:
+        """Measured respawn+restore wall of one recovery, resuming at ``timestep``."""
+        self.retries += 1
+        self.recovery_s[timestep] += seconds
 
     # -- derivations ------------------------------------------------------------------
 
@@ -146,6 +168,8 @@ class MetricsCollector:
             + (max(loads) if loads else 0.0)
             + (max(gcs) if gcs else 0.0)
             + self.migration_s.get(timestep, 0.0)
+            + self.checkpoint_s.get(timestep, 0.0)
+            + self.recovery_s.get(timestep, 0.0)
         )
 
     def timestep_series(self) -> list[float]:
@@ -236,6 +260,14 @@ class MetricsCollector:
         """Modeled transfer seconds spent on rebalancing migrations."""
         return sum(self.migration_s.values())
 
+    def total_checkpoint_s(self) -> float:
+        """Modeled checkpoint-write I/O seconds over the whole run."""
+        return sum(self.checkpoint_s.values())
+
+    def total_recovery_s(self) -> float:
+        """Measured rollback-recovery seconds over the whole run."""
+        return sum(self.recovery_s.values())
+
     def summary(self) -> dict:
         """Flat summary dict for reports and benches."""
         return {
@@ -253,4 +285,9 @@ class MetricsCollector:
             "load_s": round(self.total_load_s(), 6),
             "gc_s": round(self.total_gc_s(), 6),
             "merge_wall_s": round(self.merge_wall(), 6),
+            "checkpoints": self.checkpoints,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoint_s": round(self.total_checkpoint_s(), 6),
+            "retries": self.retries,
+            "recovery_s": round(self.total_recovery_s(), 6),
         }

@@ -14,6 +14,30 @@ and any numpy payloads travel as raw buffers after the pickle body instead
 of being copied into it — the bulk-transfer idiom from the mpi4py guides.
 Computations, instance sources and message payloads must be picklable
 (module-level classes and numpy arrays).
+
+Failure semantics
+-----------------
+A worker can genuinely die (crash, injected ``kill``), wedge (injected
+``delay``/``drop``), or desync its reply stream (injected ``corrupt``).
+The driver classifies what it observes into the resilience taxonomy:
+
+* :class:`WorkerLost` — pipe EOF / send failure / corrupt reply stream.
+  The worker's state and pipe are unusable; recovery must respawn.
+* :class:`GatherTimeout` — the worker is alive but did not reply within
+  ``gather_timeout_s``.  Raised only when a timeout is configured; without
+  one a wedged worker blocks the barrier forever (the pre-resilience
+  behavior, preserved by default).
+* :class:`RecoverableWorkerError` — the worker itself reported an error it
+  marked *recoverable* (an injected infrastructure fault such as a failed
+  slice load).  Its process and pipe are still healthy.
+* :class:`WorkerError` — the worker reported a deterministic application
+  error (the user's ``compute`` raised).  Retrying cannot help; recovery
+  must not mask it.
+
+The first three subclass both :class:`WorkerError` (so existing callers
+that catch it keep working) and
+:class:`~repro.resilience.recovery.RecoverableError` (so the engine's
+recovery loop knows a retry is worthwhile).
 """
 
 from __future__ import annotations
@@ -21,21 +45,53 @@ from __future__ import annotations
 import multiprocessing as mp
 import pickle
 import struct
+import time
 from typing import Any, Sequence
 
 import numpy as np
 
 from ..core.computation import TimeSeriesComputation
 from ..partition.base import PartitionedGraph
+from ..resilience.faults import AT_BEGIN, AT_EOT, FaultPlan
+from ..resilience.recovery import InjectedFault, RecoverableError
 from .cluster import Cluster, Deliveries
 from .cost import CostModel
 from .host import ComputeHost, HostStepResult, InstanceSource, RunMeta
 
-__all__ = ["ProcessCluster", "WorkerError"]
+__all__ = [
+    "GatherTimeout",
+    "ProcessCluster",
+    "RecoverableWorkerError",
+    "WorkerError",
+    "WorkerLost",
+]
 
 
 class WorkerError(RuntimeError):
     """Raised in the driver when a worker process's command failed."""
+
+
+class WorkerLost(WorkerError, RecoverableError):
+    """A worker process died or its reply stream broke mid-round."""
+
+
+class GatherTimeout(WorkerError, RecoverableError):
+    """A live worker failed to reply within the configured gather timeout."""
+
+
+class RecoverableWorkerError(WorkerError, RecoverableError):
+    """A worker reported an error it marked recoverable (injected infra fault)."""
+
+
+#: Sanity cap on the out-of-band buffer count a header may declare.  A real
+#: reply ships at most a few buffers per message frame; a corrupt header
+#: reinterpreted as a count can claim billions and drive the receive loop
+#: into allocating garbage.
+_MAX_OOB_BUFFERS = 1 << 20
+
+#: Deliberately malformed wire bytes used by the ``corrupt`` fault: claims
+#: seven out-of-band buffers but is far too short to carry their sizes.
+_CORRUPT_WIRE_BYTES = struct.pack("<I", 7) + b"corrupted-frame!"
 
 
 def _send_oob(conn, obj: Any) -> None:
@@ -56,36 +112,92 @@ def _send_oob(conn, obj: Any) -> None:
         conn.send_bytes(raw)
 
 
-def _recv_oob(conn) -> Any:
+def _wait_readable(conn, deadline: float | None, what: str) -> None:
+    if deadline is None:
+        return
+    remaining = deadline - time.monotonic()
+    if remaining <= 0 or not conn.poll(remaining):
+        raise GatherTimeout(f"timed out waiting for {what}")
+
+
+def _recv_oob(conn, *, deadline: float | None = None, what: str = "message") -> Any:
     """Receive one :func:`_send_oob` message (body + out-of-band buffers).
 
     Buffers are received into exactly-sized *writeable* bytearrays, so
     reconstructed arrays behave like the in-process executors' (mutable by
     the receiving computation), with no copy beyond the pipe read itself.
+
+    The header is validated before it drives any allocation: a truncated or
+    corrupted stream raises :class:`WorkerError` with context (never a bare
+    ``struct.error``), and when ``deadline`` (a ``time.monotonic`` instant)
+    is given, every pipe read is bounded by it, raising
+    :class:`GatherTimeout` instead of blocking forever.
     """
+    _wait_readable(conn, deadline, what)
     header = conn.recv_bytes()
+    if len(header) < 4:
+        raise WorkerError(f"corrupt {what}: header is {len(header)} bytes, expected at least 4")
     (num_buffers,) = struct.unpack_from("<I", header)
+    if num_buffers > _MAX_OOB_BUFFERS or len(header) != 4 + 8 * num_buffers:
+        raise WorkerError(
+            f"corrupt {what}: header declares {num_buffers} out-of-band buffer(s) "
+            f"but is {len(header)} bytes (expected {4 + 8 * min(num_buffers, _MAX_OOB_BUFFERS)})"
+        )
     sizes = struct.unpack_from(f"<{num_buffers}Q", header, 4)
+    _wait_readable(conn, deadline, what)
     body = conn.recv_bytes()
     buffers = []
     for size in sizes:
         buf = bytearray(size)
-        if size:
-            conn.recv_bytes_into(buf)
-        else:  # zero-length buffers still occupy a wire slot
-            conn.recv_bytes()
+        _wait_readable(conn, deadline, what)
+        try:
+            if size:
+                conn.recv_bytes_into(buf)
+            else:  # zero-length buffers still occupy a wire slot
+                conn.recv_bytes()
+        except mp.BufferTooShort as exc:
+            raise WorkerError(
+                f"corrupt {what}: out-of-band buffer larger than its declared "
+                f"size {size} ({len(exc.args[0]) if exc.args else '?'} bytes)"
+            ) from exc
         buffers.append(buf)
-    return pickle.loads(body, buffers=buffers)
+    try:
+        return pickle.loads(body, buffers=buffers)
+    except Exception as exc:
+        raise WorkerError(
+            f"corrupt {what}: body failed to unpickle ({type(exc).__name__}: {exc})"
+        ) from exc
 
 
 def _worker_main(
-    conn, partition, computation, meta, source, sg_part, cost_model, use_combiners, tracing
+    conn,
+    partition,
+    computation,
+    meta,
+    source,
+    sg_part,
+    cost_model,
+    use_combiners,
+    tracing,
+    fault_plan,
+    incarnation,
 ) -> None:
     """Worker loop: owns one host, serves engine commands until ``stop``.
 
-    Failures while executing a command (e.g. the user's ``compute`` raising)
-    are shipped back as ``("error", traceback_text)`` so the driver can
-    re-raise with context instead of dying on a broken pipe.
+    Failures while executing a command are shipped back as
+    ``("error", traceback_text, recoverable)`` — ``recoverable`` is True
+    when the exception carries the :class:`RecoverableError` marker (an
+    injected infrastructure fault), False for deterministic application
+    errors — so the driver can re-raise with context instead of dying on a
+    broken pipe.  (Pre-resilience workers sent 2-tuples; the driver accepts
+    both.)
+
+    When ``fault_plan`` is set, each command's TI-BSP coordinate is checked
+    against the plan under this worker's ``incarnation``: ``kill`` exits the
+    process immediately (``os._exit``), ``fail_load`` raises
+    :class:`InjectedFault` (a recoverable error reply), ``delay`` sleeps
+    before replying, ``drop`` swallows the reply, and ``corrupt`` sends
+    garbage wire bytes instead of the reply.
 
     When ``tracing`` is set the host gets its own tracer; spans recorded in
     the worker ride back to the driver as ``HostStepResult.telemetry`` on
@@ -93,6 +205,7 @@ def _worker_main(
     system-wide timebase shared with the (forked) driver — so worker span
     timestamps need no clock translation.
     """
+    import os
     import traceback
 
     from ..observability import Tracer, partition_pid
@@ -115,7 +228,34 @@ def _worker_main(
             if op == "stop":
                 _send_oob(conn, None)
                 break
+            # Map the command to its TI-BSP fault coordinate (merge runs
+            # after all timesteps; the plan addresses it as timestep -1).
+            if op == "begin":
+                coords = (cmd[1], AT_BEGIN)
+            elif op == "superstep":
+                coords = (cmd[1], cmd[2])
+            elif op == "eot":
+                coords = (cmd[1], AT_EOT)
+            elif op == "merge":
+                coords = (-1, cmd[1])
+            else:
+                coords = None
+            post_fault = None
             try:
+                if fault_plan is not None and coords is not None:
+                    spec = fault_plan.fire(coords[0], coords[1], pid, incarnation)
+                    if spec is not None:
+                        if spec.kind == "kill":
+                            conn.close()
+                            os._exit(17)
+                        elif spec.kind == "fail_load":
+                            raise InjectedFault(
+                                f"injected slice-load failure at timestep {coords[0]} "
+                                f"partition {pid}",
+                                partition=pid,
+                            )
+                        else:  # delay / drop / corrupt act on the reply
+                            post_fault = spec
                 if op == "begin":
                     reply = host.begin_timestep(cmd[1], cmd[2])
                 elif op == "superstep":
@@ -128,16 +268,33 @@ def _worker_main(
                     reply = host.resident_bytes()
                 elif op == "states":
                     reply = host.final_states()
+                elif op == "snapshot":
+                    reply = host.snapshot_state()
+                elif op == "restore":
+                    host.restore_state(cmd[1], cmd[2])
+                    reply = True
                 else:  # pragma: no cover - defensive
                     raise RuntimeError(f"unknown worker command {op!r}")
-            except Exception:
-                _send_oob(conn, ("error", traceback.format_exc()))
+            except Exception as exc:
+                recoverable = isinstance(exc, RecoverableError)
+                _send_oob(conn, ("error", traceback.format_exc(), recoverable))
             else:
-                _send_oob(conn, reply)
+                if post_fault is None:
+                    _send_oob(conn, reply)
+                elif post_fault.kind == "delay":
+                    time.sleep(fault_plan.delay_for(post_fault))
+                    _send_oob(conn, reply)
+                elif post_fault.kind == "drop":
+                    pass  # swallow the reply; the driver's gather times out
+                elif post_fault.kind == "corrupt":
+                    conn.send_bytes(_CORRUPT_WIRE_BYTES)
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - driver died
         pass
     finally:
-        conn.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed by kill path
+            pass
 
 
 class ProcessCluster(Cluster):
@@ -149,6 +306,17 @@ class ProcessCluster(Cluster):
     a GoFS view — not a pre-materialized shared list, which would defeat the
     isolation).  ``mp_context`` accepts a start-method name or a ready-made
     multiprocessing context object.
+
+    ``gather_timeout_s`` bounds every driver-side pipe read in a
+    scatter/gather round; ``None`` (the default) preserves the original
+    block-forever behavior.  A timeout is required for ``drop``/``delay``
+    fault runs to make progress — the engine supplies one automatically
+    when recovery is enabled.  ``fault_plan`` is shipped to every worker
+    (spent-fault bookkeeping stays per-process; the incarnation guard is
+    what keeps faults from re-firing after a respawn).
+
+    Use as a context manager (``with ProcessCluster(...) as cluster:``) to
+    guarantee workers are reaped even when the driver raises mid-run.
     """
 
     def __init__(
@@ -162,34 +330,57 @@ class ProcessCluster(Cluster):
         mp_context: Any = "fork",
         use_combiners: bool = True,
         tracing: bool = False,
+        gather_timeout_s: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if len(sources) != pg.num_partitions:
             raise ValueError("need exactly one instance source per partition")
+        if gather_timeout_s is not None and gather_timeout_s <= 0:
+            raise ValueError("gather_timeout_s must be positive (or None to disable)")
         cost_model = cost_model or CostModel()
-        sg_part = np.asarray([sg.partition_id for sg in pg.subgraphs], dtype=np.int64)
-        ctx = mp.get_context(mp_context) if isinstance(mp_context, str) else mp_context
+        self._pg = pg
+        self._computation = computation
+        self._meta = meta
+        self._sources = list(sources)
+        self._cost_model = cost_model
+        self._use_combiners = use_combiners
+        self._tracing = tracing
+        self._sg_part = np.asarray([sg.partition_id for sg in pg.subgraphs], dtype=np.int64)
+        self._ctx = mp.get_context(mp_context) if isinstance(mp_context, str) else mp_context
+        self.gather_timeout_s = gather_timeout_s
+        self.fault_plan = fault_plan
+        self.incarnation = 0
         self.num_partitions = pg.num_partitions
-        self._conns = []
-        self._procs = []
-        # Spawn workers one by one; if any step fails (process start, pipe
-        # creation), tear down the workers already started instead of leaking
-        # daemon processes that outlive the failed constructor.
+        self._conns: list[Any] = []
+        self._procs: list[Any] = []
+        self._spawn_workers()
+
+    def _spawn_workers(self) -> None:
+        """Start one worker per partition at the current incarnation.
+
+        If any step fails (process start, pipe creation), tear down the
+        workers already started instead of leaking daemon processes that
+        outlive the failed constructor.
+        """
+        assert not self._conns and not self._procs
         try:
-            for p in range(pg.num_partitions):
-                parent, child = ctx.Pipe()
+            for p in range(self.num_partitions):
+                parent, child = self._ctx.Pipe()
                 try:
-                    proc = ctx.Process(
+                    proc = self._ctx.Process(
                         target=_worker_main,
                         args=(
                             child,
-                            pg.partitions[p],
-                            computation,
-                            meta,
-                            sources[p],
-                            sg_part,
-                            cost_model,
-                            use_combiners,
-                            tracing,
+                            self._pg.partitions[p],
+                            self._computation,
+                            self._meta,
+                            self._sources[p],
+                            self._sg_part,
+                            self._cost_model,
+                            self._use_combiners,
+                            self._tracing,
+                            self.fault_plan,
+                            self.incarnation,
                         ),
                         daemon=True,
                     )
@@ -202,29 +393,74 @@ class ProcessCluster(Cluster):
                 self._conns.append(parent)
                 self._procs.append(proc)
         except BaseException:
-            self.shutdown()
+            self._teardown(force=True)
             raise
 
     # -- scatter/gather ---------------------------------------------------------------
 
+    def _scatter(self, make_cmd) -> None:
+        for p, conn in enumerate(self._conns):
+            try:
+                _send_oob(conn, make_cmd(p))
+            except (BrokenPipeError, ConnectionError, OSError) as exc:
+                raise WorkerLost(
+                    f"partition {p} worker is gone (send failed: {exc!r})", partition=p
+                ) from exc
+
+    def _gather(self) -> list[Any]:
+        deadline = (
+            None
+            if self.gather_timeout_s is None
+            else time.monotonic() + self.gather_timeout_s
+        )
+        replies = []
+        for p, conn in enumerate(self._conns):
+            try:
+                replies.append(_recv_oob(conn, deadline=deadline, what=f"partition {p} reply"))
+            except GatherTimeout as exc:
+                if not self._procs[p].is_alive():  # pragma: no cover - EOF races ahead
+                    raise WorkerLost(
+                        f"partition {p} worker died mid-round (exit code "
+                        f"{self._procs[p].exitcode})",
+                        partition=p,
+                    ) from exc
+                raise GatherTimeout(
+                    f"partition {p} did not reply within {self.gather_timeout_s:g}s",
+                    partition=p,
+                ) from exc
+            except (EOFError, ConnectionError, OSError) as exc:
+                raise WorkerLost(
+                    f"partition {p} worker died mid-round ({exc!r})", partition=p
+                ) from exc
+            except WorkerLost:
+                raise
+            except WorkerError as exc:
+                # Corrupt reply stream: the pipe can no longer be trusted,
+                # so the worker is as good as lost.
+                raise WorkerLost(
+                    f"partition {p} reply stream is corrupt: {exc}", partition=p
+                ) from exc
+        return replies
+
     def _broadcast(self, make_cmd) -> list[HostStepResult]:
         tr = self.driver_tracer
         if tr is None:
-            for p, conn in enumerate(self._conns):
-                _send_oob(conn, make_cmd(p))
-            replies = [_recv_oob(conn) for conn in self._conns]
+            self._scatter(make_cmd)
+            replies = self._gather()
         else:
             # Driver-side view of the scatter/gather round: the ship span
             # covers pickling + pipe writes, the barrier span the gather
             # (the BSP synchronisation point).
             with tr.span("ship"):
-                for p, conn in enumerate(self._conns):
-                    _send_oob(conn, make_cmd(p))
+                self._scatter(make_cmd)
             with tr.span("barrier"):
-                replies = [_recv_oob(conn) for conn in self._conns]
+                replies = self._gather()
         for p, reply in enumerate(replies):
-            if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "error":
-                raise WorkerError(f"partition {p} worker failed:\n{reply[1]}")
+            if isinstance(reply, tuple) and len(reply) >= 2 and reply[0] == "error":
+                message = f"partition {p} worker failed:\n{reply[1]}"
+                if len(reply) >= 3 and reply[2]:
+                    raise RecoverableWorkerError(message, partition=p)
+                raise WorkerError(message)
         return replies
 
     def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
@@ -252,16 +488,75 @@ class ProcessCluster(Cluster):
             states.update(part)
         return states
 
-    def shutdown(self) -> None:
-        for conn in self._conns:
-            try:
-                _send_oob(conn, ("stop",))
-                _recv_oob(conn)
-                conn.close()
-            except (BrokenPipeError, EOFError, OSError):  # pragma: no cover
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
+    # -- resilience protocol ---------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        return self._broadcast(lambda p: ("snapshot",))
+
+    def restore(self, snapshots: Sequence[dict], reload_timestep: int | None = None) -> None:
+        if len(snapshots) != self.num_partitions:
+            raise ValueError("need exactly one snapshot per partition")
+        self._broadcast(lambda p: ("restore", snapshots[p], reload_timestep))
+
+    def respawn_all(self) -> None:
+        """Kill the whole worker cohort and start a fresh incarnation.
+
+        After a failure mid-round, surviving workers' pipes may hold unread
+        replies (or garbage) and their hosts may have run past the failed
+        barrier — per-worker surgery cannot restore a consistent cut.  This
+        is the Pregel-lineage answer: drop everyone, bump the incarnation
+        (so scripted faults do not re-fire), and let the engine restore all
+        partitions from the latest checkpoint.
+        """
+        self._teardown(force=True)
+        self.incarnation += 1
+        self._spawn_workers()
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def _teardown(self, *, force: bool = False) -> None:
+        """Reap every worker; never hangs, never leaks.
+
+        The polite path (``force=False``) offers each worker a ``stop``
+        command and briefly waits for its ack; the forced path skips
+        straight to closing pipes.  Either way every process is joined with
+        a bounded timeout, then terminated, then killed — a wedged or
+        desynced worker cannot stall shutdown.
+        """
+        conns, procs = self._conns, self._procs
         self._conns, self._procs = [], []
+        if not force:
+            for conn in conns:
+                try:
+                    _send_oob(conn, ("stop",))
+                except (BrokenPipeError, ConnectionError, OSError):
+                    pass
+            for conn in conns:
+                try:
+                    _recv_oob(conn, deadline=time.monotonic() + 1.0, what="stop ack")
+                except Exception:
+                    pass
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if force:
+            # Don't wait for workers to notice the closed pipes: forked
+            # siblings inherit each other's pipe fds, so a worker blocked in
+            # recv may never see EOF until the others die.  Forced teardown
+            # means their state is already forfeit — SIGTERM them up front.
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+        for proc in procs:
+            proc.join(timeout=2.0 if force else 5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - terminate refused
+                    proc.kill()
+                    proc.join(timeout=1.0)
+
+    def shutdown(self) -> None:
+        self._teardown()

@@ -16,7 +16,51 @@ import numpy as np
 from ..graph.attributes import AttributeSchema, AttributeSpec
 from ..graph.template import GraphTemplate
 
-__all__ = ["save_template", "load_template", "schema_to_bytes", "schema_from_bytes"]
+__all__ = [
+    "save_template",
+    "load_template",
+    "schema_to_bytes",
+    "schema_from_bytes",
+    "write_blob",
+    "read_blob",
+    "sha256_of",
+]
+
+
+def write_blob(path: str | Path, obj) -> tuple[int, str]:
+    """Pickle ``obj`` to ``path``; return ``(nbytes, sha256 hex digest)``.
+
+    The checkpoint plane's primitive: one state blob per file, hashed at
+    write time so a later read can prove integrity before unpickling.
+    """
+    import hashlib
+
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(data)
+    return len(data), hashlib.sha256(data).hexdigest()
+
+
+def sha256_of(path: str | Path) -> str:
+    """Hex SHA-256 of a file's contents."""
+    import hashlib
+
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def read_blob(path: str | Path, expected_sha256: str | None = None):
+    """Unpickle a :func:`write_blob` file, optionally verifying its hash."""
+    data = Path(path).read_bytes()
+    if expected_sha256 is not None:
+        import hashlib
+
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != expected_sha256:
+            raise ValueError(
+                f"checkpoint blob {path} is corrupt: sha256 {digest} != recorded {expected_sha256}"
+            )
+    return pickle.loads(data)
 
 
 def schema_to_bytes(schema: AttributeSchema) -> bytes:

@@ -1,0 +1,136 @@
+"""Unit tests for the checkpoint store: integrity, retention, recovery policy."""
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    CheckpointConfig,
+    CheckpointCorrupt,
+    CheckpointManager,
+    FailureRecord,
+    RecoveryPolicy,
+    RunFailure,
+)
+
+
+def _write(mgr, t, driver=None, parts=None, superstep=None):
+    return mgr.write(
+        t,
+        driver if driver is not None else {"next_t": t},
+        parts if parts is not None else [{"p": 0}, {"p": 1}],
+        superstep=superstep,
+        signature={"pattern": "TEST"},
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        info = _write(mgr, 3, driver={"next_t": 3, "x": [1, 2]})
+        assert info.path.name == "ckpt-000000-t3"
+        assert info.nbytes > 0 and info.seconds >= 0
+        loaded = mgr.load()
+        assert loaded.timestep == 3 and loaded.superstep is None
+        assert loaded.driver == {"next_t": 3, "x": [1, 2]}
+        assert loaded.parts == [{"p": 0}, {"p": 1}]
+        assert loaded.meta["signature"] == {"pattern": "TEST"}
+
+    def test_superstep_checkpoint_named_and_typed(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        info = _write(mgr, 2, superstep=5)
+        assert info.path.name.endswith("-t2s5")
+        assert mgr.load().superstep == 5
+
+    def test_load_by_name(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, retain=5)
+        first = _write(mgr, 1)
+        _write(mgr, 2)
+        assert mgr.load(first.path.name).timestep == 1
+
+    def test_no_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CheckpointManager(tmp_path / "empty").load()
+
+    def test_seq_resumes_after_reopen(self, tmp_path):
+        _write(CheckpointManager(tmp_path), 1)
+        info = _write(CheckpointManager(tmp_path), 2)
+        assert info.seq == 1
+
+
+class TestIntegrity:
+    def test_tampered_blob_detected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        info = _write(mgr, 1)
+        blob = info.path / "part-1.bin"
+        blob.write_bytes(b"\x00" + blob.read_bytes()[1:])
+        with pytest.raises(CheckpointCorrupt, match="failed validation"):
+            mgr.load()
+
+    def test_missing_blob_detected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        info = _write(mgr, 1)
+        (info.path / "driver.bin").unlink()
+        with pytest.raises(CheckpointCorrupt):
+            mgr.load()
+
+    def test_future_format_version_rejected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        info = _write(mgr, 1)
+        manifest = json.loads((info.path / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (info.path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointCorrupt, match="format version"):
+            mgr.load()
+
+    def test_manifestless_dir_is_not_a_checkpoint(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        _write(mgr, 1)
+        torn = tmp_path / "ckpt-000009-t9"
+        torn.mkdir()
+        (torn / "driver.bin").write_bytes(b"partial")
+        # LATEST still points at the complete one; the torn dir is invisible.
+        assert mgr.latest_name() == "ckpt-000000-t1"
+
+    def test_latest_fallback_scan(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, retain=5)
+        _write(mgr, 1)
+        _write(mgr, 2)
+        (tmp_path / "LATEST").unlink()
+        assert CheckpointManager(tmp_path).latest_name() == "ckpt-000001-t2"
+
+
+class TestRetention:
+    def test_prunes_beyond_retain(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, retain=2)
+        for t in range(5):
+            _write(mgr, t)
+        names = sorted(p.name for p in tmp_path.iterdir() if p.is_dir())
+        assert names == ["ckpt-000003-t3", "ckpt-000004-t4"]
+        assert mgr.load().timestep == 4
+
+
+class TestConfigAndRecords:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointConfig(every=0)
+        with pytest.raises(ValueError):
+            CheckpointConfig(superstep_every=0)
+        with pytest.raises(ValueError):
+            CheckpointConfig(retain=0)
+
+    def test_recovery_policy_validation_and_backoff(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(on_exhausted="panic")
+        p = RecoveryPolicy(backoff_s=0.1, backoff_factor=3.0)
+        assert p.backoff_for(1) == pytest.approx(0.1)
+        assert p.backoff_for(3) == pytest.approx(0.9)
+
+    def test_failure_record_and_run_failure_as_dict(self):
+        rec = FailureRecord("WorkerLost", 3, -1, 1, 1, "boom", "retry")
+        failure = RunFailure("WorkerLost: boom", 3, [rec])
+        d = failure.as_dict()
+        assert d["reason"] == "WorkerLost: boom"
+        assert d["timestep"] == 3
+        assert d["failures"][0]["kind"] == "WorkerLost"
+        assert d["failures"][0]["action"] == "retry"

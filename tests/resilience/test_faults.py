@@ -1,0 +1,84 @@
+"""Unit tests for the fault plan and its CLI mini-language."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import (
+    AT_BEGIN,
+    AT_EOT,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_specs,
+)
+
+
+class TestParse:
+    def test_full_grammar(self):
+        specs = parse_fault_specs(
+            "kill@t1:s0:p0, delay@t2:p1:d0.2; fail_load@t3:begin:p0:i1,corrupt@t1:eot:p2"
+        )
+        assert specs == [
+            FaultSpec("kill", 1, 0, superstep=0),
+            FaultSpec("delay", 2, 1, delay_s=0.2),
+            FaultSpec("fail_load", 3, 0, superstep=AT_BEGIN, incarnation=1),
+            FaultSpec("corrupt", 1, 2, superstep=AT_EOT),
+        ]
+
+    def test_superstep_optional(self):
+        (spec,) = parse_fault_specs("drop@t4:p2")
+        assert spec.superstep is None
+        assert spec.matches(4, 0, 2, 0) and spec.matches(4, 17, 2, 0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "kill", "kill@p0", "kill@t1", "zap@t1:p0", "kill@t1:x9:p0"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_specs(bad)
+
+
+class TestFire:
+    def test_spec_fires_once(self):
+        plan = FaultPlan([FaultSpec("kill", 1, 0, superstep=0)])
+        assert plan.fire(1, 0, 0, 0) is not None
+        assert plan.fire(1, 0, 0, 0) is None
+
+    def test_incarnation_guard(self):
+        plan = FaultPlan([FaultSpec("kill", 1, 0)])
+        assert plan.fire(1, 0, 0, incarnation=1) is None
+        assert plan.fire(1, 0, 0, incarnation=0) is not None
+
+    def test_kind_filter(self):
+        plan = FaultPlan([FaultSpec("delay", 1, 0)])
+        assert plan.fire(1, 0, 0, 0, kinds=("kill",)) is None
+        assert plan.fire(1, 0, 0, 0, kinds=("delay",)) is not None
+
+    def test_pickle_resets_spent(self):
+        plan = FaultPlan([FaultSpec("kill", 1, 0)])
+        assert plan.fire(1, 0, 0, 0) is not None
+        fresh = pickle.loads(pickle.dumps(plan))
+        assert fresh.fire(1, 0, 0, 0) is not None
+
+    def test_bool(self):
+        assert not FaultPlan()
+        assert FaultPlan([FaultSpec("kill", 0, 0)])
+
+
+class TestDelay:
+    def test_explicit_delay_honored(self):
+        plan = FaultPlan([FaultSpec("delay", 1, 0, delay_s=0.25)])
+        assert plan.delay_for(plan.specs[0]) == 0.25
+
+    def test_derived_delay_deterministic(self):
+        a = FaultPlan([FaultSpec("delay", 1, 0)], seed=7)
+        b = FaultPlan([FaultSpec("delay", 1, 0)], seed=7)
+        c = FaultPlan([FaultSpec("delay", 1, 0)], seed=8)
+        assert a.delay_for(a.specs[0]) == b.delay_for(b.specs[0])
+        assert a.delay_for(a.specs[0]) != c.delay_for(c.specs[0])
+        assert a.delay_for(a.specs[0]) > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("explode", 0, 0)

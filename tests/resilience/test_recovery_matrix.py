@@ -1,0 +1,229 @@
+"""The acceptance matrix: every seeded fault either recovers bit-identical
+or surfaces as a structured RunFailure — across all three executors, with
+no hangs and no leaked worker processes."""
+
+import pytest
+
+from repro.core import EngineConfig, run_application
+from repro.resilience import (
+    CheckpointConfig,
+    FaultPlan,
+    RecoveryPolicy,
+    RunFailureError,
+    WorkerCrash,
+)
+
+from .conftest import AccumulateSum, RingRelay
+
+pytestmark = pytest.mark.resilience
+
+#: One spec per fault kind, spread over coordinates (superstep, begin, eot).
+FAULT_MATRIX = [
+    "kill@t2:p1",
+    "kill@t1:eot:p0",
+    "delay@t1:s0:p0:d0.15",
+    "drop@t2:p0",
+    "corrupt@t1:p1",
+    "fail_load@t2:begin:p0",
+]
+
+
+def _config(executor, ckpt_dir, faults, **recovery_kwargs):
+    return EngineConfig(
+        executor=executor,
+        checkpoint=CheckpointConfig(dir=ckpt_dir, every=1),
+        faults=FaultPlan.parse(faults, seed=3) if isinstance(faults, str) else faults,
+        recovery=RecoveryPolicy(backoff_s=0.0, **recovery_kwargs),
+    )
+
+
+def _identical(a, b):
+    assert a.outputs == b.outputs
+    assert a.merge_outputs == b.merge_outputs
+    assert a.states == b.states
+
+
+class TestFaultMatrixProcess:
+    """Process executor: real worker death, lost replies, corrupt streams."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self, case):
+        _tpl, coll, pg = case
+        from repro.runtime import CollectionInstanceSource
+
+        sources = [CollectionInstanceSource(coll) for _ in range(pg.num_partitions)]
+        return run_application(
+            AccumulateSum(), pg, coll, sources=sources, config=EngineConfig(executor="process")
+        )
+
+    @pytest.mark.parametrize("faults", FAULT_MATRIX)
+    def test_recovers_bit_identical(self, case, sources, tmp_path, baseline, faults):
+        _tpl, coll, pg = case
+        result = run_application(
+            AccumulateSum(), pg, coll, sources=sources,
+            config=_config("process", tmp_path, faults),
+        )
+        _identical(result, baseline)
+        if "delay" in faults:
+            # A straggler under a generous gather timeout is slowness, not
+            # a failure: no retry, no failure-log entry.
+            assert result.metrics.retries == 0 and result.failure_log == []
+        else:
+            assert result.metrics.retries >= 1
+            assert result.failure_log and result.failure_log[0].action == "retry"
+            assert result.metrics.total_recovery_s() > 0
+        assert result.failure is None
+
+    def test_no_leaked_workers_after_recovery(self, case, sources, tmp_path):
+        import multiprocessing as mp
+
+        _tpl, coll, pg = case
+        run_application(
+            AccumulateSum(), pg, coll, sources=sources,
+            config=_config("process", tmp_path, "kill@t1:p0"),
+        )
+        assert mp.active_children() == []
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread"])
+class TestFaultMatrixInProcess:
+    """In-process executors simulate kill/corrupt/drop as host crashes."""
+
+    @pytest.mark.parametrize("faults", ["kill@t2:p1", "fail_load@t2:begin:p0"])
+    def test_recovers_bit_identical(self, case, tmp_path, executor, faults):
+        _tpl, coll, pg = case
+        baseline = run_application(
+            AccumulateSum(), pg, coll, config=EngineConfig(executor=executor)
+        )
+        result = run_application(
+            AccumulateSum(), pg, coll, config=_config(executor, tmp_path, faults)
+        )
+        _identical(result, baseline)
+        assert result.metrics.retries == 1
+
+    def test_multi_superstep_with_merge(self, case, tmp_path, executor):
+        """Rollback mid-BSP with in-flight frames and a merge phase."""
+        _tpl, coll, pg = case
+        comp = RingRelay(len(pg.subgraphs))
+        baseline = run_application(comp, pg, coll, config=EngineConfig(executor=executor))
+        cfg = EngineConfig(
+            executor=executor,
+            checkpoint=CheckpointConfig(dir=tmp_path, every=1, superstep_every=2),
+            # The second spec targets incarnation 1: the first recovery
+            # respawns the cohort, and i0 faults never refire after that.
+            faults=FaultPlan.parse("kill@t2:s2:p1,kill@t3:eot:p0:i1", seed=5),
+            recovery=RecoveryPolicy(backoff_s=0.0),
+        )
+        result = run_application(comp, pg, coll, config=cfg)
+        _identical(result, baseline)
+        assert result.metrics.retries == 2
+
+
+class TestExhaustedRetries:
+    """A fault re-armed for every incarnation defeats the retry budget."""
+
+    PERSISTENT = "kill@t1:p0,kill@t1:p0:i1,kill@t1:p0:i2,kill@t1:p0:i3"
+
+    def test_raise_mode_carries_partial(self, case, tmp_path):
+        _tpl, coll, pg = case
+        cfg = _config("serial", tmp_path, self.PERSISTENT, max_retries=2)
+        with pytest.raises(RunFailureError) as excinfo:
+            run_application(AccumulateSum(), pg, coll, config=cfg)
+        failure = excinfo.value.failure
+        assert failure.timestep == 1
+        assert "WorkerCrash" in failure.reason
+        # 1 initial incident + 2 retries, each logged; the last marked raise.
+        assert [r.action for r in failure.failure_log] == ["retry", "retry", "raise"]
+        partial = excinfo.value.partial
+        assert partial is not None and partial.timesteps_executed == 1
+
+    def test_degrade_mode_returns_partial(self, case, sources, tmp_path):
+        _tpl, coll, pg = case
+        cfg = _config(
+            "process", tmp_path, self.PERSISTENT, max_retries=2, on_exhausted="degrade"
+        )
+        result = run_application(AccumulateSum(), pg, coll, sources=sources, config=cfg)
+        assert result.failure is not None
+        assert result.failure.timestep == 1
+        assert result.timesteps_executed == 1
+        assert len(result.failure_log) == 3
+        # The recovered prefix is intact: timestep 0's outputs survived.
+        assert all(t == 0 for t, _sg, _rec in result.outputs)
+
+    def test_app_errors_are_not_retried(self, case, tmp_path):
+        """Deterministic computation bugs must surface, not burn retries."""
+        from repro.core import Pattern, TimeSeriesComputation
+
+        class Boom(TimeSeriesComputation):
+            pattern = Pattern.SEQUENTIALLY_DEPENDENT
+
+            def compute(self, ctx):
+                if ctx.timestep == 1:
+                    raise ValueError("app bug")
+                ctx.vote_to_halt()
+
+        _tpl, coll, pg = case
+        cfg = _config("serial", tmp_path, None)
+        with pytest.raises(ValueError, match="app bug"):
+            run_application(Boom(), pg, coll, config=cfg)
+
+
+class TestResume:
+    def test_crash_then_resume_bit_identical(self, case, tmp_path):
+        _tpl, coll, pg = case
+        baseline = run_application(AccumulateSum(), pg, coll)
+        with pytest.raises(RunFailureError):
+            run_application(
+                AccumulateSum(), pg, coll,
+                config=_config("serial", tmp_path, "kill@t2:p0", max_retries=0),
+            )
+        resumed = run_application(
+            AccumulateSum(), pg, coll,
+            config=EngineConfig(checkpoint=CheckpointConfig(dir=tmp_path)),
+            resume_from=True,
+        )
+        _identical(resumed, baseline)
+        assert resumed.timesteps_executed == baseline.timesteps_executed
+
+    def test_resume_by_name_and_signature_check(self, case, tmp_path):
+        _tpl, coll, pg = case
+        cfg = EngineConfig(checkpoint=CheckpointConfig(dir=tmp_path, every=1, retain=10))
+        run_application(AccumulateSum(), pg, coll, config=cfg)
+        comp = RingRelay(len(pg.subgraphs))
+        with pytest.raises(ValueError, match="does not match this run"):
+            run_application(comp, pg, coll, config=cfg, resume_from=True)
+
+    def test_resume_requires_checkpoint_config(self, case):
+        _tpl, coll, pg = case
+        with pytest.raises(ValueError, match="resume_from requires"):
+            run_application(AccumulateSum(), pg, coll, resume_from=True)
+
+    def test_rebalancer_excluded(self, case):
+        from repro.runtime import GreedyRebalancer
+
+        _tpl, coll, pg = case
+        cfg = EngineConfig(
+            rebalancer=GreedyRebalancer(),
+            faults=FaultPlan([]),
+        )
+        with pytest.raises(ValueError, match="rebalancing is incompatible"):
+            run_application(AccumulateSum(), pg, coll, config=cfg)
+
+
+class TestRecoveryWithoutCheckpoints:
+    def test_genesis_rollback_replays_from_start(self, case, tmp_path):
+        """Faults + recovery but no checkpoint config: replay from genesis."""
+        _tpl, coll, pg = case
+        baseline = run_application(AccumulateSum(), pg, coll)
+        cfg = EngineConfig(
+            faults=FaultPlan.parse("kill@t2:p1", seed=1),
+            recovery=RecoveryPolicy(backoff_s=0.0),
+        )
+        result = run_application(AccumulateSum(), pg, coll, config=cfg)
+        _identical(result, baseline)
+        assert result.metrics.retries == 1
+
+    def test_injected_fault_types(self, case):
+        plan = FaultPlan([])
+        assert isinstance(WorkerCrash("x", partition=1).partition, int)
+        assert not plan
