@@ -43,6 +43,9 @@ def _rolled_back(e: Mapping, t0: int, s0: int | None) -> bool:
     * ``instance_load`` / ``gc_pause`` — charged when a timestep begins;
       kept at ``t0`` under a superstep-boundary restore (the begin phase ran
       before the checkpoint, so its costs are inside the restored metrics).
+    * ``prefetch_issue`` — charged at the first superstep's tail, which a
+      superstep-boundary checkpoint (always at ``s0 >= 1``) has already
+      captured; the same rule as ``instance_load`` applies.
     * ``checkpoint_write`` — a checkpoint's own cost is recorded *after*
       its blob is serialized, so the restored-from checkpoint's cost (keyed
       exactly at the restore point) is absent from the restored collector.
@@ -56,7 +59,7 @@ def _rolled_back(e: Mapping, t0: int, s0: int | None) -> bool:
         if e["phase"] != PHASE_COMPUTE:
             return True
         return te > t0 or (te == t0 and (s0 is None or e["superstep"] >= s0))
-    if kind in ("instance_load", "gc_pause"):
+    if kind in ("instance_load", "gc_pause", "prefetch_issue"):
         return te > t0 or (te == t0 and s0 is None)
     if kind == "checkpoint_write":
         sck = e.get("superstep")
@@ -179,6 +182,8 @@ def replay_timestep_walls(
         if kind == "migration":
             walls[e["timestep"]] += e["cost_s"]
         elif kind == "checkpoint_write":
+            walls[e["timestep"]] += e["cost_s"]
+        elif kind == "prefetch_issue":
             walls[e["timestep"]] += e["cost_s"]
         elif kind == "restore":
             walls[e["timestep"]] += e["seconds"]

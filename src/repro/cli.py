@@ -178,8 +178,27 @@ def _run(args: argparse.Namespace) -> int:
         rebalancer=GreedyRebalancer() if args.rebalance else None,
         **_resilience_config(args),
     )
+    if (args.prefetch or args.cache_bytes is not None) and args.gofs is None:
+        print("--prefetch/--cache-bytes require --gofs DIR", file=sys.stderr)
+        return 2
     sources = None
-    if args.executor == "process":
+    if args.gofs is not None:
+        root = Path(args.gofs)
+        if not (root / "manifest.json").exists():
+            manifest = GoFS.write_collection(root, pg, collection)
+            print(f"wrote GoFS store to {root} (packing={manifest['packing']})")
+        view_kwargs: dict = {"prefetch": args.prefetch}
+        if args.cache_bytes is not None:
+            view_kwargs["cache_bytes"] = args.cache_bytes
+        sources = GoFS.partition_views(root, **view_kwargs)
+        if len(sources) != pg.num_partitions:
+            print(
+                f"GoFS store at {root} has {len(sources)} partitions but the run "
+                f"wants {pg.num_partitions}; delete the store or match --partitions",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.executor == "process":
         sources = [CollectionInstanceSource(collection) for _ in range(pg.num_partitions)]
     try:
         result = run_application(
@@ -309,6 +328,22 @@ def main(argv: list[str] | None = None) -> int:
         "--rebalance", action="store_true", help="enable greedy dynamic rebalancing"
     )
     p.add_argument("--export", metavar="PATH", help="write a JSON run summary")
+    sto = p.add_argument_group("storage")
+    sto.add_argument(
+        "--gofs", metavar="DIR",
+        help="serve instances from a GoFS store at DIR (written there first if "
+        "no manifest.json exists yet)",
+    )
+    sto.add_argument(
+        "--prefetch", action="store_true",
+        help="asynchronously load the next GoFS pack while computing the "
+        "current one (requires --gofs)",
+    )
+    sto.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="N",
+        help="byte budget for each partition's resident pack cache; evicts "
+        "least-recently-used packs over budget (requires --gofs)",
+    )
     res = p.add_argument_group("resilience")
     res.add_argument(
         "--checkpoint-every", type=int, default=0, metavar="N",

@@ -179,6 +179,11 @@ class TIBSPEngine:
         self.sources = sources
         self._sg_part = np.asarray([sg.partition_id for sg in pg.subgraphs], dtype=np.int64)
         self._all_sgids = frozenset(sg.subgraph_id for sg in pg.subgraphs)
+        # Issue next-timestep prefetch hints only when at least one source
+        # can act on them — otherwise the hint round is pure overhead.
+        self._prefetch_sources = sources is not None and any(
+            getattr(s, "prefetch_enabled", False) for s in sources
+        )
 
     # -- cluster construction ------------------------------------------------------
 
@@ -334,6 +339,7 @@ class TIBSPEngine:
                 cluster.restore(
                     loaded.parts,
                     reload_timestep=t if blob["phase"] == "superstep" else None,
+                    next_timestep=t,
                 )
                 if trace is not None:
                     trace.tracer.event(
@@ -366,7 +372,7 @@ class TIBSPEngine:
                     try:
                         with trace.tracer.span("timestep", t=t) if trace is not None else NULL_SPAN:
                             halted_early = self._run_timestep(
-                                cluster, metrics, trace, result, pattern, t, start,
+                                cluster, metrics, trace, result, pattern, t, start, stop,
                                 input_msgs, temporal_frames,
                                 resume=resume_inner, manager=manager,
                             )
@@ -595,10 +601,15 @@ class TIBSPEngine:
             cluster.restore(
                 loaded.parts,
                 reload_timestep=blob["next_t"] if blob["phase"] == "superstep" else None,
+                next_timestep=blob["next_t"],
             )
         elif genesis is not None:
             # Fresh hosts from respawn_all *are* the start-of-run state.
             blob = pickle.loads(genesis)
+            # No restore call happens on this path, but clusters whose
+            # sources survive the respawn must still drop the discarded
+            # attempt's prefetches and load evidence.
+            cluster.rollback_sources(blob["next_t"])
         else:  # pragma: no cover - run() guarantees one of the two exists
             raise RuntimeError("no rollback target available") from exc
         next_t, resume_inner, input_msgs, metrics = self._install_driver_blob(
@@ -690,6 +701,7 @@ class TIBSPEngine:
         pattern: Pattern,
         t: int,
         start: int,
+        stop: int,
         input_msgs: dict[int, list[Message]],
         temporal_frames: list[MessageFrame],
         resume: dict | None = None,
@@ -701,6 +713,14 @@ class TIBSPEngine:
         phase is skipped — the hosts were restored with the instance already
         reloaded — and the BSP loop continues from the stored superstep with
         the stored deliveries and halt votes.
+
+        When prefetch-capable sources are present, the hint for timestep
+        ``t+1`` is issued once, at the tail of the first superstep — after
+        its barrier, so every host is past superstep 0 and the background
+        read overlaps the remaining supersteps, end_of_timestep, and the
+        next begin.  Skipped on ``resume``: the restored metrics already
+        carry the committed attempt's hint cost, and re-issuing would
+        double-record it.
         """
         tr = trace.tracer if trace is not None else None
         if self.config.rebalancer is not None and t > start:
@@ -720,13 +740,19 @@ class TIBSPEngine:
             with tr.span("begin_timestep", t=t) if tr is not None else NULL_SPAN:
                 begin_results = cluster.begin_timestep(t, pauses)
             for r in begin_results:
-                metrics.record_load(t, r.partition, r.load_s)
+                metrics.record_load(t, r.partition, r.load_s, hidden=r.load_hidden_s)
                 if r.gc_pause_s:
                     metrics.record_gc(t, r.partition, r.gc_pause_s)
             if trace is not None:
                 trace.absorb_results(begin_results)
                 for r in begin_results:
-                    tr.event("instance_load", timestep=t, partition=r.partition, seconds=r.load_s)
+                    tr.event(
+                        "instance_load",
+                        timestep=t,
+                        partition=r.partition,
+                        seconds=r.load_s,
+                        hidden_s=r.load_hidden_s,
+                    )
                     if r.gc_pause_s:
                         tr.event("gc_pause", timestep=t, partition=r.partition, seconds=r.gc_pause_s)
 
@@ -750,6 +776,7 @@ class TIBSPEngine:
             halt_votes = set()
             superstep = 0
 
+        prefetch_next = resume is None and self._prefetch_sources and t + 1 < stop
         ckpt_cfg = self.config.checkpoint
         while True:
             if superstep >= self.config.max_supersteps:
@@ -778,6 +805,19 @@ class TIBSPEngine:
                 halt_votes |= r.halt_timestep_votes
             per_part = route_frames(frames, self.pg.num_partitions)
             superstep += 1
+            if prefetch_next:
+                prefetch_next = False
+                cluster.prefetch(t + 1)
+                cost = self.config.cost_model.prefetch_cost()
+                metrics.record_prefetch(t, cost)
+                if tr is not None:
+                    tr.event(
+                        "prefetch_issue",
+                        timestep=t,
+                        superstep=superstep - 1,
+                        next_timestep=t + 1,
+                        cost_s=cost,
+                    )
             # Quiescence: nothing routed by the driver, every subgraph halted,
             # and no host still holds short-circuited local deliveries.
             if not frames and all(

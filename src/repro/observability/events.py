@@ -19,7 +19,16 @@ Schema v1 event kinds
                       message count, payload bytes, temporal flag)
 ``combine``           a combiner fold (messages in → messages out)
 ``instance_load``     one host's instance load at a timestep boundary
-``slice_load``        a GoFS pack load (the Fig 6 every-10th-timestep spike)
+``slice_load``        a GoFS pack load (the Fig 6 every-10th-timestep spike);
+                      carries ``hidden_s``/``prefetched`` when the storage
+                      plane overlapped the read with compute
+``prefetch_start``    a host submitted an async pack read to its prefetcher
+``prefetch_hit``      a pack demand was served by a prefetched (or still
+                      in-flight) read; ``waited_s`` is the residual stall
+``prefetch_miss``     a pack demand fell through to a synchronous load even
+                      though prefetching was enabled
+``prefetch_issue``    the driver issued one prefetch hint round to all hosts
+                      (modeled ``cost_s`` from ``CostModel.prefetch_cost``)
 ``gc_pause``          modeled GC pause charged at a timestep boundary
 ``migration``         rebalancer summary for one timestep boundary
 ``migrate``           one subgraph move (src/dst partitions, modeled cost)

@@ -109,6 +109,14 @@ class Cluster:
     def resident_bytes(self) -> list[int]:
         raise NotImplementedError
 
+    def prefetch(self, timestep: int) -> None:
+        """Hint every host to background-load ``timestep``'s instance.
+
+        Best-effort and asynchronous: hosts whose sources cannot prefetch
+        ignore it.  Default is a no-op so protocol implementations without
+        prefetch support stay valid.
+        """
+
     def final_states(self) -> dict[int, dict]:
         raise NotImplementedError
 
@@ -118,9 +126,30 @@ class Cluster:
         """One checkpointable state blob per partition (see ComputeHost)."""
         raise NotImplementedError
 
-    def restore(self, snapshots: Sequence[dict], reload_timestep: int | None = None) -> None:
-        """Install checkpoint blobs on every partition."""
+    def restore(
+        self,
+        snapshots: Sequence[dict],
+        reload_timestep: int | None = None,
+        next_timestep: int | None = None,
+    ) -> None:
+        """Install checkpoint blobs on every partition.
+
+        ``next_timestep`` — the first timestep the restored run will
+        (re-)execute — lets hosts purge rolled-back load evidence and
+        invalidate in-flight prefetches (see ComputeHost.restore_state).
+        """
         raise NotImplementedError
+
+    def rollback_sources(self, next_timestep: int) -> None:
+        """Reset instance sources for a rollback that bypasses ``restore``.
+
+        Genesis recovery (no checkpoints) respawns the cohort and replays
+        from scratch without installing snapshots; clusters whose sources
+        survive the respawn (LocalCluster shares them across incarnations)
+        must still invalidate prefetches and purge load evidence from the
+        discarded attempt.  Default is a no-op — the process cluster's
+        respawn re-pickles sources fresh.
+        """
 
     def respawn_all(self) -> None:
         """Replace every host/worker with a fresh (state-empty) incarnation."""
@@ -270,6 +299,10 @@ class LocalCluster(Cluster):
     def resident_bytes(self) -> list[int]:
         return [h.resident_bytes() for h in self.hosts]
 
+    def prefetch(self, timestep: int) -> None:
+        for h in self.hosts:
+            h.prefetch(timestep)
+
     def final_states(self) -> dict[int, dict]:
         states: dict[int, dict] = {}
         for h in self.hosts:
@@ -281,11 +314,27 @@ class LocalCluster(Cluster):
     def snapshot(self) -> list[dict]:
         return [h.snapshot_state() for h in self.hosts]
 
-    def restore(self, snapshots: Sequence[dict], reload_timestep: int | None = None) -> None:
+    def restore(
+        self,
+        snapshots: Sequence[dict],
+        reload_timestep: int | None = None,
+        next_timestep: int | None = None,
+    ) -> None:
         if len(snapshots) != len(self.hosts):
             raise ValueError("need exactly one snapshot per partition")
         for h, snap in zip(self.hosts, snapshots):
-            h.restore_state(snap, reload_timestep)
+            h.restore_state(snap, reload_timestep, next_timestep)
+
+    def rollback_sources(self, next_timestep: int) -> None:
+        # Sources are shared across incarnations (respawn_all reuses them),
+        # so a genesis rollback must scrub them here.
+        for src in self._sources:
+            invalidate = getattr(src, "invalidate_prefetch", None)
+            if callable(invalidate):
+                invalidate()
+            purge = getattr(src, "purge_load_events", None)
+            if callable(purge):
+                purge(next_timestep, inclusive=True)
 
     def respawn_all(self) -> None:
         """Rebuild every host from scratch (a simulated worker-cohort restart).

@@ -51,6 +51,10 @@ class CostModel:
     checkpoint_bandwidth_bytes_per_s: float = 200.0 * 2**20
     #: Fixed cost per checkpoint (manifest write + fsync-style latency).
     checkpoint_base_s: float = 1e-3
+    #: Driver-side cost of issuing one prefetch hint round (an async RPC to
+    #: every host).  Defaults to 0 so prefetch-on and prefetch-off runs stay
+    #: wall-comparable; benches modeling hint overhead can charge it.
+    prefetch_issue_s: float = 0.0
 
     def remote_send_cost(self, num_messages: int, num_bytes: int) -> float:
         """Cost of shipping ``num_messages`` totaling ``num_bytes`` off-host."""
@@ -85,6 +89,10 @@ class CostModel:
         """
         return self.checkpoint_base_s + num_bytes / self.checkpoint_bandwidth_bytes_per_s
 
+    def prefetch_cost(self, rounds: int = 1) -> float:
+        """Modeled cost of ``rounds`` prefetch hint rounds."""
+        return rounds * self.prefetch_issue_s
+
     def barrier_cost(self, num_partitions: int) -> float:
         """Cost of one BSP barrier across ``num_partitions`` hosts."""
         if num_partitions <= 1:
@@ -115,6 +123,7 @@ class CostModel:
             barrier_s=base.barrier_s * factor,
             checkpoint_bandwidth_bytes_per_s=base.checkpoint_bandwidth_bytes_per_s,
             checkpoint_base_s=base.checkpoint_base_s * factor,
+            prefetch_issue_s=base.prefetch_issue_s * factor,
         )
 
     @staticmethod
@@ -129,4 +138,5 @@ class CostModel:
             barrier_s=0.0,
             checkpoint_bandwidth_bytes_per_s=float("inf"),
             checkpoint_base_s=0.0,
+            prefetch_issue_s=0.0,
         )

@@ -56,7 +56,7 @@ class ElasticOutcome:
     powered: np.ndarray  #: (T, P) bool — VM powered on during timestep
     vm_timesteps_static: int  #: bill without elasticity (T × P)
     vm_timesteps_elastic: int  #: bill with the policy
-    spinups: int  #: spin-up events (delayed first boots and wake-ups after idling)
+    spinups: int  #: spin-up events (every first boot — even at t=0 — and wake-ups after idling); matches the tracer's ``vm_spinup`` count
     added_wall_s: float  #: total spin-up latency added to the makespan
 
     @property
@@ -119,8 +119,10 @@ def simulate_elastic(
         first = int(active_ts[0])
         boot = max(0, first - policy.prefetch)
         powered[boot : first + 1, p] = True
-        if boot > 0:
-            spinups += 1
+        # The first boot is a spin-up even when it lands at t=0: the VM
+        # still pays its start latency (the tracer logs it as vm_spinup,
+        # and the billing/added-wall accounting must agree with the trace).
+        spinups += 1
         on = True
         idle = 0
         for t in range(first + 1, T):

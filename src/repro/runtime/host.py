@@ -47,7 +47,22 @@ __all__ = ["InstanceSource", "CollectionInstanceSource", "HostStepResult", "Comp
 
 
 class InstanceSource(Protocol):
-    """Per-host access to graph instances (in-memory, generated, or GoFS)."""
+    """Per-host access to graph instances (in-memory, generated, or GoFS).
+
+    Only ``instance`` and ``resident_bytes`` are required.  Sources may also
+    implement optional hooks, discovered with ``getattr`` by the host:
+
+    * ``attach_tracer(tracer)`` — narrate I/O on the host's trace track;
+    * ``prefetch(timestep) -> bool`` — start loading ``timestep``'s data in
+      the background (the engine issues this hint at the superstep loop's
+      tail);
+    * ``drain_hidden_load() -> float`` — load seconds overlapped with
+      compute since the last drain (reported as ``load_hidden_s``);
+    * ``reload_instance(timestep)`` — an instance load for checkpoint
+      replay that must not be recorded as fresh load evidence;
+    * ``invalidate_prefetch()`` / ``purge_load_events(timestep, inclusive=)``
+      — recovery: drop in-flight prefetches and rolled-back load evidence.
+    """
 
     def instance(self, timestep: int) -> GraphInstance: ...
 
@@ -99,6 +114,9 @@ class HostStepResult:
     remote_messages: int = 0
     frames_sent: int = 0
     load_s: float = 0.0
+    #: Load seconds overlapped with compute by a prefetching source — part
+    #: of the same I/O evidence as ``load_s`` but off the critical path.
+    load_hidden_s: float = 0.0
     gc_pause_s: float = 0.0
     #: Telemetry drained from this host's tracer during the call (None when
     #: tracing is off).  Picklable — process workers' spans/events/counters
@@ -385,6 +403,9 @@ class ComputeHost:
             start = time.perf_counter()
             self._instance = self.source.instance(timestep)
             result.load_s = time.perf_counter() - start
+        drain = getattr(self.source, "drain_hidden_load", None)
+        if callable(drain):
+            result.load_hidden_s = drain()
         result.gc_pause_s = gc_pause_s
         self._halted = {sg.subgraph_id: False for sg in self.partition.subgraphs}
         self._local_inbox = self._temporal_inbox
@@ -396,6 +417,14 @@ class ComputeHost:
     def resident_bytes(self) -> int:
         """Bytes of instance data resident on this host (GC model input)."""
         return self.source.resident_bytes()
+
+    def prefetch(self, timestep: int) -> bool:
+        """Hint the source to start loading ``timestep`` in the background.
+
+        No-op (False) for sources without a ``prefetch`` hook.
+        """
+        fn = getattr(self.source, "prefetch", None)
+        return bool(fn(timestep)) if callable(fn) else False
 
     def run_superstep(
         self,
@@ -564,7 +593,12 @@ class ComputeHost:
             "local_inbox": self._local_inbox,
         }
 
-    def restore_state(self, snapshot: dict, reload_timestep: int | None = None) -> None:
+    def restore_state(
+        self,
+        snapshot: dict,
+        reload_timestep: int | None = None,
+        next_timestep: int | None = None,
+    ) -> None:
         """Install a :meth:`snapshot_state` blob (checkpoint rollback/resume).
 
         ``reload_timestep`` re-loads that timestep's graph instance from
@@ -572,6 +606,14 @@ class ComputeHost:
         superstep-boundary checkpoint), where ``begin_timestep`` will not
         run again.  Timestep-boundary restores leave the instance unloaded;
         the next ``begin_timestep`` loads it as usual.
+
+        ``next_timestep`` is the first timestep the restored run will
+        (re-)execute.  Sources that keep load evidence purge entries from
+        the rolled-back attempt (``>= next_timestep`` for timestep-boundary
+        restores; ``>`` when ``reload_timestep`` keeps the restore point's
+        committed begin-phase load), mirroring how ``trace_replay`` purges
+        rolled-back spans.  In-flight prefetches are invalidated first so
+        a discarded attempt's I/O never leaks into the restored accounting.
         """
         own = sorted(sg.subgraph_id for sg in self.partition.subgraphs)
         if snapshot.get("subgraphs") != own:
@@ -587,8 +629,18 @@ class ComputeHost:
             sgid: list(msgs) for sgid, msgs in snapshot["temporal_inbox"].items()
         }
         self._local_inbox = {sgid: list(msgs) for sgid, msgs in snapshot["local_inbox"].items()}
+        invalidate = getattr(self.source, "invalidate_prefetch", None)
+        if callable(invalidate):
+            invalidate()
+        if next_timestep is not None:
+            purge = getattr(self.source, "purge_load_events", None)
+            if callable(purge):
+                purge(next_timestep, inclusive=reload_timestep is None)
         if reload_timestep is not None:
-            self._instance = self.source.instance(reload_timestep)
+            reload = getattr(self.source, "reload_instance", None)
+            self._instance = (
+                reload(reload_timestep) if callable(reload) else self.source.instance(reload_timestep)
+            )
         else:
             self._instance = None
 

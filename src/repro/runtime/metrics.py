@@ -81,8 +81,15 @@ class MetricsCollector:
         self.num_partitions = int(num_partitions)
         self.barrier_s = float(barrier_s)
         self.step_records: list[StepRecord] = []
-        #: (timestep, partition) -> instance load seconds
+        #: (timestep, partition) -> *blocked* instance load seconds: the
+        #: stall measured inside begin_timestep, which gates the timestep
+        #: wall.  (The Fig 6 spike — flattened when prefetch hides it.)
         self.load_s: dict[tuple[int, int], float] = defaultdict(float)
+        #: (timestep, partition) -> *hidden* load seconds: I/O a prefetching
+        #: source overlapped with compute.  Same evidence, off the wall.
+        self.load_hidden_s: dict[tuple[int, int], float] = defaultdict(float)
+        #: timestep -> modeled cost of prefetch hint rounds issued during it.
+        self.prefetch_s: dict[int, float] = defaultdict(float)
         #: (timestep, partition) -> GC pause seconds
         self.gc_s: dict[tuple[int, int], float] = defaultdict(float)
         #: timestep -> modeled subgraph-migration transfer seconds (rebalancing)
@@ -115,8 +122,16 @@ class MetricsCollector:
         else:
             self.merge_supersteps = max(self.merge_supersteps, record.superstep + 1)
 
-    def record_load(self, timestep: int, partition: int, seconds: float) -> None:
+    def record_load(
+        self, timestep: int, partition: int, seconds: float, hidden: float = 0.0
+    ) -> None:
         self.load_s[(timestep, partition)] += seconds
+        if hidden:
+            self.load_hidden_s[(timestep, partition)] += hidden
+
+    def record_prefetch(self, timestep: int, seconds: float) -> None:
+        """Modeled cost of one prefetch hint round issued during ``timestep``."""
+        self.prefetch_s[timestep] += seconds
 
     def record_gc(self, timestep: int, partition: int, seconds: float) -> None:
         self.gc_s[(timestep, partition)] += seconds
@@ -170,6 +185,7 @@ class MetricsCollector:
             + self.migration_s.get(timestep, 0.0)
             + self.checkpoint_s.get(timestep, 0.0)
             + self.recovery_s.get(timestep, 0.0)
+            + self.prefetch_s.get(timestep, 0.0)
         )
 
     def timestep_series(self) -> list[float]:
@@ -245,8 +261,16 @@ class MetricsCollector:
         return len(self.supersteps_per_timestep)
 
     def total_load_s(self) -> float:
-        """Instance-load seconds summed over every (timestep, partition)."""
+        """Blocked instance-load seconds summed over every (timestep, partition)."""
         return sum(self.load_s.values())
+
+    def total_load_hidden_s(self) -> float:
+        """Load seconds hidden behind compute by prefetching sources."""
+        return sum(self.load_hidden_s.values())
+
+    def total_prefetch_s(self) -> float:
+        """Modeled prefetch hint-round seconds over the whole run."""
+        return sum(self.prefetch_s.values())
 
     def total_gc_s(self) -> float:
         """GC-pause seconds summed over every (timestep, partition)."""
@@ -283,6 +307,9 @@ class MetricsCollector:
             "migrations": self.total_migrations(),
             "migration_s": round(self.total_migration_s(), 6),
             "load_s": round(self.total_load_s(), 6),
+            "load_blocked_s": round(self.total_load_s(), 6),
+            "load_hidden_s": round(self.total_load_hidden_s(), 6),
+            "prefetch_s": round(self.total_prefetch_s(), 6),
             "gc_s": round(self.total_gc_s(), 6),
             "merge_wall_s": round(self.merge_wall(), 6),
             "checkpoints": self.checkpoints,

@@ -266,12 +266,14 @@ def _worker_main(
                     reply = host.run_merge_superstep(cmd[1], cmd[2])
                 elif op == "resident":
                     reply = host.resident_bytes()
+                elif op == "prefetch":
+                    reply = host.prefetch(cmd[1])
                 elif op == "states":
                     reply = host.final_states()
                 elif op == "snapshot":
                     reply = host.snapshot_state()
                 elif op == "restore":
-                    host.restore_state(cmd[1], cmd[2])
+                    host.restore_state(cmd[1], cmd[2], cmd[3] if len(cmd) > 3 else None)
                     reply = True
                 else:  # pragma: no cover - defensive
                     raise RuntimeError(f"unknown worker command {op!r}")
@@ -482,6 +484,12 @@ class ProcessCluster(Cluster):
     def resident_bytes(self) -> list[int]:
         return self._broadcast(lambda p: ("resident",))
 
+    def prefetch(self, timestep: int) -> None:
+        # One scatter/gather round: workers schedule the background load and
+        # reply immediately (the read itself runs on each worker's prefetch
+        # thread, overlapping the following supersteps' compute).
+        self._broadcast(lambda p: ("prefetch", timestep))
+
     def final_states(self) -> dict[int, dict]:
         states: dict[int, dict] = {}
         for part in self._broadcast(lambda p: ("states",)):
@@ -493,10 +501,15 @@ class ProcessCluster(Cluster):
     def snapshot(self) -> list[dict]:
         return self._broadcast(lambda p: ("snapshot",))
 
-    def restore(self, snapshots: Sequence[dict], reload_timestep: int | None = None) -> None:
+    def restore(
+        self,
+        snapshots: Sequence[dict],
+        reload_timestep: int | None = None,
+        next_timestep: int | None = None,
+    ) -> None:
         if len(snapshots) != self.num_partitions:
             raise ValueError("need exactly one snapshot per partition")
-        self._broadcast(lambda p: ("restore", snapshots[p], reload_timestep))
+        self._broadcast(lambda p: ("restore", snapshots[p], reload_timestep, next_timestep))
 
     def respawn_all(self) -> None:
         """Kill the whole worker cohort and start a fresh incarnation.

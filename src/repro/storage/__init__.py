@@ -5,13 +5,20 @@ See :mod:`repro.storage.gofs` for the store layout and
 GoFS distributed file system (DESIGN.md, substitutions).
 """
 
-from .gofs import DEFAULT_BINNING, DEFAULT_PACKING, GoFS, GoFSPartitionView
+from .gofs import (
+    DEFAULT_BINNING,
+    DEFAULT_PACKING,
+    DEFAULT_PREFETCH_LEAD,
+    GoFS,
+    GoFSPartitionView,
+)
 from .serde import load_template, save_template, schema_from_bytes, schema_to_bytes
-from .slices import SliceKey, bin_rows, read_slice, slice_filename, write_slice
+from .slices import SliceKey, bin_rows, read_slice, slice_filename, slice_nbytes, write_slice
 
 __all__ = [
     "DEFAULT_BINNING",
     "DEFAULT_PACKING",
+    "DEFAULT_PREFETCH_LEAD",
     "GoFS",
     "GoFSPartitionView",
     "load_template",
@@ -22,5 +29,6 @@ __all__ = [
     "bin_rows",
     "read_slice",
     "slice_filename",
+    "slice_nbytes",
     "write_slice",
 ]

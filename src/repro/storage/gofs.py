@@ -9,16 +9,23 @@ Layout of a store rooted at ``root/``::
 Writing distributes a partitioned collection into slice files with the
 paper's temporal packing (default 10) and subgraph binning (default 5).
 Each host then reads through a :class:`GoFSPartitionView` — an
-:class:`~repro.runtime.host.InstanceSource` that caches one temporal pack at
-a time, so crossing a pack boundary triggers a real, measurable load spike
-at every 10th timestep (Fig 6) while intra-pack accesses are cheap scatter
+:class:`~repro.runtime.host.InstanceSource` that caches temporal packs,
+so crossing a pack boundary triggers a real, measurable load spike at
+every 10th timestep (Fig 6) while intra-pack accesses are cheap scatter
 operations.
+
+With ``prefetch=True`` a view hides that spike: a single background thread
+starts reading pack *k+1* while compute is still inside pack *k* (the
+GoFFish analytics paper's overlap remedy), and the load accounting splits
+into the *blocked* seconds that still stall ``begin_timestep`` and the
+*hidden* seconds absorbed behind compute (see :meth:`drain_hidden_load`).
 """
 
 from __future__ import annotations
 
 import json
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
@@ -28,12 +35,19 @@ from ..graph.template import GraphTemplate
 from ..graph.collection import TimeSeriesGraphCollection
 from ..partition.base import PartitionedGraph
 from .serde import load_template, save_template
-from .slices import SliceKey, bin_rows, read_slice, write_slice
+from .slices import SliceKey, bin_rows, read_slice, slice_nbytes, write_slice
 
-__all__ = ["GoFS", "GoFSPartitionView", "DEFAULT_PACKING", "DEFAULT_BINNING"]
+__all__ = [
+    "GoFS",
+    "GoFSPartitionView",
+    "DEFAULT_PACKING",
+    "DEFAULT_BINNING",
+    "DEFAULT_PREFETCH_LEAD",
+]
 
 DEFAULT_PACKING = 10  #: instances per temporal pack (paper's value)
 DEFAULT_BINNING = 5  #: subgraphs per spatial bin (paper's value)
+DEFAULT_PREFETCH_LEAD = 2  #: rows before a pack boundary that arm the prefetch
 
 _MANIFEST = "manifest.json"
 _TEMPLATE = "template.npz"
@@ -106,17 +120,52 @@ class GoFS:
 
     @staticmethod
     def partition_view(
-        root: str | Path, partition_id: int, *, cache_packs: int = 1
+        root: str | Path,
+        partition_id: int,
+        *,
+        cache_packs: int | None = None,
+        cache_bytes: int | None = None,
+        prefetch: bool = False,
+        prefetch_lead: int = DEFAULT_PREFETCH_LEAD,
     ) -> "GoFSPartitionView":
         """Open one partition's instance source."""
-        return GoFSPartitionView(root, partition_id, cache_packs=cache_packs)
+        return GoFSPartitionView(
+            root,
+            partition_id,
+            cache_packs=cache_packs,
+            cache_bytes=cache_bytes,
+            prefetch=prefetch,
+            prefetch_lead=prefetch_lead,
+        )
 
     @staticmethod
-    def partition_views(root: str | Path, *, cache_packs: int = 1) -> list["GoFSPartitionView"]:
-        """One view per partition, in partition order (engine ``sources``)."""
+    def partition_views(
+        root: str | Path,
+        *,
+        cache_packs: int | None = None,
+        cache_bytes: int | None = None,
+        prefetch: bool = False,
+        prefetch_lead: int = DEFAULT_PREFETCH_LEAD,
+    ) -> list["GoFSPartitionView"]:
+        """One view per partition, in partition order (engine ``sources``).
+
+        The manifest and template are read once and shared (read-only) by
+        every view; each view still pickles independently and re-reads them
+        on unpickle, so process workers never share driver state.
+        """
         manifest = GoFS.read_manifest(root)
+        template = GoFS.load_template(root)
         return [
-            GoFSPartitionView(root, p, cache_packs=cache_packs)
+            GoFSPartitionView(
+                root,
+                p,
+                cache_packs=cache_packs,
+                cache_bytes=cache_bytes,
+                prefetch=prefetch,
+                prefetch_lead=prefetch_lead,
+                manifest=manifest,
+                template=template,
+            )
             for p in range(manifest["num_partitions"])
         ]
 
@@ -135,86 +184,353 @@ class GoFSPartitionView:
         Number of temporal packs kept resident (LRU).  1 — the default, and
         what Fig 6 models — evicts on every pack boundary; larger values
         trade memory for re-load avoidance when algorithms revisit old
-        instances (e.g. windowed analyses).
+        instances (e.g. windowed analyses).  When ``cache_bytes`` is given
+        and ``cache_packs`` is not, the count cap is lifted and the byte
+        budget alone governs eviction.
+    cache_bytes:
+        Resident-byte budget for the pack cache.  Packs are evicted oldest
+        first until the cache fits; the most recently loaded pack is never
+        evicted, even if it alone exceeds the budget.  Resident bytes feed
+        the GC pause model via :meth:`resident_bytes`.
+    prefetch:
+        Start loading pack *k+1* on a background thread while timestep
+        compute is still inside pack *k*.  Triggered automatically once an
+        :meth:`instance` access comes within ``prefetch_lead`` rows of the
+        pack boundary, and by the engine's end-of-superstep
+        :meth:`prefetch` hint.  Results stay bit-identical — only the load
+        accounting moves from blocked to hidden seconds.
+    prefetch_lead:
+        How many rows before the pack boundary the automatic trigger arms
+        (default 2: the penultimate row of a pack).
+    manifest, template:
+        Pre-parsed store metadata shared by views opened together (see
+        :meth:`GoFS.partition_views`).  Treated as immutable; not pickled.
     """
 
-    def __init__(self, root: str | Path, partition_id: int, *, cache_packs: int = 1) -> None:
-        if cache_packs < 1:
+    def __init__(
+        self,
+        root: str | Path,
+        partition_id: int,
+        *,
+        cache_packs: int | None = None,
+        cache_bytes: int | None = None,
+        prefetch: bool = False,
+        prefetch_lead: int = DEFAULT_PREFETCH_LEAD,
+        manifest: dict | None = None,
+        template: GraphTemplate | None = None,
+    ) -> None:
+        if cache_packs is not None and cache_packs < 1:
             raise ValueError("cache_packs must be >= 1")
+        if cache_bytes is not None and cache_bytes < 1:
+            raise ValueError("cache_bytes must be >= 1")
+        if prefetch_lead < 1:
+            raise ValueError("prefetch_lead must be >= 1")
+        if cache_packs is None and cache_bytes is None:
+            cache_packs = 1
         self.root = Path(root)
         self.partition_id = int(partition_id)
-        self.cache_packs = int(cache_packs)
-        self._init_runtime()
+        #: Count cap; ``None`` means uncapped (byte budget governs).
+        self.cache_packs = cache_packs
+        self.cache_bytes = cache_bytes
+        self.prefetch_enabled = bool(prefetch)
+        self.prefetch_lead = int(prefetch_lead)
+        self._init_runtime(manifest, template)
 
-    def _init_runtime(self) -> None:
-        manifest = GoFS.read_manifest(self.root)
+    def _init_runtime(
+        self, manifest: dict | None = None, template: GraphTemplate | None = None
+    ) -> None:
+        manifest = GoFS.read_manifest(self.root) if manifest is None else manifest
         if not 0 <= self.partition_id < manifest["num_partitions"]:
             raise ValueError(f"partition {self.partition_id} not in store")
         self.manifest = manifest
-        self.template = GoFS.load_template(self.root)
+        self.template = GoFS.load_template(self.root) if template is None else template
         self._num_bins = len(manifest["bins"][self.partition_id])
         #: pack id -> per-bin slice dicts, in LRU order (oldest first).
         self._cache: dict[int, list[dict[str, np.ndarray]]] = {}
+        self._cache_nbytes: dict[int, int] = {}
+        self._resident = 0
         #: (timestep, seconds) for every pack load — Fig 6 evidence.
         self.load_events: list[tuple[int, float]] = []
         #: Observability tracer, attached by the owning host when the run is
         #: traced (see :meth:`attach_tracer`).  Deliberately not pickled.
         self.tracer = None
+        # Prefetch machinery.  The single-worker pool is created lazily and
+        # never pickled; all cache mutation and accounting happens on the
+        # owner thread — the worker only reads slice files.
+        self._pool: ThreadPoolExecutor | None = None
+        self._inflight: dict[int, Future] = {}
+        #: Packs absorbed from a prefetch but not yet consumed — their hit
+        #: event (waited_s=0) is emitted on first use.
+        self._prefetched_ready: set[int] = set()
+        #: Hidden (overlapped) load seconds accumulated since the last drain.
+        self._pending_hidden = 0.0
+        #: Plain counters, recorded whether or not a tracer is attached.
+        self.prefetch_started = 0
+        self.prefetch_hits = 0
+        self.prefetch_misses = 0
+        #: False while replaying a checkpoint restore: the I/O still happens
+        #: but is not recorded as load evidence (the committed execution's
+        #: accounting already covers it).
+        self._recording = True
 
     def attach_tracer(self, tracer) -> None:
         """Record slice loads on ``tracer`` (called by a traced ComputeHost)."""
         self.tracer = tracer
 
-    # -- pickling: drop the cached packs, reopen lazily -------------------------------
+    def close(self) -> None:
+        """Shut down the prefetch thread (idempotent; cache is kept)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._inflight.clear()
+
+    # -- pickling: drop the cached packs and prefetch pool, reopen lazily --------------
 
     def __getstate__(self) -> dict:
         return {
             "root": self.root,
             "partition_id": self.partition_id,
             "cache_packs": self.cache_packs,
+            "cache_bytes": self.cache_bytes,
+            "prefetch": self.prefetch_enabled,
+            "prefetch_lead": self.prefetch_lead,
         }
 
     def __setstate__(self, state: dict) -> None:
         self.root = state["root"]
         self.partition_id = state["partition_id"]
         self.cache_packs = state.get("cache_packs", 1)
+        self.cache_bytes = state.get("cache_bytes")
+        self.prefetch_enabled = state.get("prefetch", False)
+        self.prefetch_lead = state.get("prefetch_lead", DEFAULT_PREFETCH_LEAD)
         self._init_runtime()
 
-    # -- InstanceSource protocol -------------------------------------------------------
+    # -- pack cache --------------------------------------------------------------------
 
-    def _get_pack(self, pack: int, timestep: int) -> list[dict[str, np.ndarray]]:
-        if pack in self._cache:
-            self._cache[pack] = self._cache.pop(pack)  # refresh LRU position
-            return self._cache[pack]
+    def _read_pack(self, pack: int) -> tuple[list[dict[str, np.ndarray]], float]:
+        """Read every bin slice of one pack.  Safe off-thread: pure I/O."""
         start = time.perf_counter()
         data = [
             read_slice(self.root, SliceKey(self.partition_id, b, pack))
             for b in range(self._num_bins)
         ]
+        return data, time.perf_counter() - start
+
+    def _insert_pack(self, pack: int, data: list[dict[str, np.ndarray]]) -> None:
         self._cache[pack] = data
-        while len(self._cache) > self.cache_packs:
-            self._cache.pop(next(iter(self._cache)))  # evict least recent
-        seconds = time.perf_counter() - start
-        self.load_events.append((timestep, seconds))
-        if self.tracer is not None:
-            self.tracer.event(
-                "slice_load",
-                partition=self.partition_id,
-                timestep=timestep,
-                pack=pack,
-                bins=self._num_bins,
-                seconds=seconds,
-            )
-            self.tracer.count("gofs.packs_loaded")
+        nbytes = sum(slice_nbytes(d) for d in data)
+        self._cache_nbytes[pack] = nbytes
+        self._resident += nbytes
+        while self._over_budget():
+            victim = next(iter(self._cache))  # least recently used
+            del self._cache[victim]
+            self._resident -= self._cache_nbytes.pop(victim)
+            self._prefetched_ready.discard(victim)
+            if self.tracer is not None and self._recording:
+                self.tracer.count("gofs.packs_evicted")
+
+    def _over_budget(self) -> bool:
+        if self.cache_packs is not None and len(self._cache) > self.cache_packs:
+            return True
+        # The newest pack always stays resident, even over-budget alone.
+        return (
+            self.cache_bytes is not None
+            and len(self._cache) > 1
+            and self._resident > self.cache_bytes
+        )
+
+    def _trace_load(
+        self, timestep: int, pack: int, seconds: float, *, hidden_s: float, prefetched: bool
+    ) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.event(
+            "slice_load",
+            partition=self.partition_id,
+            timestep=timestep,
+            pack=pack,
+            bins=self._num_bins,
+            seconds=seconds,
+            hidden_s=hidden_s,
+            prefetched=prefetched,
+        )
+        self.tracer.count("gofs.packs_loaded")
+
+    def _absorb_finished(self) -> None:
+        """Fold completed prefetches into the cache (owner thread only)."""
+        for pack in [k for k, fut in self._inflight.items() if fut.done()]:
+            data, seconds = self._inflight.pop(pack).result()
+            if pack in self._cache:
+                continue
+            self._insert_pack(pack, data)
+            if self._recording:
+                # Fully hidden: the pack arrived before anyone blocked on it.
+                # Load evidence lands on the pack's boundary timestep.
+                boundary = pack * self.manifest["packing"]
+                self._pending_hidden += seconds
+                self.load_events.append((boundary, seconds))
+                self._prefetched_ready.add(pack)
+                self._trace_load(boundary, pack, seconds, hidden_s=seconds, prefetched=True)
+
+    def _get_pack(self, pack: int, timestep: int) -> list[dict[str, np.ndarray]]:
+        self._absorb_finished()
+        if pack in self._cache:
+            self._cache[pack] = self._cache.pop(pack)  # refresh LRU position
+            if pack in self._prefetched_ready:
+                self._prefetched_ready.discard(pack)
+                if self._recording:
+                    self.prefetch_hits += 1
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "prefetch_hit",
+                            partition=self.partition_id,
+                            timestep=timestep,
+                            pack=pack,
+                            waited_s=0.0,
+                        )
+                        self.tracer.count("gofs.prefetch_hits")
+            return self._cache[pack]
+        fut = self._inflight.pop(pack, None)
+        if fut is not None:
+            # In flight but not done: block on the remainder.  Only the wait
+            # is a stall; the head start stays hidden.
+            wait_start = time.perf_counter()
+            data, seconds = fut.result()
+            waited = time.perf_counter() - wait_start
+            self._insert_pack(pack, data)
+            if self._recording:
+                hidden = max(0.0, seconds - waited)
+                self._pending_hidden += hidden
+                self.load_events.append((timestep, seconds))
+                self.prefetch_hits += 1
+                self._trace_load(timestep, pack, seconds, hidden_s=hidden, prefetched=True)
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "prefetch_hit",
+                        partition=self.partition_id,
+                        timestep=timestep,
+                        pack=pack,
+                        waited_s=waited,
+                    )
+                    self.tracer.count("gofs.prefetch_hits")
+            return data
+        data, seconds = self._read_pack(pack)
+        self._insert_pack(pack, data)
+        if self._recording:
+            self.load_events.append((timestep, seconds))
+            self._trace_load(timestep, pack, seconds, hidden_s=0.0, prefetched=False)
+            if self.prefetch_enabled:
+                self.prefetch_misses += 1
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "prefetch_miss",
+                        partition=self.partition_id,
+                        timestep=timestep,
+                        pack=pack,
+                        seconds=seconds,
+                    )
+                    self.tracer.count("gofs.prefetch_misses")
         return data
+
+    # -- prefetch hooks (optional InstanceSource extensions) ---------------------------
+
+    def prefetch(self, timestep: int) -> bool:
+        """Start loading ``timestep``'s pack in the background.
+
+        Returns True if a load was scheduled; False when prefetch is
+        disabled, the timestep is out of range, or the pack is already
+        cached or in flight.  Never blocks.
+        """
+        if not self.prefetch_enabled:
+            return False
+        if not 0 <= timestep < self.manifest["num_timesteps"]:
+            return False
+        self._absorb_finished()
+        pack = timestep // self.manifest["packing"]
+        if pack in self._cache or pack in self._inflight:
+            return False
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"gofs-prefetch-p{self.partition_id}"
+            )
+        self._inflight[pack] = self._pool.submit(self._read_pack, pack)
+        if self._recording:
+            self.prefetch_started += 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    "prefetch_start",
+                    partition=self.partition_id,
+                    timestep=timestep,
+                    pack=pack,
+                )
+                self.tracer.count("gofs.prefetch_started")
+        return True
+
+    def drain_hidden_load(self) -> float:
+        """Return and reset the hidden (overlapped) load seconds accumulated
+        since the last drain.  Called by ComputeHost.begin_timestep so the
+        metrics plane can report ``load_hidden_s`` next to the blocked wall."""
+        hidden, self._pending_hidden = self._pending_hidden, 0.0
+        return hidden
+
+    # -- recovery hooks ----------------------------------------------------------------
+
+    def invalidate_prefetch(self) -> None:
+        """Cancel or drain in-flight prefetches (checkpoint restore/rollback).
+
+        Completed-but-unabsorbed loads are discarded without recording load
+        evidence or hidden seconds — a rolled-back attempt's I/O must not
+        leak into the restored accounting.  The cache itself is kept: pack
+        data is immutable, identical whichever attempt read it.
+        """
+        for fut in self._inflight.values():
+            if not fut.cancel():
+                try:
+                    fut.result()
+                except Exception:
+                    pass
+        self._inflight.clear()
+        self._prefetched_ready.clear()
+        self._pending_hidden = 0.0
+
+    def purge_load_events(self, timestep: int, *, inclusive: bool = True) -> int:
+        """Drop load evidence from a rolled-back execution attempt.
+
+        Mirrors ``analysis.trace_replay``'s purge rules: a timestep-boundary
+        restore re-executes ``timestep`` itself (purge ``>=``), while a
+        superstep-boundary restore keeps the restore point's committed
+        begin-phase load (``inclusive=False``, purge ``>``).  Returns the
+        number of entries removed.
+        """
+        cutoff = timestep if inclusive else timestep + 1
+        before = len(self.load_events)
+        self.load_events = [(t, s) for (t, s) in self.load_events if t < cutoff]
+        return before - len(self.load_events)
+
+    def reload_instance(self, timestep: int) -> GraphInstance:
+        """Instance load for checkpoint-restore replay.
+
+        The I/O genuinely happens when the pack is no longer cached, but it
+        is not recorded as load evidence: the committed execution already
+        accounted for it, and recovery time is metered separately.
+        """
+        self._recording = False
+        try:
+            return self.instance(timestep)
+        finally:
+            self._recording = True
+
+    # -- InstanceSource protocol -------------------------------------------------------
 
     def instance(self, timestep: int) -> GraphInstance:
         T = self.manifest["num_timesteps"]
         if not 0 <= timestep < T:
             raise IndexError(f"timestep {timestep} out of range [0, {T})")
         packing = self.manifest["packing"]
-        pack_data = self._get_pack(timestep // packing, timestep)
-        row = timestep % packing
+        pack, row = divmod(timestep, packing)
+        pack_data = self._get_pack(pack, timestep)
+        if self.prefetch_enabled and row >= packing - self.prefetch_lead:
+            self.prefetch((pack + 1) * packing)  # range-checked inside
         inst = GraphInstance(
             self.template, self.manifest["t0"] + timestep * self.manifest["delta"]
         )
@@ -229,13 +545,7 @@ class GoFSPartitionView:
         return inst
 
     def resident_bytes(self) -> int:
-        """Bytes of all cached packs (GC pause model input)."""
-        total = 0
-        for pack_data in self._cache.values():
-            for data in pack_data:
-                for _name, arr in data.items():
-                    if arr.dtype == object:
-                        total += 64 * arr.size
-                    else:
-                        total += arr.nbytes
-        return total
+        """Bytes of all cached packs (GC pause model input).
+
+        Maintained incrementally: grows on load, shrinks on eviction."""
+        return self._resident

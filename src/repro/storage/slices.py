@@ -23,7 +23,7 @@ import numpy as np
 from ..graph.instance import GraphInstance
 from ..graph.subgraph import Subgraph
 
-__all__ = ["SliceKey", "slice_filename", "bin_rows", "write_slice", "read_slice"]
+__all__ = ["SliceKey", "slice_filename", "bin_rows", "write_slice", "read_slice", "slice_nbytes"]
 
 
 @dataclass(frozen=True)
@@ -96,3 +96,15 @@ def read_slice(root: Path, key: SliceKey) -> dict[str, np.ndarray]:
     path = Path(root) / slice_filename(key)
     with np.load(path, allow_pickle=True) as data:
         return {name: data[name] for name in data.files}
+
+
+def slice_nbytes(data: dict[str, np.ndarray]) -> int:
+    """Approximate resident bytes of one loaded slice (GC-model input).
+
+    Object columns count a flat 64 bytes per element: the arrays only hold
+    pointers to variable-size Python objects the model cannot cheaply size.
+    """
+    total = 0
+    for arr in data.values():
+        total += 64 * arr.size if arr.dtype == object else arr.nbytes
+    return total

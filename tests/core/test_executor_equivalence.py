@@ -18,6 +18,7 @@ from repro.core import EngineConfig, run_application
 from repro.graph import build_collection
 from repro.partition import HashPartitioner, partition_graph
 from repro.runtime import CollectionInstanceSource
+from repro.storage import GoFS
 from tests.conftest import make_grid_template, populate_random
 
 PARTITIONS = 3
@@ -93,3 +94,35 @@ def test_executor_matches_serial(case, name, executor):
     serial = _snapshot(name, pg, coll, "serial")
     other = _snapshot(name, pg, coll, executor)
     assert other == serial
+
+
+@pytest.fixture(scope="module")
+def gofs_store(case, tmp_path_factory):
+    """The same case written as a GoFS store with 2 packs (packing=2)."""
+    _tpl, coll, pg = case
+    root = tmp_path_factory.mktemp("gofs-equiv")
+    GoFS.write_collection(root, pg, coll, packing=2, binning=2)
+    return root
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+@pytest.mark.parametrize("prefetch", [False, True])
+def test_gofs_prefetch_matches_serial_collection(case, gofs_store, executor, prefetch):
+    """GoFS-backed runs — prefetch on or off — agree bit-for-bit with the
+    in-memory collection baseline on every executor backend."""
+    _tpl, coll, pg = case
+    baseline = _snapshot("tdsp", pg, coll, "serial")
+    sources = GoFS.partition_views(gofs_store, prefetch=prefetch, cache_packs=2)
+    res = run_application(
+        _computation("tdsp", pg),
+        pg,
+        coll,
+        sources=sources,
+        config=EngineConfig(executor=executor),
+    )
+    got = (
+        _canonical(res.outputs),
+        _canonical(res.merge_outputs),
+        _canonical(res.states),
+    )
+    assert got == baseline

@@ -1,0 +1,194 @@
+"""GoFS load accounting across rollback recovery (the double-count bugfix).
+
+Rollback and resume re-trigger pack loads; the view must purge the rolled-
+back attempt's load evidence (as ``trace_replay`` purges rolled-back spans)
+and never record checkpoint-replay reloads as fresh I/O.  Recovered runs may
+legitimately end up with *fewer* load events than fault-free ones (the pack
+cache survives the rollback) — duplicated evidence was the bug.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig, Pattern, run_application
+from repro.resilience import (
+    CheckpointConfig,
+    FaultPlan,
+    RecoveryPolicy,
+    RunFailureError,
+)
+from repro.runtime.host import ComputeHost, RunMeta
+from repro.storage import GoFS
+
+from .conftest import NUM_TIMESTEPS, AccumulateSum
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture(scope="module")
+def gofs_root(case, tmp_path_factory):
+    """The resilience case written as a GoFS store: packing=2 -> 2 packs."""
+    _tpl, coll, pg = case
+    root = tmp_path_factory.mktemp("gofs-resilience")
+    GoFS.write_collection(root, pg, coll, packing=2, binning=3)
+    return root
+
+
+def _gofs_sources(gofs_root, *, prefetch=False):
+    return GoFS.partition_views(gofs_root, prefetch=prefetch, cache_packs=2)
+
+
+def _identical(a, b):
+    assert a.outputs == b.outputs
+    assert a.merge_outputs == b.merge_outputs
+    assert a.states == b.states
+
+
+def _no_duplicate_load_evidence(views):
+    for view in views:
+        timesteps = [t for t, _s in view.load_events]
+        assert len(timesteps) == len(set(timesteps)), (
+            f"partition {view.partition_id} double-counted pack loads: {timesteps}"
+        )
+
+
+class TestHostRestorePurge:
+    """Unit-level: ComputeHost.restore_state drives the view's purge hooks."""
+
+    def _host(self, case, view):
+        _tpl, coll, pg = case
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, NUM_TIMESTEPS, coll.delta, coll.t0)
+        sg_part = np.asarray([sg.partition_id for sg in pg.subgraphs], dtype=np.int64)
+        return ComputeHost(pg.partitions[0], AccumulateSum(), meta, view, sg_part)
+
+    def test_timestep_boundary_restore_purges_reexecuted_loads(self, case, gofs_root):
+        view = GoFS.partition_view(gofs_root, 0, cache_packs=1)
+        host = self._host(case, view)
+        snap = None
+        for t in range(NUM_TIMESTEPS):
+            host.begin_timestep(t)
+            if t == 1:
+                import pickle
+
+                snap = pickle.loads(pickle.dumps(host.snapshot_state()))
+        assert [t for t, _s in view.load_events] == [0, 2]
+        # Roll back to the timestep-2 boundary: t=2 re-executes, so its
+        # load evidence from the discarded attempt must go.
+        host.restore_state(snap, next_timestep=2)
+        assert [t for t, _s in view.load_events] == [0]
+        # The replay hits the surviving pack cache: no fresh evidence, and —
+        # the regression — no duplicate of the rolled-back t=2 load.
+        host.begin_timestep(2)
+        host.begin_timestep(3)
+        assert [t for t, _s in view.load_events] == [0]
+        _no_duplicate_load_evidence([view])
+
+    def test_superstep_boundary_restore_keeps_committed_begin_load(self, case, gofs_root):
+        import pickle
+
+        view = GoFS.partition_view(gofs_root, 0, cache_packs=1)
+        host = self._host(case, view)
+        host.begin_timestep(0)
+        host.begin_timestep(1)
+        host.begin_timestep(2)
+        snap = pickle.loads(pickle.dumps(host.snapshot_state()))
+        host.begin_timestep(3)
+        assert [t for t, _s in view.load_events] == [0, 2]
+        # Restore *into* t=2 (superstep boundary): its committed begin-phase
+        # load stays; the replay reload is real I/O but not fresh evidence.
+        host.restore_state(snap, reload_timestep=2, next_timestep=2)
+        assert [t for t, _s in view.load_events] == [0, 2]
+        host.begin_timestep(3)
+        assert [t for t, _s in view.load_events] == [0, 2]
+
+    def test_restore_invalidates_inflight_prefetch(self, case, gofs_root):
+        import pickle
+
+        view = GoFS.partition_view(gofs_root, 0, prefetch=True, cache_packs=2)
+        host = self._host(case, view)
+        host.begin_timestep(0)
+        snap = pickle.loads(pickle.dumps(host.snapshot_state()))
+        host.prefetch(2)
+        host.restore_state(snap, next_timestep=1)
+        assert view._inflight == {}
+        assert view.drain_hidden_load() == 0.0
+        _no_duplicate_load_evidence([view])
+
+    def test_pickled_fresh_view_reload_records_nothing(self, gofs_root):
+        import pickle
+
+        view = GoFS.partition_view(gofs_root, 1, prefetch=True)
+        view.instance(0)
+        clone = pickle.loads(pickle.dumps(view))  # a respawned worker's view
+        clone.reload_instance(2)
+        assert clone.load_events == []
+        assert clone.prefetch_misses == 0
+
+
+class TestEngineRecoveryWithGoFS:
+    @pytest.fixture(scope="class")
+    def baseline(self, case):
+        _tpl, coll, pg = case
+        return run_application(AccumulateSum(), pg, coll)
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    @pytest.mark.parametrize("prefetch", [False, True])
+    def test_checkpoint_rollback_bit_identical(
+        self, case, gofs_root, tmp_path, baseline, executor, prefetch
+    ):
+        _tpl, coll, pg = case
+        sources = _gofs_sources(gofs_root, prefetch=prefetch)
+        result = run_application(
+            AccumulateSum(), pg, coll, sources=sources,
+            config=EngineConfig(
+                executor=executor,
+                checkpoint=CheckpointConfig(dir=tmp_path, every=1),
+                faults=FaultPlan.parse("kill@t2:p1", seed=3),
+                recovery=RecoveryPolicy(backoff_s=0.0),
+            ),
+        )
+        _identical(result, baseline)
+        assert result.metrics.retries >= 1
+        if executor != "process":
+            # The serial cluster keeps the driver's sources: their load
+            # evidence must be duplicate-free after the rollback replay.
+            _no_duplicate_load_evidence(sources)
+
+    def test_genesis_rollback_purges_evidence(self, case, gofs_root, baseline):
+        _tpl, coll, pg = case
+        sources = _gofs_sources(gofs_root, prefetch=True)
+        result = run_application(
+            AccumulateSum(), pg, coll, sources=sources,
+            config=EngineConfig(
+                faults=FaultPlan.parse("kill@t2:p1", seed=1),
+                recovery=RecoveryPolicy(backoff_s=0.0),
+            ),
+        )
+        _identical(result, baseline)
+        assert result.metrics.retries == 1
+        _no_duplicate_load_evidence(sources)
+
+    @pytest.mark.parametrize("prefetch", [False, True])
+    def test_crash_then_resume_bit_identical(
+        self, case, gofs_root, tmp_path, baseline, prefetch
+    ):
+        _tpl, coll, pg = case
+        with pytest.raises(RunFailureError):
+            run_application(
+                AccumulateSum(), pg, coll,
+                sources=_gofs_sources(gofs_root, prefetch=prefetch),
+                config=EngineConfig(
+                    checkpoint=CheckpointConfig(dir=tmp_path, every=1),
+                    faults=FaultPlan.parse("kill@t2:p0", seed=3),
+                    recovery=RecoveryPolicy(backoff_s=0.0, max_retries=0),
+                ),
+            )
+        fresh = _gofs_sources(gofs_root, prefetch=prefetch)
+        resumed = run_application(
+            AccumulateSum(), pg, coll, sources=fresh,
+            config=EngineConfig(checkpoint=CheckpointConfig(dir=tmp_path)),
+            resume_from=True,
+        )
+        _identical(resumed, baseline)
+        assert resumed.timesteps_executed == baseline.timesteps_executed
+        _no_duplicate_load_evidence(fresh)

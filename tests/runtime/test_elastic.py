@@ -118,6 +118,43 @@ class TestSimulateElastic:
             > simulate_elastic(uniform, policy).savings_fraction
         )
 
+    def test_cold_boot_at_t0_counts_as_spinup(self):
+        """Regression: a partition first active at t=0 boots with zero lead,
+        but the boot is still a spin-up — it pays start latency and the
+        tracer logs it as vm_spinup."""
+        compute = np.ones((4, 2))
+        res = make_result(compute)
+        out = simulate_elastic(res, ElasticPolicy(idle_timesteps=2, prefetch=1))
+        assert out.spinups == 2  # both partitions cold-boot at t=0
+        assert out.added_wall_s == pytest.approx(2 * 30.0)
+
+    def test_spinups_match_traced_vm_spinup_events(self):
+        class StubTracer:
+            def __init__(self):
+                self.events = []
+
+            def event(self, kind, **fields):
+                self.events.append((kind, fields))
+
+        gap = np.zeros((10, 1))  # idle stretch: spin down, then wake again
+        gap[0:2, 0] = 1.0
+        gap[7:9, 0] = 1.0
+        for grid in (self.wave_grid(), np.ones((4, 2)), gap):
+            res = make_result(grid)
+            for policy in (
+                ElasticPolicy(idle_timesteps=2, prefetch=1),
+                ElasticPolicy(idle_timesteps=1, prefetch=0),
+            ):
+                tracer = StubTracer()
+                out = simulate_elastic(res, policy, tracer=tracer)
+                booted = sum(
+                    1 for kind, _f in tracer.events if kind == "vm_spinup"
+                )
+                assert out.spinups == booted
+                assert out.added_wall_s == pytest.approx(
+                    out.spinups * policy.spinup_penalty_s
+                )
+
     def test_end_to_end_tdsp(self):
         """Real TDSP run: wave leaves pre-arrival windows to harvest."""
         from repro.algorithms import TDSPComputation

@@ -7,7 +7,14 @@ import pytest
 
 from repro.graph import build_collection
 from repro.partition import HashPartitioner, partition_graph
-from repro.storage import GoFS, GoFSPartitionView, SliceKey, bin_rows, slice_filename
+from repro.storage import (
+    GoFS,
+    GoFSPartitionView,
+    SliceKey,
+    bin_rows,
+    slice_filename,
+    slice_nbytes,
+)
 from tests.conftest import make_grid_template, populate_random
 
 
@@ -203,3 +210,213 @@ class TestPackCache:
         view = GoFS.partition_view(root, 1, cache_packs=4)
         clone = pickle.loads(pickle.dumps(view))
         assert clone.cache_packs == 4
+
+
+def _one_pack_nbytes(root):
+    """Resident bytes of exactly one pack (all packs are the same shape)."""
+    probe = GoFS.partition_view(root, 0)
+    probe.instance(0)
+    return probe.resident_bytes()
+
+
+class TestByteBudget:
+    def test_byte_budget_lifts_count_cap(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, cache_bytes=1 << 40)
+        assert view.cache_packs is None
+        for t in (0, 4, 8):
+            view.instance(t)
+        assert set(view._cache) == {0, 1, 2}
+        assert len(view.load_events) == 3
+
+    def test_evicts_oldest_when_over_budget(self, store):
+        root, *_ = store
+        one = _one_pack_nbytes(root)
+        view = GoFS.partition_view(root, 0, cache_bytes=2 * one)
+        view.instance(0)
+        view.instance(4)
+        assert set(view._cache) == {0, 1}
+        view.instance(8)  # third pack busts the budget -> pack 0 evicted
+        assert set(view._cache) == {1, 2}
+        assert view.resident_bytes() <= 2 * one
+
+    def test_resident_bytes_shrinks_after_eviction(self, store):
+        root, *_ = store
+        one = _one_pack_nbytes(root)
+        view = GoFS.partition_view(root, 0, cache_bytes=2 * one)
+        for t in (0, 4, 8):
+            view.instance(t)
+        want = sum(
+            slice_nbytes(d) for data in view._cache.values() for d in data
+        )
+        assert view.resident_bytes() == want == 2 * one  # not 3 * one
+
+    def test_newest_pack_kept_even_over_budget(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, cache_bytes=1)
+        view.instance(0)
+        assert set(view._cache) == {0}
+        assert view.resident_bytes() > 1  # over budget, but never empty
+        view.instance(4)
+        assert set(view._cache) == {1}
+
+    def test_count_and_byte_caps_compose(self, store):
+        root, *_ = store
+        one = _one_pack_nbytes(root)
+        view = GoFS.partition_view(root, 0, cache_packs=2, cache_bytes=10 * one)
+        for t in (0, 4, 8):
+            view.instance(t)
+        assert set(view._cache) == {1, 2}  # the count cap binds first
+
+    def test_invalid_cache_bytes(self, store):
+        root, *_ = store
+        with pytest.raises(ValueError):
+            GoFS.partition_view(root, 0, cache_bytes=0)
+
+    def test_pickle_preserves_budget_and_prefetch(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(
+            root, 1, cache_bytes=123456, prefetch=True, prefetch_lead=3
+        )
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.cache_bytes == 123456
+        assert clone.cache_packs is None
+        assert clone.prefetch_enabled is True
+        assert clone.prefetch_lead == 3
+
+
+class TestSharedManifest:
+    def test_views_share_one_manifest_read(self, store, monkeypatch):
+        root, *_ = store
+        calls = {"manifest": 0, "template": 0}
+        real_manifest, real_template = GoFS.read_manifest, GoFS.load_template
+
+        def counting_manifest(r):
+            calls["manifest"] += 1
+            return real_manifest(r)
+
+        def counting_template(r):
+            calls["template"] += 1
+            return real_template(r)
+
+        monkeypatch.setattr(GoFS, "read_manifest", staticmethod(counting_manifest))
+        monkeypatch.setattr(GoFS, "load_template", staticmethod(counting_template))
+        views = GoFS.partition_views(root)
+        assert calls == {"manifest": 1, "template": 1}
+        assert views[0].manifest is views[1].manifest is views[2].manifest
+        assert views[0].template is views[1].template is views[2].template
+
+    def test_shared_views_still_read_correctly(self, store):
+        root, tpl, coll, pg, _ = store
+        views = GoFS.partition_views(root)
+        own = pg.partitions[2].vertices
+        assert np.array_equal(
+            views[2].instance(5).vertex_column("traffic")[own],
+            coll.instance(5).vertex_column("traffic")[own],
+        )
+
+    def test_pickled_clone_rereads_independently(self, store):
+        root, *_ = store
+        views = GoFS.partition_views(root)
+        clone = pickle.loads(pickle.dumps(views[0]))
+        assert clone.manifest == views[0].manifest
+        assert clone.manifest is not views[0].manifest
+        assert clone.template is not views[0].template
+
+
+class TestPrefetch:
+    def test_disabled_returns_false(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0)
+        assert view.prefetch(4) is False
+        assert view.prefetch_started == 0
+
+    def test_out_of_range_returns_false(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, prefetch=True)
+        assert view.prefetch(12) is False
+        assert view.prefetch(-1) is False
+
+    def test_already_cached_returns_false(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, prefetch=True)
+        view.instance(0)
+        assert view.prefetch(1) is False
+
+    def test_hit_records_hidden_seconds_at_boundary(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, prefetch=True, cache_packs=2)
+        assert view.prefetch(4) is True
+        view._inflight[1].result(timeout=30)  # settle: make the hit deterministic
+        view.instance(4)
+        assert view.prefetch_started == 1
+        assert view.prefetch_hits == 1
+        assert view.prefetch_misses == 0
+        assert [t for t, _s in view.load_events] == [4]  # pack boundary
+        assert view.drain_hidden_load() > 0.0
+        assert view.drain_hidden_load() == 0.0  # drained
+
+    def test_prefetched_instance_bit_identical(self, store):
+        root, tpl, *_ = store
+        sync = GoFS.partition_view(root, 0)
+        pre = GoFS.partition_view(root, 0, prefetch=True)
+        pre.prefetch(4)
+        a, b = sync.instance(4), pre.instance(4)
+        assert a.timestamp == b.timestamp
+        assert np.array_equal(a.vertex_column("traffic"), b.vertex_column("traffic"))
+        assert np.array_equal(a.edge_column("latency"), b.edge_column("latency"))
+
+    def test_auto_trigger_near_pack_boundary(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, prefetch=True, cache_packs=2)
+        view.instance(0)  # row 0 of pack 0: too early to arm
+        assert 1 not in view._inflight and 1 not in view._cache
+        view.instance(2)  # row >= packing - lead: arms the pack-1 prefetch
+        assert 1 in view._inflight or 1 in view._cache
+        view.instance(4)
+        assert view.prefetch_hits == 1
+        assert view.prefetch_misses == 1  # only pack 0's cold load
+
+    def test_sync_fallthrough_counts_miss(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, prefetch=True)
+        view.instance(0)
+        assert view.prefetch_misses == 1
+        assert view.prefetch_hits == 0
+
+    def test_invalidate_discards_inflight_accounting(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, prefetch=True)
+        view.prefetch(4)
+        view.invalidate_prefetch()
+        assert view._inflight == {}
+        assert view.drain_hidden_load() == 0.0
+        view.instance(4)  # demand load records fresh evidence only
+        assert [t for t, _s in view.load_events] == [4]
+
+    def test_reload_instance_records_nothing(self, store):
+        root, _tpl, coll, *_ = store
+        view = GoFS.partition_view(root, 0, prefetch=True)
+        inst = view.reload_instance(4)
+        assert inst.timestamp == coll.instance(4).timestamp
+        assert view.load_events == []
+        assert view.prefetch_misses == 0
+        assert view.drain_hidden_load() == 0.0
+
+    def test_purge_load_events(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, cache_packs=3)
+        for t in range(12):
+            view.instance(t)
+        assert [t for t, _s in view.load_events] == [0, 4, 8]
+        assert view.purge_load_events(8, inclusive=False) == 0  # keeps t=8
+        assert view.purge_load_events(8) == 1  # drops t=8 itself
+        assert [t for t, _s in view.load_events] == [0, 4]
+
+    def test_close_is_idempotent(self, store):
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, prefetch=True)
+        view.prefetch(4)
+        view.close()
+        view.close()
+        assert view._inflight == {}
