@@ -354,3 +354,10 @@ class LocalCluster(Cluster):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        # Release source-held resources (GoFS prefetch threads).  close()
+        # is reversible — a view lazily recreates its pool on the next
+        # prefetch — so sources stay usable for a subsequent run.
+        for src in self._sources:
+            close = getattr(src, "close", None)
+            if callable(close):
+                close()

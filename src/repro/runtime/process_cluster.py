@@ -293,6 +293,9 @@ def _worker_main(
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - driver died
         pass
     finally:
+        close = getattr(source, "close", None)
+        if callable(close):  # release prefetch threads before exiting
+            close()
         try:
             conn.close()
         except OSError:  # pragma: no cover - already closed by kill path
@@ -573,3 +576,9 @@ class ProcessCluster(Cluster):
 
     def shutdown(self) -> None:
         self._teardown()
+        # The driver-side source templates are the caller's objects; if any
+        # were used directly before the run they may hold prefetch threads.
+        for src in self._sources:
+            close = getattr(src, "close", None)
+            if callable(close):
+                close()

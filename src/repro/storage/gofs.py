@@ -186,12 +186,18 @@ class GoFSPartitionView:
         trade memory for re-load avoidance when algorithms revisit old
         instances (e.g. windowed analyses).  When ``cache_bytes`` is given
         and ``cache_packs`` is not, the count cap is lifted and the byte
-        budget alone governs eviction.
+        budget alone governs eviction.  The pack compute is currently
+        reading is never evicted, so with ``prefetch=True`` the cache
+        transiently holds one pack above either budget while the
+        prefetched pack waits for compute to cross the boundary
+        (double-buffering; steady-state residency is two packs).
     cache_bytes:
         Resident-byte budget for the pack cache.  Packs are evicted oldest
-        first until the cache fits; the most recently loaded pack is never
-        evicted, even if it alone exceeds the budget.  Resident bytes feed
-        the GC pause model via :meth:`resident_bytes`.
+        first until the cache fits; the most recently loaded pack and the
+        pack currently being read are never evicted, even if they exceed
+        the budget (with ``prefetch=True``, size the budget for at least
+        two packs).  Resident bytes feed the GC pause model via
+        :meth:`resident_bytes`.
     prefetch:
         Start loading pack *k+1* on a background thread while timestep
         compute is still inside pack *k*.  Triggered automatically once an
@@ -249,6 +255,8 @@ class GoFSPartitionView:
         self._cache: dict[int, list[dict[str, np.ndarray]]] = {}
         self._cache_nbytes: dict[int, int] = {}
         self._resident = 0
+        #: Pack the last :meth:`instance` access read — never evicted.
+        self._active_pack: int | None = None
         #: (timestep, seconds) for every pack load — Fig 6 evidence.
         self.load_events: list[tuple[int, float]] = []
         #: Observability tracer, attached by the owning host when the run is
@@ -322,7 +330,17 @@ class GoFSPartitionView:
         self._cache_nbytes[pack] = nbytes
         self._resident += nbytes
         while self._over_budget():
-            victim = next(iter(self._cache))  # least recently used
+            # Oldest pack that is neither the one just inserted nor the one
+            # compute is currently reading: an absorbed prefetch must never
+            # evict the in-use pack — the very next intra-pack access would
+            # re-read it synchronously, evicting the prefetched pack in turn
+            # and doubling I/O instead of hiding it.
+            victim = next(
+                (k for k in self._cache if k != pack and k != self._active_pack),
+                None,
+            )
+            if victim is None:
+                break  # transiently over budget; evicted on the next insert
             del self._cache[victim]
             self._resident -= self._cache_nbytes.pop(victim)
             self._prefetched_ready.discard(victim)
@@ -332,12 +350,7 @@ class GoFSPartitionView:
     def _over_budget(self) -> bool:
         if self.cache_packs is not None and len(self._cache) > self.cache_packs:
             return True
-        # The newest pack always stays resident, even over-budget alone.
-        return (
-            self.cache_bytes is not None
-            and len(self._cache) > 1
-            and self._resident > self.cache_bytes
-        )
+        return self.cache_bytes is not None and self._resident > self.cache_bytes
 
     def _trace_load(
         self, timestep: int, pack: int, seconds: float, *, hidden_s: float, prefetched: bool
@@ -373,6 +386,10 @@ class GoFSPartitionView:
                 self._trace_load(boundary, pack, seconds, hidden_s=seconds, prefetched=True)
 
     def _get_pack(self, pack: int, timestep: int) -> list[dict[str, np.ndarray]]:
+        # Mark before absorbing: a prefetched pack landing now must not
+        # evict the pack this access is about to read (and may evict the
+        # previous pack once compute has moved on to this one).
+        self._active_pack = pack
         self._absorb_finished()
         if pack in self._cache:
             self._cache[pack] = self._cache.pop(pack)  # refresh LRU position

@@ -112,6 +112,24 @@ class TestLocalCluster:
         assert set(states) == {sg.subgraph_id for sg in pg.subgraphs}
 
 
+class TestShutdownClosesSources:
+    def test_run_shutdown_closes_prefetch_views(self, tmp_path):
+        """The engine's end-of-run cluster shutdown must release every
+        GoFS view's prefetch thread (REVIEW: long-lived drivers were
+        accumulating idle gofs-prefetch threads)."""
+        from repro.storage import GoFS
+
+        tpl = make_grid_template(4, 6)
+        coll = road_latency_collection(tpl, 12, seed=9, delta=5.0)
+        pg = partition_graph(tpl, 3, HashPartitioner(seed=1))
+        GoFS.write_collection(tmp_path, pg, coll, packing=4)
+        views = GoFS.partition_views(tmp_path, prefetch=True)
+        res = run_application(EchoState(), pg, coll, sources=views)
+        assert res.timesteps_executed == 12
+        assert any(v.prefetch_started > 0 for v in views)  # pools existed
+        assert all(v._pool is None for v in views)  # ... and were closed
+
+
 class TestBuildHosts:
     def test_source_count_validated(self):
         tpl = make_grid_template(3, 3)

@@ -99,7 +99,10 @@ class TestSimulateElastic:
         assert out.savings_fraction == pytest.approx(
             1 - out.vm_timesteps_elastic / 20
         )
-        assert out.added_wall_s == out.spinups * 30.0
+        # Partition 0 cold-boots at t=0 (free vs the static baseline);
+        # partition 1's delayed first boot at t=5 pays the penalty.
+        assert out.spinups == 2
+        assert out.added_wall_s == pytest.approx(30.0)
 
     def test_never_touched_partition_never_boots(self):
         compute = np.zeros((5, 2))
@@ -120,12 +123,27 @@ class TestSimulateElastic:
 
     def test_cold_boot_at_t0_counts_as_spinup(self):
         """Regression: a partition first active at t=0 boots with zero lead,
-        but the boot is still a spin-up — it pays start latency and the
-        tracer logs it as vm_spinup."""
+        but the boot is still a spin-up — the tracer logs it as vm_spinup
+        and the counter must agree.  It adds no wall, though: the static
+        always-on baseline pays the same initial boot."""
         compute = np.ones((4, 2))
         res = make_result(compute)
         out = simulate_elastic(res, ElasticPolicy(idle_timesteps=2, prefetch=1))
         assert out.spinups == 2  # both partitions cold-boot at t=0
+        assert out.added_wall_s == 0.0
+
+    def test_added_wall_excludes_t0_boots_but_charges_wakeups(self):
+        """added_wall_s is latency added *vs static*: a t=0 cold boot is
+        free (static boots then too), while a delayed first boot and every
+        mid-run wake-up pay the penalty."""
+        compute = np.zeros((12, 2))
+        compute[0:2, 0] = 1.0   # partition 0: boots at t=0 ...
+        compute[8:10, 0] = 1.0  # ... idles, wakes again at t=8
+        compute[5:7, 1] = 1.0   # partition 1: first boot mid-run
+        res = make_result(compute)
+        policy = ElasticPolicy(idle_timesteps=2, prefetch=1, spinup_penalty_s=30.0)
+        out = simulate_elastic(res, policy)
+        assert out.spinups == 3
         assert out.added_wall_s == pytest.approx(2 * 30.0)
 
     def test_spinups_match_traced_vm_spinup_events(self):
@@ -150,9 +168,14 @@ class TestSimulateElastic:
                 booted = sum(
                     1 for kind, _f in tracer.events if kind == "vm_spinup"
                 )
+                t0_boots = sum(
+                    1
+                    for kind, f in tracer.events
+                    if kind == "vm_spinup" and f["timestep"] == 0
+                )
                 assert out.spinups == booted
                 assert out.added_wall_s == pytest.approx(
-                    out.spinups * policy.spinup_penalty_s
+                    (out.spinups - t0_boots) * policy.spinup_penalty_s
                 )
 
     def test_end_to_end_tdsp(self):

@@ -420,3 +420,48 @@ class TestPrefetch:
         view.close()
         view.close()
         assert view._inflight == {}
+
+    def test_absorb_never_evicts_in_use_pack(self, store):
+        """Regression: with the default single-pack cap, absorbing the
+        prefetched pack k+1 used to evict pack k while compute was still
+        reading it — the next intra-pack access re-read pack k (evicting
+        k+1 in turn), doubling I/O instead of hiding it."""
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, prefetch=True)  # cache_packs=1
+        view.instance(0)  # pack 0 resident and in use
+        view.prefetch(4)  # pack 1 in flight
+        view._inflight[1].result(timeout=30)
+        view.instance(1)  # absorb lands pack 1; pack 0 must survive
+        assert set(view._cache) == {0, 1}
+        view.instance(4)  # boundary crossing is a hit, not a re-read
+        assert view.prefetch_hits == 1
+        assert [t for t, _s in view.load_events] == [0, 4]
+
+    def test_default_cache_prefetch_scan_matches_sync_loads(self, store):
+        """A bare prefetch=True scan (the CLI's --prefetch with no cache
+        knob) must do exactly the sync run's I/O — one load per pack."""
+        root, *_ = store
+        sync = GoFS.partition_view(root, 0)
+        view = GoFS.partition_view(root, 0, prefetch=True)
+        for t in range(12):
+            sync.instance(t)
+            view.instance(t)
+            for fut in list(view._inflight.values()):
+                fut.result(timeout=30)  # settle: absorb deterministically
+        assert [t for t, _s in sync.load_events] == [0, 4, 8]
+        assert [t for t, _s in view.load_events] == [0, 4, 8]
+        assert view.prefetch_misses == 1  # only pack 0's cold start
+        assert view.prefetch_hits == 2
+
+    def test_small_byte_budget_prefetch_does_not_thrash(self, store):
+        """Same hazard via cache_bytes: a budget below two packs must not
+        let an absorbed prefetch evict the in-use pack."""
+        root, *_ = store
+        one = _one_pack_nbytes(root)
+        view = GoFS.partition_view(root, 0, prefetch=True, cache_bytes=one)
+        for t in range(12):
+            view.instance(t)
+            for fut in list(view._inflight.values()):
+                fut.result(timeout=30)
+        assert [t for t, _s in view.load_events] == [0, 4, 8]
+        assert view.prefetch_misses == 1
