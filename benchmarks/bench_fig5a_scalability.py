@@ -13,7 +13,14 @@ Paper's shape:
 
 Data is served from GoFS stores (one per graph × k × workload) so instance
 loading scales with the partition count, as on the real platform.
+
+This bench runs at twice the shared default scale (``REPRO_BENCH_FIG5A_SCALE``
+to override): with the per-superstep compute on the kernel plane, the larger
+graphs are what keeps compute — not fixed per-superstep overhead — the
+dominant term, matching the regime of the paper's figure.
 """
+
+import os
 
 import pytest
 
@@ -24,17 +31,44 @@ from repro.algorithms import (
 )
 from repro.analysis import render_table
 from repro.core import EngineConfig, run_application
+from repro.generators import paper_datasets
+from repro.partition import MetisLikePartitioner, partition_graph
 from repro.runtime import CostModel
 from repro.storage import GoFS
 
-from conftest import INSTANCES, SCALE, emit
+from conftest import INSTANCES, SCALE, SEED, emit
+
+#: Fig 5a's own (raised) scale — the kernel plane affords 2× the shared default.
+FIG5A_SCALE = int(os.environ.get("REPRO_BENCH_FIG5A_SCALE", str(2 * SCALE)))
 
 #: Per-event overheads scaled to bench size (see CostModel.for_scale).
-CONFIG = EngineConfig(cost_model=CostModel.for_scale(SCALE))
+CONFIG = EngineConfig(cost_model=CostModel.for_scale(FIG5A_SCALE))
 
 PARTITIONS = (3, 6, 9)
 RESULTS: dict[tuple[str, str], dict[int, float]] = {}
 TIMESTEPS: dict[tuple[str, str], dict[int, int]] = {}
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    """Fig 5a datasets at the raised scale (shadows the session fixture)."""
+    return paper_datasets(FIG5A_SCALE, INSTANCES, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def partitioned(datasets):
+    """(graph name, k) → PartitionedGraph at FIG5A_SCALE."""
+    cache: dict[tuple[str, int], object] = {}
+
+    def get(name: str, k: int):
+        key = (name, k)
+        if key not in cache:
+            cache[key] = partition_graph(
+                datasets[name]["template"], k, MetisLikePartitioner(seed=SEED)
+            )
+        return cache[key]
+
+    return get
 
 
 @pytest.fixture(scope="module")
@@ -55,12 +89,23 @@ def stores(tmp_path_factory, datasets, partitioned):
 
 
 def make_computation(algo: str, pg):
+    # Paper-faithful execution: scalar per-vertex work profile (like
+    # root_pruning=False below).  Fig 5a's shape — heavy algorithms
+    # strong-scaling while HASH does not — lives in the regime where
+    # per-superstep compute dominates fixed overheads; the kernel plane
+    # removes exactly that compute (its own gated bench is
+    # bench_kernels.py), so reproducing the figure means running the
+    # measured scalar baseline.
     if algo == "TDSP":
         # Paper-faithful Algorithm 2: re-root from all of F each timestep.
-        return TDSPComputation(0, halt_when_stalled=True, root_pruning=False)
+        return TDSPComputation(
+            0, halt_when_stalled=True, root_pruning=False, use_kernels=False
+        )
     if algo == "MEME":
-        return MemeTrackingComputation(0)
-    return HashtagAggregationComputation.for_partitioned_graph(pg, 0)
+        return MemeTrackingComputation(0, use_kernels=False)
+    return HashtagAggregationComputation.for_partitioned_graph(
+        pg, 0, use_kernels=False
+    )
 
 
 def run_config(algo, graph, k, datasets, partitioned, stores):
@@ -125,7 +170,7 @@ def test_fig5a_summary_table(benchmark):
         "fig5a",
         render_table(
             rows,
-            title=f"Fig 5a — total simulated time (scale={SCALE}, instances={INSTANCES})",
+            title=f"Fig 5a — total simulated time (scale={FIG5A_SCALE}, instances={INSTANCES})",
         ),
     )
 

@@ -23,13 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
-from scipy.sparse.csgraph import connected_components
 
 from ..core.computation import TimeSeriesComputation
 from ..core.context import ComputeContext, EndOfTimestepContext, MergeContext
 from ..core.patterns import Pattern
 from ..graph.instance import IS_EXISTS
+from ..kernels import csr_components
 
 __all__ = [
     "CommunityEvolutionComputation",
@@ -108,6 +107,11 @@ class CommunityEvolutionComputation(TimeSeriesComputation):
         Boolean edge attribute gating each instance's edges (a missing
         column means all edges always exist — communities then never
         change).
+    use_kernels:
+        Label local components with the min-label/pointer-jumping kernel
+        (default) or scipy's ``connected_components``.  Component ids come
+        out identical (both number components by first occurrence in vertex
+        order).
     """
 
     pattern = Pattern.EVENTUALLY_DEPENDENT
@@ -117,10 +121,13 @@ class CommunityEvolutionComputation(TimeSeriesComputation):
         num_vertices: int,
         master_subgraph: int = 0,
         exists_attr: str = IS_EXISTS,
+        *,
+        use_kernels: bool = True,
     ) -> None:
         self.num_vertices = int(num_vertices)
         self.master_subgraph = int(master_subgraph)
         self.exists_attr = exists_attr
+        self.use_kernels = bool(use_kernels)
 
     # -- per-instance component machinery -----------------------------------------------
 
@@ -135,12 +142,20 @@ class CommunityEvolutionComputation(TimeSeriesComputation):
         mask_local = exists[sg.edge_index]
         st["exists_remote"] = exists[sg.remote.edge_index]
 
-        if "slot_src" not in st:
-            st["slot_src"] = np.repeat(np.arange(n, dtype=np.int64), np.diff(sg.indptr))
-        rows = st["slot_src"][mask_local]
-        cols = sg.indices[mask_local]
-        graph = sp.coo_matrix((np.ones(len(rows), dtype=np.int8), (rows, cols)), shape=(n, n))
-        ncomp, comp_id = connected_components(graph, directed=False)
+        if self.use_kernels:
+            ncomp, comp_id = csr_components(sg.indptr, sg.indices, edge_mask=mask_local)
+        else:
+            import scipy.sparse as sp
+            from scipy.sparse.csgraph import connected_components
+
+            if "slot_src" not in st:
+                st["slot_src"] = np.repeat(np.arange(n, dtype=np.int64), np.diff(sg.indptr))
+            rows = st["slot_src"][mask_local]
+            cols = sg.indices[mask_local]
+            graph = sp.coo_matrix(
+                (np.ones(len(rows), dtype=np.int8), (rows, cols)), shape=(n, n)
+            )
+            ncomp, comp_id = connected_components(graph, directed=False)
         comp_label = np.full(ncomp, np.iinfo(np.int64).max, dtype=np.int64)
         np.minimum.at(comp_label, comp_id, sg.vertices)
         st["comp_id"] = comp_id

@@ -21,6 +21,7 @@ import numpy as np
 from ..core.computation import TimeSeriesComputation
 from ..core.context import ComputeContext, MergeContext
 from ..core.patterns import Pattern
+from ..kernels import count_equal_in_cells
 from ..partition.base import PartitionedGraph
 
 __all__ = ["HashtagAggregationComputation", "HashtagSummary", "largest_subgraph_in_partition"]
@@ -63,14 +64,25 @@ class HashtagAggregationComputation(TimeSeriesComputation):
     tweets_attr:
         Vertex attribute holding tweet containers (occurrences counted with
         multiplicity).
+    use_kernels:
+        Count via the flattened-index aggregation kernel (default) or the
+        scalar per-tweet scan.  Counts are identical either way.
     """
 
     pattern = Pattern.EVENTUALLY_DEPENDENT
 
-    def __init__(self, hashtag, master_subgraph: int = 0, tweets_attr: str = "tweets") -> None:
+    def __init__(
+        self,
+        hashtag,
+        master_subgraph: int = 0,
+        tweets_attr: str = "tweets",
+        *,
+        use_kernels: bool = True,
+    ) -> None:
         self.hashtag = hashtag
         self.master_subgraph = int(master_subgraph)
         self.tweets_attr = tweets_attr
+        self.use_kernels = bool(use_kernels)
 
     @classmethod
     def for_partitioned_graph(cls, pg: PartitionedGraph, hashtag, **kwargs):
@@ -96,10 +108,13 @@ class HashtagAggregationComputation(TimeSeriesComputation):
         if ctx.superstep == 0:
             tweets = ctx.instance.vertex_column(self.tweets_attr)[ctx.subgraph.vertices]
             tag = self.hashtag
-            count = 0
-            for tw in tweets:
-                if tw:
-                    count += sum(1 for h in tw if h == tag)
+            if self.use_kernels:
+                count = count_equal_in_cells(tweets, tag)
+            else:
+                count = 0
+                for tw in tweets:
+                    if tw:
+                        count += sum(1 for h in tw if h == tag)
             ctx.send_to_merge((ctx.timestep, count))
         ctx.vote_to_halt()
 

@@ -30,6 +30,7 @@ import numpy as np
 from ..core.computation import TimeSeriesComputation
 from ..core.context import ComputeContext, EndOfTimestepContext
 from ..core.patterns import Pattern
+from ..kernels import contains_in_cells, expand_to_fixpoint, group_unique_pairs
 
 __all__ = ["MemeTrackingComputation", "MemeFrontier", "colored_timesteps_from_result"]
 
@@ -56,13 +57,18 @@ class MemeTrackingComputation(TimeSeriesComputation):
     tweets_attr:
         Vertex attribute holding each vertex's tweets for the instance
         interval (any container supporting ``in``; ``None`` = no tweets).
+    use_kernels:
+        Carrier-mask scan and traversal via the vectorized kernel plane
+        (default) or the scalar per-vertex loops.  Colored sets are
+        identical either way.
     """
 
     pattern = Pattern.SEQUENTIALLY_DEPENDENT
 
-    def __init__(self, meme, tweets_attr: str = "tweets") -> None:
+    def __init__(self, meme, tweets_attr: str = "tweets", *, use_kernels: bool = True) -> None:
         self.meme = meme
         self.tweets_attr = tweets_attr
+        self.use_kernels = bool(use_kernels)
 
     # -- helpers ----------------------------------------------------------------------
 
@@ -77,12 +83,37 @@ class MemeTrackingComputation(TimeSeriesComputation):
         """Which local vertices carry the meme in the current instance."""
         sg = ctx.subgraph
         tweets = ctx.instance.vertex_column(self.tweets_attr)[sg.vertices]
+        if self.use_kernels:
+            return contains_in_cells(tweets, self.meme)
         meme = self.meme
         return np.fromiter(
             (tw is not None and meme in tw for tw in tweets),
             dtype=bool,
             count=len(tweets),
         )
+
+    def _kernel_bfs(self, ctx: ComputeContext, seeds: np.ndarray) -> None:
+        """Expand through contiguous carriers; notify all remote neighbors."""
+        sg, st = ctx.subgraph, ctx.state
+        newly, expanded_now = expand_to_fixpoint(
+            sg.indptr,
+            sg.indices,
+            seeds,
+            st["colored"],
+            st["expanded"],
+            vertex_ok=st["has_meme"],
+        )
+        st["colored_at"][newly] = ctx.timestep
+        remote = sg.remote
+        if not len(remote) or not expanded_now.size:
+            return
+        mask = np.zeros(sg.num_vertices, dtype=bool)
+        mask[expanded_now] = True
+        rows = np.nonzero(mask[remote.src_local])[0]
+        for dst_sg, verts in group_unique_pairs(
+            remote.dst_subgraph[rows], remote.dst_global[rows]
+        ):
+            ctx.send_to_subgraph(dst_sg, verts)
 
     def _meme_bfs(self, ctx: ComputeContext, queue: deque) -> None:
         """Traverse contiguous meme-carrying vertices; notify remote subgraphs.
@@ -122,7 +153,7 @@ class MemeTrackingComputation(TimeSeriesComputation):
 
     def compute(self, ctx: ComputeContext) -> None:
         sg, st = ctx.subgraph, ctx.state
-        queue: deque = deque()
+        frontier: list[np.ndarray] = []
         if ctx.superstep == 0:
             if "colored" not in st:
                 self._init_state(ctx)
@@ -136,23 +167,31 @@ class MemeTrackingComputation(TimeSeriesComputation):
                 seeds = np.nonzero(st["has_meme"] & ~colored)[0]
                 colored[seeds] = True
                 colored_at[seeds] = 0
-                queue.extend(int(v) for v in seeds)
+                frontier.append(seeds)
             else:
                 # Resume from the colored set's active boundary (C*).
-                queue.extend(int(v) for v in st["local_roots"])
+                frontier.append(st["local_roots"])
         else:
             colored, colored_at = st["colored"], st["colored_at"]
             has_meme = st["has_meme"]
             for msg in ctx.messages:
-                locs = sg.local_of(np.asarray(msg.payload, dtype=np.int64))
-                for lv in np.atleast_1d(locs):
-                    lv = int(lv)
-                    if not colored[lv] and has_meme[lv]:
-                        colored[lv] = True
-                        colored_at[lv] = ctx.timestep
-                        queue.append(lv)
-        if queue:
-            self._meme_bfs(ctx, queue)
+                locs = np.atleast_1d(
+                    sg.local_of(np.asarray(msg.payload, dtype=np.int64))
+                )
+                new = (~colored[locs]) & has_meme[locs]
+                if new.any():
+                    fresh = locs[new]
+                    colored[fresh] = True
+                    colored_at[fresh] = ctx.timestep
+                    frontier.append(fresh)
+        seeds = (
+            np.unique(np.concatenate(frontier)) if frontier else np.empty(0, dtype=np.int64)
+        )
+        if seeds.size:
+            if self.use_kernels:
+                self._kernel_bfs(ctx, seeds)
+            else:
+                self._meme_bfs(ctx, deque(int(v) for v in seeds))
         ctx.vote_to_halt()
 
     def end_of_timestep(self, ctx: EndOfTimestepContext) -> None:

@@ -26,6 +26,7 @@ from ..core.computation import TimeSeriesComputation
 from ..core.context import ComputeContext, EndOfTimestepContext
 from ..core.patterns import Pattern
 from ..graph.instance import IS_EXISTS
+from ..kernels import expand_to_fixpoint, group_unique_pairs
 
 __all__ = [
     "TemporalReachabilityComputation",
@@ -57,13 +58,19 @@ class TemporalReachabilityComputation(TimeSeriesComputation):
         Boolean edge attribute gating traversal per instance (defaults to
         the paper's ``is_exists`` convention; a missing column means the
         edge always exists).
+    use_kernels:
+        Expand frontiers with the vectorized BFS kernel (default) or the
+        scalar deque traversal.  The visited sets are identical either way.
     """
 
     pattern = Pattern.SEQUENTIALLY_DEPENDENT
 
-    def __init__(self, source: int, exists_attr: str = IS_EXISTS) -> None:
+    def __init__(
+        self, source: int, exists_attr: str = IS_EXISTS, *, use_kernels: bool = True
+    ) -> None:
         self.source = int(source)
         self.exists_attr = exists_attr
+        self.use_kernels = bool(use_kernels)
 
     # -- helpers ------------------------------------------------------------------------
 
@@ -87,6 +94,29 @@ class TemporalReachabilityComputation(TimeSeriesComputation):
             np.ones(len(sg.edge_index), dtype=bool),
             np.ones(len(sg.remote.edge_index), dtype=bool),
         )
+
+    def _kernel_expand(self, ctx: ComputeContext, seeds: np.ndarray) -> None:
+        """Settle the reachable set along existing edges; notify remotes."""
+        sg, st = ctx.subgraph, ctx.state
+        newly, expanded_now = expand_to_fixpoint(
+            sg.indptr,
+            sg.indices,
+            seeds,
+            st["reached"],
+            st["expanded"],
+            edge_ok=st["exists_local"],
+        )
+        st["reached_at"][newly] = ctx.timestep
+        remote = sg.remote
+        if not len(remote) or not expanded_now.size:
+            return
+        mask = np.zeros(sg.num_vertices, dtype=bool)
+        mask[expanded_now] = True
+        rows = np.nonzero(mask[remote.src_local] & st["exists_remote"])[0]
+        for dst_sg, verts in group_unique_pairs(
+            remote.dst_subgraph[rows], remote.dst_global[rows]
+        ):
+            ctx.send_to_subgraph(dst_sg, verts)
 
     def _expand(self, ctx: ComputeContext, queue: deque) -> None:
         """BFS along currently existing edges; notify remote subgraphs."""
@@ -122,7 +152,7 @@ class TemporalReachabilityComputation(TimeSeriesComputation):
 
     def compute(self, ctx: ComputeContext) -> None:
         sg, st = ctx.subgraph, ctx.state
-        queue: deque = deque()
+        seeds: list[np.ndarray] = []
         if ctx.superstep == 0:
             if "reached" not in st:
                 self._init_state(ctx)
@@ -133,20 +163,28 @@ class TemporalReachabilityComputation(TimeSeriesComputation):
                 if not st["reached"][lv]:
                     st["reached"][lv] = True
                     st["reached_at"][lv] = 0
-                queue.append(lv)
-            queue.extend(int(v) for v in st["roots"])
+                seeds.append(np.asarray([lv], dtype=np.int64))
+            seeds.append(st["roots"])
         else:
             reached, reached_at = st["reached"], st["reached_at"]
             for msg in ctx.messages:
-                locs = sg.local_of(np.asarray(msg.payload, dtype=np.int64))
-                for lv in np.atleast_1d(locs):
-                    lv = int(lv)
-                    if not reached[lv]:
-                        reached[lv] = True
-                        reached_at[lv] = ctx.timestep
-                        queue.append(lv)
-        if queue:
-            self._expand(ctx, queue)
+                locs = np.atleast_1d(
+                    sg.local_of(np.asarray(msg.payload, dtype=np.int64))
+                )
+                new = ~reached[locs]
+                if new.any():
+                    fresh = locs[new]
+                    reached[fresh] = True
+                    reached_at[fresh] = ctx.timestep
+                    seeds.append(fresh)
+        frontier = (
+            np.unique(np.concatenate(seeds)) if seeds else np.empty(0, dtype=np.int64)
+        )
+        if frontier.size:
+            if self.use_kernels:
+                self._kernel_expand(ctx, frontier)
+            else:
+                self._expand(ctx, deque(int(v) for v in frontier))
         ctx.vote_to_halt()
 
     def end_of_timestep(self, ctx: EndOfTimestepContext) -> None:

@@ -6,6 +6,12 @@ the independent pattern.  Each superstep, every subgraph settles its local
 shortest paths completely (the subgraph-centric advantage — a vertex-centric
 engine needs one superstep *per hop*), then ships boundary relaxations to
 neighboring subgraphs in bulk.
+
+By default the inner settle runs on the kernel plane
+(:func:`repro.kernels.relax_to_fixpoint` — batched Bellman-Ford over the
+subgraph CSR); ``use_kernels=False`` keeps the original per-vertex heapq
+Dijkstra.  Both reach the same least fixpoint with identical float path
+sums, so final labels are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import numpy as np
 from ..core.computation import TimeSeriesComputation
 from ..core.context import ComputeContext, EndOfTimestepContext
 from ..core.patterns import Pattern
+from ..kernels import group_min_pairs, relax_to_fixpoint, slot_sources
 
 __all__ = [
     "SSSPComputation",
@@ -66,13 +73,25 @@ class SSSPComputation(TimeSeriesComputation):
         Edge attribute with non-negative weights, or ``None`` for unweighted
         traversal (hop counts; what Fig 5b's "SSSP on an unweighted graph
         degenerates to BFS" footnote describes).
+    use_kernels:
+        Settle frontiers with the vectorized kernel plane (default) or the
+        scalar heapq Dijkstra.  Results are bit-identical; the scalar path
+        remains as the measured baseline and for stepping through the
+        algorithm vertex by vertex.
     """
 
     pattern = Pattern.INDEPENDENT
 
-    def __init__(self, source: int, weight_attr: str | None = "latency") -> None:
+    def __init__(
+        self,
+        source: int,
+        weight_attr: str | None = "latency",
+        *,
+        use_kernels: bool = True,
+    ) -> None:
         self.source = int(source)
         self.weight_attr = weight_attr
+        self.use_kernels = bool(use_kernels)
 
     def combine(self, dst: int, payloads: list):
         """Min-distance combiner: keep the best relaxation per vertex."""
@@ -87,6 +106,30 @@ class SSSPComputation(TimeSeriesComputation):
             )
         col = ctx.instance.edge_column(self.weight_attr)
         return col[sg.edge_index], col[sg.remote.edge_index]
+
+    # -- kernel-plane settle -----------------------------------------------------------
+
+    def _kernel_relax(self, ctx: ComputeContext, seeds: np.ndarray) -> None:
+        """Settle the whole frontier at once; ship boundary relaxations."""
+        sg, st = ctx.subgraph, ctx.state
+        label = st["label"]
+        changed = relax_to_fixpoint(
+            sg.indptr, sg.indices, st["w_local"], label, seeds, slot_src=st["slot_src"]
+        )
+        changed[seeds] = True
+        remote = sg.remote
+        if not len(remote):
+            return
+        rows = np.nonzero(changed[remote.src_local])[0]
+        if not rows.size:
+            return
+        cand = label[remote.src_local[rows]] + st["w_remote"][rows]
+        for dst_sg, verts, vals in group_min_pairs(
+            remote.dst_subgraph[rows], remote.dst_global[rows], cand
+        ):
+            ctx.send_to_subgraph(dst_sg, (verts, vals))
+
+    # -- scalar settle (baseline) ------------------------------------------------------
 
     def _local_dijkstra(self, ctx: ComputeContext, heap: list[tuple[float, int]]) -> None:
         sg, st = ctx.subgraph, ctx.state
@@ -120,27 +163,39 @@ class SSSPComputation(TimeSeriesComputation):
             labels = np.fromiter(cands.values(), dtype=np.float64, count=len(cands))
             ctx.send_to_subgraph(dst_sg, (verts, labels))
 
+    # -- TI-BSP hooks ------------------------------------------------------------------
+
     def compute(self, ctx: ComputeContext) -> None:
         sg, st = ctx.subgraph, ctx.state
-        heap: list[tuple[float, int]] = []
+        seeds: list[np.ndarray] = []
         if ctx.superstep == 0:
             st["label"] = np.full(sg.num_vertices, _INF)
             st["w_local"], st["w_remote"] = self._weights(ctx)
+            st["slot_src"] = slot_sources(sg.indptr)
             if sg.contains(self.source):
                 lv = sg.local_of(self.source)
                 st["label"][lv] = 0.0
-                heap.append((0.0, lv))
+                seeds.append(np.asarray([lv], dtype=np.int64))
         else:
             label = st["label"]
             for msg in ctx.messages:
                 verts, labels = msg.payload
-                locs = sg.local_of(np.asarray(verts, dtype=np.int64))
-                for lv, nd in zip(np.atleast_1d(locs), np.atleast_1d(labels)):
-                    if nd < label[lv]:
-                        label[lv] = nd
-                        heap.append((float(nd), int(lv)))
-        if heap:
-            self._local_dijkstra(ctx, heap)
+                locs = sg.local_of(np.atleast_1d(np.asarray(verts, dtype=np.int64)))
+                nd = np.atleast_1d(np.asarray(labels, dtype=np.float64))
+                upd = nd < label[locs]
+                if upd.any():
+                    label[locs[upd]] = nd[upd]
+                    seeds.append(locs[upd])
+        if seeds:
+            in_seed = np.zeros(sg.num_vertices, dtype=bool)
+            for s in seeds:
+                in_seed[s] = True
+            frontier = np.flatnonzero(in_seed)
+            if self.use_kernels:
+                self._kernel_relax(ctx, frontier)
+            else:
+                heap = [(float(st["label"][lv]), int(lv)) for lv in frontier]
+                self._local_dijkstra(ctx, heap)
         ctx.vote_to_halt()
 
     def end_of_timestep(self, ctx: EndOfTimestepContext) -> None:
@@ -157,8 +212,8 @@ class SSSPComputation(TimeSeriesComputation):
 class BFSComputation(SSSPComputation):
     """Unweighted BFS (hop counts) — SSSP with unit weights."""
 
-    def __init__(self, source: int) -> None:
-        super().__init__(source, weight_attr=None)
+    def __init__(self, source: int, *, use_kernels: bool = True) -> None:
+        super().__init__(source, weight_attr=None, use_kernels=use_kernels)
 
 
 def sssp_labels_from_result(result, num_vertices: int) -> np.ndarray:

@@ -74,6 +74,7 @@ class Subgraph:
         "remote",
         "in_neighbor_subgraphs",
         "_remote_by_src",
+        "_local_table",
     )
 
     def __init__(
@@ -108,6 +109,7 @@ class Subgraph:
             else np.asarray(in_neighbor_subgraphs, dtype=np.int64)
         )
         self._remote_by_src: dict[int, np.ndarray] | None = None
+        self._local_table: np.ndarray | None = None
 
     # -- size ------------------------------------------------------------------
 
@@ -130,9 +132,18 @@ class Subgraph:
 
     def local_of(self, global_v: int | np.ndarray) -> int | np.ndarray:
         """Local number(s) of global vertex index(es); raises if not present."""
-        pos = np.searchsorted(self.vertices, global_v)
-        found = (pos < len(self.vertices)) & (self.vertices[np.minimum(pos, len(self.vertices) - 1)] == global_v)
-        if not np.all(found):
+        if self._local_table is None:
+            # Lazy direct-address table: one gather per translation instead
+            # of a binary search — this sits on the per-message fold path.
+            size = int(self.vertices[-1]) + 1 if len(self.vertices) else 0
+            table = np.full(size, -1, dtype=np.int64)
+            table[self.vertices] = np.arange(len(self.vertices), dtype=np.int64)
+            self._local_table = table
+        arr = np.asarray(global_v, dtype=np.int64)
+        if bool(((arr < 0) | (arr >= len(self._local_table))).any()):
+            raise KeyError(f"vertex {global_v!r} not in subgraph {self.subgraph_id}")
+        pos = self._local_table[arr]
+        if bool((pos < 0).any()):
             raise KeyError(f"vertex {global_v!r} not in subgraph {self.subgraph_id}")
         return pos if isinstance(global_v, np.ndarray) else int(pos)
 

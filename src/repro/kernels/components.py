@@ -1,0 +1,53 @@
+"""Connected components over (masked) CSR adjacency.
+
+Min-label propagation with pointer jumping — the numpy replacement for the
+``scipy.sparse.csgraph`` detour the community-evolution computation used to
+take per instance.  Edges are treated as undirected (labels flow both
+ways), matching ``connected_components(directed=False)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import slot_sources
+
+__all__ = ["csr_components"]
+
+
+def csr_components(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    *,
+    edge_mask: np.ndarray | None = None,
+) -> tuple[int, np.ndarray]:
+    """Weak components of a local CSR graph; returns ``(ncomp, comp_id)``.
+
+    ``comp_id`` numbers components 0..ncomp-1 in order of their minimum
+    vertex index — the same numbering ``scipy.sparse.csgraph``'s
+    first-occurrence scan produces, so the two are drop-in interchangeable.
+    ``edge_mask`` (per CSR slot) restricts to currently existing edges.
+    """
+    n = len(indptr) - 1
+    labels = np.arange(n, dtype=np.int64)
+    if len(indices):
+        src = slot_sources(indptr)
+        dst = np.asarray(indices, dtype=np.int64)
+        if edge_mask is not None:
+            src, dst = src[edge_mask], dst[edge_mask]
+    else:
+        src = dst = np.empty(0, dtype=np.int64)
+    while True:
+        prev = labels.copy()
+        if src.size:
+            np.minimum.at(labels, dst, labels[src])
+            np.minimum.at(labels, src, labels[dst])
+        while True:  # pointer jumping: label of my label is at least as small
+            nxt = labels[labels]
+            if np.array_equal(nxt, labels):
+                break
+            labels = nxt
+        if np.array_equal(labels, prev):
+            break
+    roots, comp_id = np.unique(labels, return_inverse=True)
+    return len(roots), comp_id.astype(np.int64, copy=False)

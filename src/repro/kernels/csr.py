@@ -1,0 +1,40 @@
+"""CSR slot arithmetic shared by the frontier kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gather_ranges", "slot_sources"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def gather_ranges(indptr: np.ndarray, verts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand the CSR slot ranges of ``verts`` into flat arrays.
+
+    Returns ``(slots, sources)`` where ``slots`` concatenates
+    ``range(indptr[v], indptr[v+1])`` for each ``v`` in ``verts`` (in order)
+    and ``sources[i]`` is the vertex owning ``slots[i]``.  This is the
+    vectorized form of the per-vertex adjacency loop: one call materializes
+    every edge slot a whole frontier touches.
+    """
+    verts = np.asarray(verts, dtype=np.int64)
+    if not verts.size:
+        return _EMPTY, _EMPTY
+    starts = indptr[verts]
+    counts = indptr[verts + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        return _EMPTY, _EMPTY
+    cum = np.cumsum(counts)
+    # Each block of `counts[j]` consecutive outputs begins at starts[j];
+    # subtracting the running block origin turns a flat arange into
+    # per-block slot offsets.
+    slots = np.arange(total, dtype=np.int64) + np.repeat(starts - (cum - counts), counts)
+    return slots, np.repeat(verts, counts)
+
+
+def slot_sources(indptr: np.ndarray) -> np.ndarray:
+    """Source vertex of every CSR slot (``slots`` → owning row)."""
+    n = len(indptr) - 1
+    return np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))

@@ -1,0 +1,54 @@
+"""Power-iteration PageRank primitives (SubgraphRank's inner step).
+
+One superstep of synchronous PageRank splits into: per-vertex contribution,
+local scatter-add along the subgraph CSR, and remote flow aggregation per
+destination subgraph.  The accumulation order is pinned to ``np.add.at``
+over CSR slot order — the same order :func:`repro.algorithms.reference.pagerank`
+uses — so distributed kernel results stay bit-comparable to the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["push_contributions", "local_incoming", "remote_flow_batches"]
+
+
+def push_contributions(pr: np.ndarray, out_deg: np.ndarray) -> np.ndarray:
+    """Per-vertex outgoing flow: rank spread over out-degree (dangling → 0)."""
+    return np.where(out_deg > 0, pr / np.maximum(out_deg, 1), 0.0)
+
+
+def local_incoming(
+    n: int, indices: np.ndarray, slot_src: np.ndarray, contrib: np.ndarray
+) -> np.ndarray:
+    """Scatter-add contributions along local CSR slots into an incoming vector."""
+    incoming = np.zeros(n)
+    if len(indices):
+        np.add.at(incoming, indices, contrib[slot_src])
+    return incoming
+
+
+def remote_flow_batches(
+    remote, contrib: np.ndarray
+) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+    """Aggregate remote-edge flow per (destination subgraph, vertex).
+
+    Yields ``(dst_subgraph, vertices, summed_flows)`` batches ready for
+    :meth:`~repro.core.context.ComputeContext.send_to_subgraph`.
+    """
+    if not len(remote):
+        return
+    flows = contrib[remote.src_local]
+    order = np.lexsort((remote.dst_global, remote.dst_subgraph))
+    d_sg = remote.dst_subgraph[order]
+    d_v = remote.dst_global[order]
+    f = flows[order]
+    for dst in np.unique(d_sg):
+        sel = d_sg == dst
+        verts, inverse = np.unique(d_v[sel], return_inverse=True)
+        sums = np.zeros(len(verts))
+        np.add.at(sums, inverse, f[sel])
+        yield int(dst), verts, sums

@@ -1,0 +1,70 @@
+"""Grouped scatter reductions for bulk remote messaging.
+
+The shortest-path and traversal computations ship per-destination-subgraph
+batches over remote edges.  These helpers fold a flat (group, key[, value])
+triple down to one deduplicated batch per group — replacing the per-edge
+Python dict/set accumulation of the scalar paths.  Groups and keys (subgraph
+ids, global vertex ids) are non-negative, so each pair fuses into a single
+int64 sort key: one stable argsort plus a segmented ``minimum.reduceat``
+beats the equivalent three-key lexsort.  Receivers fold minima (or
+membership) anyway, so batch ordering is free; the sorted output
+additionally makes kernel-mode sends deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["group_min_pairs", "group_unique_pairs"]
+
+
+def _segment_starts(arr: np.ndarray) -> np.ndarray:
+    """Indices where a sorted array starts a new run."""
+    change = np.empty(len(arr), dtype=bool)
+    change[0] = True
+    np.not_equal(arr[1:], arr[:-1], out=change[1:])
+    return np.flatnonzero(change)
+
+
+def group_min_pairs(
+    groups: np.ndarray, keys: np.ndarray, values: np.ndarray
+) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+    """Minimum ``values`` per (group, key); yields ``(group, keys, minima)``.
+
+    Keys within each yielded batch are sorted ascending and unique.  The
+    per-pair minimum selects one of the candidate floats — no arithmetic —
+    so batches are bit-identical to a scalar dict fold.
+    """
+    if not len(groups):
+        return
+    keys = np.asarray(keys, dtype=np.int64)
+    span = int(keys.max()) + 1
+    fused = np.asarray(groups, dtype=np.int64) * span
+    fused += keys
+    order = np.argsort(fused, kind="stable")
+    starts = _segment_starts(fused[order])
+    mins = np.minimum.reduceat(np.asarray(values)[order], starts)
+    firsts = order[starts]
+    g, k = np.asarray(groups)[firsts], keys[firsts]
+    gstarts = _segment_starts(g)
+    bounds = np.append(gstarts[1:], len(g))
+    for s, e in zip(gstarts, bounds):
+        yield int(g[s]), k[s:e], mins[s:e]
+
+
+def group_unique_pairs(
+    groups: np.ndarray, keys: np.ndarray
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Unique ``keys`` per group; yields ``(group, keys)`` sorted ascending."""
+    if not len(groups):
+        return
+    keys = np.asarray(keys, dtype=np.int64)
+    span = int(keys.max()) + 1
+    fused = np.unique(np.asarray(groups, dtype=np.int64) * span + keys)
+    g, k = np.divmod(fused, span)
+    gstarts = _segment_starts(g)
+    bounds = np.append(gstarts[1:], len(g))
+    for s, e in zip(gstarts, bounds):
+        yield int(g[s]), k[s:e]

@@ -35,7 +35,14 @@ from ..graph.template import GraphTemplate
 from ..graph.collection import TimeSeriesGraphCollection
 from ..partition.base import PartitionedGraph
 from .serde import load_template, save_template
-from .slices import SliceKey, bin_rows, read_slice, slice_nbytes, write_slice
+from .slices import (
+    DEFAULT_SLICE_FORMAT,
+    SliceKey,
+    bin_rows,
+    read_slice,
+    slice_nbytes,
+    write_slice,
+)
 
 __all__ = [
     "GoFS",
@@ -64,10 +71,15 @@ class GoFS:
         *,
         packing: int = DEFAULT_PACKING,
         binning: int = DEFAULT_BINNING,
+        slice_format: int = DEFAULT_SLICE_FORMAT,
+        compress: bool = False,
     ) -> dict:
         """Distribute a partitioned collection into slice files.
 
-        Returns the manifest dict (also written to ``manifest.json``).
+        ``slice_format`` picks the on-disk container (2 = zero-copy GSL2,
+        the default; 1 = legacy npz) and ``compress`` is the writer-side
+        compression flag for either.  Returns the manifest dict (also
+        written to ``manifest.json``).
         """
         if packing < 1 or binning < 1:
             raise ValueError("packing and binning must be >= 1")
@@ -90,10 +102,19 @@ class GoFS:
                 for b, sgids in enumerate(part_bins):
                     subgraphs = [pg.subgraphs[s] for s in sgids]
                     verts, edges = bin_rows(subgraphs)
-                    write_slice(root, SliceKey(p, b, k), verts, edges, instances)
+                    write_slice(
+                        root,
+                        SliceKey(p, b, k),
+                        verts,
+                        edges,
+                        instances,
+                        slice_format=slice_format,
+                        compress=compress,
+                    )
 
         manifest = {
             "format_version": 1,
+            "slice_format": slice_format,
             "num_timesteps": T,
             "t0": collection.t0,
             "delta": collection.delta,
@@ -251,6 +272,13 @@ class GoFSPartitionView:
         self.manifest = manifest
         self.template = GoFS.load_template(self.root) if template is None else template
         self._num_bins = len(manifest["bins"][self.partition_id])
+        # Unpickling gate for slice reads: only schemas with object columns
+        # ever need it; numeric-only stores stay strict.
+        self._allow_objects = any(
+            spec.is_object
+            for schema in (self.template.vertex_schema, self.template.edge_schema)
+            for spec in schema
+        )
         #: pack id -> per-bin slice dicts, in LRU order (oldest first).
         self._cache: dict[int, list[dict[str, np.ndarray]]] = {}
         self._cache_nbytes: dict[int, int] = {}
@@ -319,7 +347,11 @@ class GoFSPartitionView:
         """Read every bin slice of one pack.  Safe off-thread: pure I/O."""
         start = time.perf_counter()
         data = [
-            read_slice(self.root, SliceKey(self.partition_id, b, pack))
+            read_slice(
+                self.root,
+                SliceKey(self.partition_id, b, pack),
+                allow_objects=self._allow_objects,
+            )
             for b in range(self._num_bins)
         ]
         return data, time.perf_counter() - start

@@ -1,14 +1,27 @@
-"""Binary (de)serialization of templates and attribute schemas.
+"""Binary (de)serialization of templates, schemas, and array containers.
 
-Uses ``numpy.savez_compressed`` containers: topology arrays are stored
-natively, and attribute schemas are embedded as small pickled blobs (schemas
-are trusted local metadata, not user-supplied network input).  Round-trip
-fidelity is asserted by the test suite via ``GraphTemplate.equals``.
+Templates use ``numpy.savez_compressed`` containers: topology arrays are
+stored natively, and attribute schemas are embedded as small pickled blobs
+(schemas are trusted local metadata, not user-supplied network input).
+Round-trip fidelity is asserted by the test suite via
+``GraphTemplate.equals``.
+
+Slice payloads use the GSL2 framed container (:func:`pack_arrays` /
+:func:`unpack_arrays`): a 4-byte magic, a little-endian uint32 header
+length, a JSON header describing each array (name, kind, dtype, shape,
+offset, nbytes), then one contiguous payload holding the raw array bytes at
+64-byte-aligned offsets.  Numeric arrays deserialize as ``np.frombuffer``
+views over the file bytes — near-memcpy, no pickle, no per-array parsing —
+while object-dtype columns ride a pickled side-channel (``kind: "pickle"``;
+trusted local data, same stance as the schema blobs above).  An optional
+zlib pass over the payload trades the zero-copy read for smaller files.
 """
 
 from __future__ import annotations
 
+import json
 import pickle
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -21,10 +34,92 @@ __all__ = [
     "load_template",
     "schema_to_bytes",
     "schema_from_bytes",
+    "pack_arrays",
+    "unpack_arrays",
     "write_blob",
     "read_blob",
     "sha256_of",
 ]
+
+GSL2_MAGIC = b"GSL2"
+_GSL2_ALIGN = 64
+
+
+def pack_arrays(arrays: dict[str, np.ndarray], *, compress: bool = False) -> bytes:
+    """Serialize named arrays into one GSL2 buffer.
+
+    Numeric arrays are laid out as contiguous raw bytes at 64-byte-aligned
+    payload offsets; object-dtype arrays are pickled.  With ``compress`` the
+    payload (not the header) is zlib-compressed — readable by the same
+    :func:`unpack_arrays`, at the cost of the zero-copy view.
+    """
+    entries: list[dict] = []
+    chunks: list[bytes] = []
+    offset = 0
+    for name, arr in arrays.items():
+        arr = np.asarray(arr)
+        if arr.dtype == object:
+            blob = pickle.dumps(arr, protocol=pickle.HIGHEST_PROTOCOL)
+            kind, dtype_str = "pickle", "object"
+        else:
+            blob = np.ascontiguousarray(arr).tobytes()
+            kind, dtype_str = "raw", arr.dtype.str
+        pad = (-offset) % _GSL2_ALIGN
+        if pad:
+            chunks.append(b"\x00" * pad)
+            offset += pad
+        entries.append(
+            {
+                "name": name,
+                "kind": kind,
+                "dtype": dtype_str,
+                "shape": list(arr.shape),
+                "offset": offset,
+                "nbytes": len(blob),
+            }
+        )
+        chunks.append(blob)
+        offset += len(blob)
+    payload = b"".join(chunks)
+    if compress:
+        payload = zlib.compress(payload)
+    header = json.dumps(
+        {"compression": "zlib" if compress else None, "arrays": entries}
+    ).encode("utf-8")
+    return GSL2_MAGIC + len(header).to_bytes(4, "little") + header + payload
+
+
+def unpack_arrays(buf: bytes, *, allow_objects: bool | None = None) -> dict[str, np.ndarray]:
+    """Deserialize a :func:`pack_arrays` buffer.
+
+    Raw arrays come back as read-only ``np.frombuffer`` views over ``buf``
+    (zero-copy when the payload is uncompressed).  ``allow_objects=False``
+    refuses pickled columns with a ``ValueError`` instead of unpickling —
+    the strict mode for numeric-only schemas.
+    """
+    if buf[:4] != GSL2_MAGIC:
+        raise ValueError("not a GSL2 buffer (bad magic)")
+    hlen = int.from_bytes(buf[4:8], "little")
+    header = json.loads(buf[8 : 8 + hlen].decode("utf-8"))
+    payload: bytes | memoryview = memoryview(buf)[8 + hlen :]
+    if header["compression"] == "zlib":
+        payload = zlib.decompress(payload)
+    view = memoryview(payload)
+    out: dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        chunk = view[entry["offset"] : entry["offset"] + entry["nbytes"]]
+        if entry["kind"] == "pickle":
+            if allow_objects is False:
+                raise ValueError(
+                    f"array {entry['name']!r} is a pickled object column "
+                    "but allow_objects=False"
+                )
+            out[entry["name"]] = pickle.loads(chunk)
+        else:
+            out[entry["name"]] = np.frombuffer(chunk, dtype=np.dtype(entry["dtype"])).reshape(
+                entry["shape"]
+            )
+    return out
 
 
 def write_blob(path: str | Path, obj) -> tuple[int, str]:

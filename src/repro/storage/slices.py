@@ -11,6 +11,20 @@ touched by the bin's subgraphs — local edges plus outgoing remote edges (for
 edge attributes).  Grouping 10 instances × 5 subgraphs per file is what lets
 GoFS amortize disk access and produces Fig 6's every-10th-timestep load
 bumps.
+
+Two on-disk formats coexist:
+
+* **v2 (default, ``.gsl``)** — the zero-copy GSL2 container
+  (:func:`repro.storage.serde.pack_arrays`): framed header plus contiguous
+  aligned raw buffers per attribute column, read back as
+  ``np.frombuffer`` views so a pack load is near-memcpy.  Object columns
+  (e.g. tweet lists) ride a pickled side-channel inside the same file.
+* **v1 (``.npz``)** — the original ``numpy`` archive; still readable (and
+  writable via ``slice_format=1``) so collections written by earlier
+  versions keep working.
+
+Compression is a writer flag for both formats (zlib payload for v2,
+``savez_compressed`` for v1).
 """
 
 from __future__ import annotations
@@ -22,8 +36,20 @@ import numpy as np
 
 from ..graph.instance import GraphInstance
 from ..graph.subgraph import Subgraph
+from .serde import pack_arrays, unpack_arrays
 
-__all__ = ["SliceKey", "slice_filename", "bin_rows", "write_slice", "read_slice", "slice_nbytes"]
+__all__ = [
+    "DEFAULT_SLICE_FORMAT",
+    "SliceKey",
+    "slice_filename",
+    "bin_rows",
+    "write_slice",
+    "read_slice",
+    "slice_nbytes",
+]
+
+#: On-disk slice format written by default: 2 = zero-copy GSL2, 1 = npz.
+DEFAULT_SLICE_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -35,9 +61,10 @@ class SliceKey:
     pack: int
 
 
-def slice_filename(key: SliceKey) -> str:
-    """Canonical file name for a slice."""
-    return f"slice_p{key.partition:03d}_b{key.bin:04d}_k{key.pack:04d}.npz"
+def slice_filename(key: SliceKey, slice_format: int = DEFAULT_SLICE_FORMAT) -> str:
+    """Canonical file name for a slice in the given format."""
+    ext = "gsl" if slice_format == 2 else "npz"
+    return f"slice_p{key.partition:03d}_b{key.bin:04d}_k{key.pack:04d}.{ext}"
 
 
 def bin_rows(subgraphs: list[Subgraph]) -> tuple[np.ndarray, np.ndarray]:
@@ -59,42 +86,93 @@ def bin_rows(subgraphs: list[Subgraph]) -> tuple[np.ndarray, np.ndarray]:
     return verts, edges
 
 
+def _pack_matrices(
+    vertex_rows: np.ndarray,
+    edge_rows: np.ndarray,
+    instances: list[GraphInstance],
+) -> dict[str, np.ndarray]:
+    """Assemble slice arrays with one preallocated ``(pack_len, rows)``
+    matrix per attribute, filled row-by-row in place (no ``np.stack``
+    double-copy)."""
+    arrays: dict[str, np.ndarray] = {
+        "vertex_rows": vertex_rows,
+        "edge_rows": edge_rows,
+        "timestamps": np.asarray([inst.timestamp for inst in instances]),
+    }
+    if not instances:
+        return arrays
+    tpl = instances[0].template
+    pack_len = len(instances)
+    for spec in tpl.vertex_schema:
+        mat = np.empty((pack_len, len(vertex_rows)), dtype=spec.dtype)
+        for i, inst in enumerate(instances):
+            np.take(inst.vertex_values.column(spec.name), vertex_rows, out=mat[i])
+        arrays[f"v__{spec.name}"] = mat
+    for spec in tpl.edge_schema:
+        mat = np.empty((pack_len, len(edge_rows)), dtype=spec.dtype)
+        for i, inst in enumerate(instances):
+            np.take(inst.edge_values.column(spec.name), edge_rows, out=mat[i])
+        arrays[f"e__{spec.name}"] = mat
+    return arrays
+
+
 def write_slice(
     root: Path,
     key: SliceKey,
     vertex_rows: np.ndarray,
     edge_rows: np.ndarray,
     instances: list[GraphInstance],
+    *,
+    slice_format: int = DEFAULT_SLICE_FORMAT,
+    compress: bool = False,
 ) -> Path:
     """Write one slice: the given rows of every schema attribute × instances.
 
-    Columns are stacked into ``(pack_len, rows)`` matrices per attribute so a
+    Columns are packed into ``(pack_len, rows)`` matrices per attribute so a
     later read is one contiguous load per attribute.
     """
-    path = Path(root) / slice_filename(key)
-    arrays: dict[str, np.ndarray] = {
-        "vertex_rows": vertex_rows,
-        "edge_rows": edge_rows,
-        "timestamps": np.asarray([inst.timestamp for inst in instances]),
-    }
-    if instances:
-        tpl = instances[0].template
-        for spec in tpl.vertex_schema:
-            arrays[f"v__{spec.name}"] = np.stack(
-                [inst.vertex_values.column(spec.name)[vertex_rows] for inst in instances]
-            )
-        for spec in tpl.edge_schema:
-            arrays[f"e__{spec.name}"] = np.stack(
-                [inst.edge_values.column(spec.name)[edge_rows] for inst in instances]
-            )
-    np.savez_compressed(path, **arrays)
+    if slice_format not in (1, 2):
+        raise ValueError(f"unsupported slice format {slice_format}")
+    path = Path(root) / slice_filename(key, slice_format)
+    arrays = _pack_matrices(vertex_rows, edge_rows, instances)
+    if slice_format == 2:
+        path.write_bytes(pack_arrays(arrays, compress=compress))
+    elif compress:
+        np.savez_compressed(path, **arrays)
+    else:
+        np.savez(path, **arrays)
     return path
 
 
-def read_slice(root: Path, key: SliceKey) -> dict[str, np.ndarray]:
-    """Read a slice into a dict of arrays (object columns allowed)."""
-    path = Path(root) / slice_filename(key)
-    with np.load(path, allow_pickle=True) as data:
+def read_slice(
+    root: Path, key: SliceKey, *, allow_objects: bool | None = None
+) -> dict[str, np.ndarray]:
+    """Read a slice into a dict of arrays, auto-detecting the format.
+
+    v2 (``.gsl``) files are preferred: numeric columns come back as
+    read-only zero-copy views over the file bytes.  v1 (``.npz``) is the
+    fallback for collections written by earlier versions.
+
+    ``allow_objects`` gates unpickling: ``False`` fails loudly if the slice
+    holds object columns, ``True`` permits them, and ``None`` (default)
+    tries the strict path first and retries permissively only when object
+    columns are actually present — numeric-only schemas never unpickle.
+    """
+    root = Path(root)
+    v2 = root / slice_filename(key, 2)
+    if v2.exists():
+        return unpack_arrays(v2.read_bytes(), allow_objects=allow_objects)
+    path = root / slice_filename(key, 1)
+    if allow_objects is None:
+        try:
+            return _read_npz(path, allow_pickle=False)
+        except ValueError:
+            return _read_npz(path, allow_pickle=True)
+    return _read_npz(path, allow_pickle=bool(allow_objects))
+
+
+def _read_npz(path: Path, *, allow_pickle: bool) -> dict[str, np.ndarray]:
+    with np.load(path, allow_pickle=allow_pickle) as data:
         return {name: data[name] for name in data.files}
 
 

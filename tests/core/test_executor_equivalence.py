@@ -57,6 +57,8 @@ def _canonical(obj):
         return ("dict", tuple(sorted((_canonical(k), _canonical(v)) for k, v in obj.items())))
     if isinstance(obj, (list, tuple)):
         return (type(obj).__name__, tuple(_canonical(x) for x in obj))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(_canonical(x) for x in obj)))
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         fields = tuple(
             (f.name, _canonical(getattr(obj, f.name))) for f in dataclasses.fields(obj)

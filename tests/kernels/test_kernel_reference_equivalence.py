@@ -1,0 +1,207 @@
+"""Kernel-plane ↔ scalar-oracle equivalence, asserted bit-for-bit.
+
+Every algorithm family runs twice — ``use_kernels=True`` (the vectorized
+kernel plane) and ``use_kernels=False`` (the original scalar settle, kept as
+the measured baseline) — and the two runs must agree byte-identically on
+outputs, merge outputs, and final subgraph states.  Where
+``algorithms/reference.py`` provides an oracle, both runs are also checked
+against it.  A final sweep repeats the check across the serial, thread, and
+process executor backends.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    CommunityEvolutionComputation,
+    HashtagAggregationComputation,
+    MemeTrackingComputation,
+    PageRankComputation,
+    SSSPComputation,
+    TDSPComputation,
+    TemporalReachabilityComputation,
+    colored_timesteps_from_result,
+    pagerank_from_result,
+    reached_timesteps_from_result,
+    sssp_labels_from_result,
+    tdsp_labels_from_result,
+)
+from repro.algorithms import reference as ref
+from repro.core import EngineConfig, run_application
+from repro.graph import build_collection
+from repro.partition import HashPartitioner, partition_graph
+from repro.runtime import CollectionInstanceSource
+from tests.algorithms.test_reachability_evolution import evolving_case
+from tests.conftest import make_grid_template, make_random_template, populate_random
+from tests.core.test_executor_equivalence import _canonical
+
+
+def build_case(seed=0, n=40, m=90, T=2, k=3, directed=False):
+    rng = np.random.default_rng(seed)
+    tpl = make_random_template(n, m, rng, directed=directed)
+    coll = build_collection(tpl, T, populate_random(seed), delta=6.0)
+    pg = partition_graph(tpl, k, HashPartitioner(seed=seed))
+    return tpl, coll, pg
+
+
+def snapshot(comp, pg, coll, executor="serial", *, states=True, **run_kwargs):
+    res = run_application(
+        comp, pg, coll, config=EngineConfig(executor=executor), **run_kwargs
+    )
+    parts = [_canonical(res.outputs), _canonical(res.merge_outputs)]
+    if states:
+        parts.append(_canonical(res.states))
+    return res, tuple(parts)
+
+
+def assert_kernel_matches_scalar(make_comp, pg, coll, *, states=True, **run_kwargs):
+    """Run kernel and scalar variants; assert byte-identical; return results.
+
+    ``states=False`` limits the comparison to outputs and merge outputs for
+    computations whose *internal* state layout legitimately differs between
+    the two paths (e.g. scalar-only scratch arrays) while the results must
+    still agree byte-for-byte.
+    """
+    res_k, snap_k = snapshot(make_comp(use_kernels=True), pg, coll, states=states, **run_kwargs)
+    res_s, snap_s = snapshot(make_comp(use_kernels=False), pg, coll, states=states, **run_kwargs)
+    assert snap_k == snap_s
+    return res_k, res_s
+
+
+class TestSSSP:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16), k=st.integers(1, 4), directed=st.booleans())
+    def test_bit_identical_and_matches_reference(self, seed, k, directed):
+        tpl, coll, pg = build_case(seed, k=k, directed=directed)
+        res_k, _ = assert_kernel_matches_scalar(
+            lambda **kw: SSSPComputation(0, "latency", **kw),
+            pg,
+            coll,
+            timestep_range=(0, 1),
+        )
+        got = sssp_labels_from_result(res_k, tpl.num_vertices)
+        want = ref.single_source_shortest_paths(
+            tpl, 0, coll.instance(0).edge_column("latency")
+        )
+        # Same least fixpoint reached through the same final float additions.
+        assert got.tobytes() == want.tobytes()
+
+
+class TestTDSP:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16), k=st.integers(1, 4))
+    def test_bit_identical_and_matches_reference(self, seed, k):
+        tpl, coll, pg = build_case(seed, T=4, k=k)
+        res_k, _ = assert_kernel_matches_scalar(
+            lambda **kw: TDSPComputation(0, **kw), pg, coll
+        )
+        got = tdsp_labels_from_result(res_k, tpl.num_vertices)
+        want = ref.time_expanded_dijkstra(coll, 0)
+        assert got.tobytes() == want.tobytes()
+
+    def test_root_pruning_off_still_bit_identical(self):
+        _tpl, coll, pg = build_case(7, T=3)
+        assert_kernel_matches_scalar(
+            lambda **kw: TDSPComputation(0, root_pruning=False, **kw), pg, coll
+        )
+
+
+class TestReachability:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16), directed=st.booleans())
+    def test_bit_identical_and_matches_reference(self, seed, directed):
+        _tpl, coll, pg = evolving_case(seed, directed=directed)
+        res_k, _ = assert_kernel_matches_scalar(
+            lambda **kw: TemporalReachabilityComputation(0, **kw), pg, coll
+        )
+        assert reached_timesteps_from_result(res_k) == ref.temporal_reachability(coll, 0)
+
+
+class TestMeme:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_bit_identical_and_matches_reference(self, seed):
+        tpl = make_grid_template(5, 6)
+        coll = build_collection(tpl, 4, populate_random(seed))
+        pg = partition_graph(tpl, 3, HashPartitioner(seed=seed))
+        res_k, _ = assert_kernel_matches_scalar(
+            lambda **kw: MemeTrackingComputation(1, **kw), pg, coll
+        )
+        assert colored_timesteps_from_result(res_k) == ref.temporal_meme_bfs(coll, 1)
+
+
+class TestHashtag:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_bit_identical_and_matches_reference(self, seed):
+        tpl = make_grid_template(5, 6)
+        coll = build_collection(tpl, 4, populate_random(seed))
+        pg = partition_graph(tpl, 3, HashPartitioner(seed=seed))
+        res_k, _ = assert_kernel_matches_scalar(
+            lambda **kw: HashtagAggregationComputation.for_partitioned_graph(pg, 2, **kw),
+            pg,
+            coll,
+        )
+        [summary] = [rec[-1] for rec in res_k.merge_outputs]
+        assert np.array_equal(summary.counts, ref.hashtag_count_series(coll, 2))
+
+
+class TestPageRank:
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_bit_identical(self, directed):
+        tpl, coll, pg = build_case(13, directed=directed)
+        res_k, _ = assert_kernel_matches_scalar(
+            lambda **kw: PageRankComputation(15, **kw), pg, coll, timestep_range=(0, 1)
+        )
+        got = pagerank_from_result(res_k, tpl.num_vertices)
+        want = ref.pagerank(tpl, iterations=15)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+
+class TestEvolution:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_bit_identical(self, seed):
+        tpl, coll, pg = evolving_case(seed, T=5)
+        # Scalar-only scratch (slot_src, scipy's int32 comp ids) makes raw
+        # state layouts differ; the emitted community labels must not.
+        assert_kernel_matches_scalar(
+            lambda **kw: CommunityEvolutionComputation(tpl.num_vertices, **kw),
+            pg,
+            coll,
+            states=False,
+        )
+
+
+class TestExecutorSweep:
+    """Kernel runs agree with the serial scalar baseline on every backend."""
+
+    @pytest.fixture(scope="class")
+    def case(self):
+        tpl = make_grid_template(5, 6)
+        coll = build_collection(tpl, 4, populate_random(23), delta=6.0)
+        pg = partition_graph(tpl, 3, HashPartitioner(seed=3))
+        return tpl, coll, pg
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("name", ["sssp", "tdsp", "meme"])
+    def test_kernel_on_executor_matches_scalar_serial(self, case, name, executor):
+        _tpl, coll, pg = case
+        factories = {
+            "sssp": lambda **kw: SSSPComputation(0, "latency", **kw),
+            "tdsp": lambda **kw: TDSPComputation(0, **kw),
+            "meme": lambda **kw: MemeTrackingComputation(1, **kw),
+        }
+        kwargs = {"timestep_range": (0, 1)} if name == "sssp" else {}
+        if executor == "process":
+            kwargs["sources"] = [
+                CollectionInstanceSource(coll) for _ in range(pg.num_partitions)
+            ]
+        _, baseline = snapshot(
+            factories[name](use_kernels=False), pg, coll, "serial", **kwargs
+        )
+        _, got = snapshot(
+            factories[name](use_kernels=True), pg, coll, executor, **kwargs
+        )
+        assert got == baseline

@@ -1,0 +1,266 @@
+"""Unit tests for the shared kernel plane (``repro.kernels``).
+
+Each kernel is checked against a transparent scalar model on randomized
+inputs — CSR gathers vs explicit loops, fixpoint relaxation vs Dijkstra,
+component labeling vs scipy, aggregation vs per-cell Python counting.
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    contains_in_cells,
+    count_equal,
+    count_equal_in_cells,
+    csr_components,
+    expand_to_fixpoint,
+    flatten_cells,
+    gather_ranges,
+    group_min_pairs,
+    group_unique_pairs,
+    relax_to_fixpoint,
+    slot_sources,
+)
+
+
+def random_csr(rng, n, m):
+    """A random directed CSR (indptr, indices) with ``m`` edges on ``n`` vertices."""
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    indptr = np.cumsum(indptr)
+    return indptr, dst.astype(np.int64)
+
+
+class TestCSRGather:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 40), m=st.integers(0, 120))
+    def test_gather_ranges_matches_loop(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        indptr, indices = random_csr(rng, n, m)
+        verts = np.unique(rng.integers(0, n, size=rng.integers(0, n + 1)))
+        slots, sources = gather_ranges(indptr, verts)
+        want_slots, want_sources = [], []
+        for v in verts:
+            for slot in range(indptr[v], indptr[v + 1]):
+                want_slots.append(slot)
+                want_sources.append(v)
+        assert slots.tolist() == want_slots
+        assert sources.tolist() == want_sources
+
+    def test_gather_empty(self):
+        slots, sources = gather_ranges(
+            np.zeros(5, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert slots.size == 0 and sources.size == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 30), m=st.integers(0, 90))
+    def test_slot_sources(self, seed, n, m):
+        indptr, _ = random_csr(np.random.default_rng(seed), n, m)
+        got = slot_sources(indptr)
+        want = np.repeat(np.arange(n), np.diff(indptr))
+        assert np.array_equal(got, want)
+
+
+class TestRelaxToFixpoint:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(2, 30), m=st.integers(1, 120))
+    def test_matches_dijkstra(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        indptr, indices = random_csr(rng, n, m)
+        weights = rng.uniform(0.1, 5.0, size=len(indices))
+        labels = np.full(n, np.inf)
+        labels[0] = 0.0
+        relax_to_fixpoint(indptr, indices, weights, labels, np.asarray([0]))
+
+        dist = np.full(n, np.inf)
+        dist[0] = 0.0
+        heap = [(0.0, 0)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for slot in range(indptr[u], indptr[u + 1]):
+                w = indices[slot]
+                nd = d + weights[slot]
+                if nd < dist[w]:
+                    dist[w] = nd
+                    heapq.heappush(heap, (nd, int(w)))
+        # Same least fixpoint, same final float additions: bit-identical.
+        assert labels.tobytes() == dist.tobytes()
+
+    def test_bound_confines_relaxation(self):
+        # 0 -1.0-> 1 -1.0-> 2 ; bound 1.5 stops before vertex 2.
+        indptr = np.asarray([0, 1, 2, 2])
+        indices = np.asarray([1, 2])
+        weights = np.asarray([1.0, 1.0])
+        labels = np.full(3, np.inf)
+        labels[0] = 0.0
+        improved = relax_to_fixpoint(
+            indptr, indices, weights, labels, np.asarray([0]), bound=1.5
+        )
+        assert labels.tolist() == [0.0, 1.0, np.inf]
+        assert improved.tolist() == [False, True, False]
+
+    def test_blocked_vertices_never_improve(self):
+        indptr = np.asarray([0, 1, 2, 2])
+        indices = np.asarray([1, 2])
+        weights = np.asarray([1.0, 1.0])
+        labels = np.asarray([0.0, np.inf, np.inf])
+        blocked = np.asarray([False, True, False])
+        relax_to_fixpoint(
+            indptr, indices, weights, labels, np.asarray([0]), blocked=blocked
+        )
+        assert np.isinf(labels[1]) and np.isinf(labels[2])
+
+
+class TestExpandToFixpoint:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(2, 30), m=st.integers(0, 120))
+    def test_matches_bfs_reachable_set(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        indptr, indices = random_csr(rng, n, m)
+        edge_ok = rng.random(len(indices)) < 0.7
+        visited = np.zeros(n, dtype=bool)
+        visited[0] = True
+        expanded = np.zeros(n, dtype=bool)
+        expand_to_fixpoint(
+            indptr, indices, np.asarray([0]), visited, expanded, edge_ok=edge_ok
+        )
+        want = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for slot in range(indptr[u], indptr[u + 1]):
+                w = int(indices[slot])
+                if edge_ok[slot] and w not in want:
+                    want.add(w)
+                    stack.append(w)
+        assert set(np.nonzero(visited)[0].tolist()) == want
+
+    def test_vertex_gate(self):
+        # 0 -> 1 -> 2, vertex 1 not ok: expansion stops at the gate.
+        indptr = np.asarray([0, 1, 2, 2])
+        indices = np.asarray([1, 2])
+        visited = np.asarray([True, False, False])
+        expanded = np.zeros(3, dtype=bool)
+        vertex_ok = np.asarray([True, False, True])
+        newly, expanded_now = expand_to_fixpoint(
+            indptr, indices, np.asarray([0]), visited, expanded, vertex_ok=vertex_ok
+        )
+        assert visited.tolist() == [True, False, False]
+        assert newly.size == 0
+        assert expanded_now.tolist() == [0]
+
+
+class TestCsrComponents:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 40), m=st.integers(0, 120))
+    def test_matches_scipy(self, seed, n, m):
+        import scipy.sparse as sp
+        from scipy.sparse.csgraph import connected_components
+
+        rng = np.random.default_rng(seed)
+        indptr, indices = random_csr(rng, n, m)
+        mask = rng.random(len(indices)) < 0.6
+        ncomp, comp_id = csr_components(indptr, indices, edge_mask=mask)
+
+        rows = slot_sources(indptr)[mask]
+        cols = indices[mask]
+        graph = sp.coo_matrix(
+            (np.ones(len(rows), dtype=np.int8), (rows, cols)), shape=(n, n)
+        )
+        want_n, want_id = connected_components(graph, directed=False)
+        assert ncomp == want_n
+        assert np.array_equal(comp_id, want_id)
+
+
+class TestScatter:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), m=st.integers(0, 80))
+    def test_group_min_pairs(self, seed, m):
+        rng = np.random.default_rng(seed)
+        groups = rng.integers(0, 4, size=m)
+        keys = rng.integers(0, 10, size=m)
+        values = rng.uniform(0, 1, size=m)
+        best: dict[int, dict[int, float]] = {}
+        for g, k, v in zip(groups, keys, values):
+            per = best.setdefault(int(g), {})
+            if v < per.get(int(k), np.inf):
+                per[int(k)] = v
+        got = {
+            g: dict(zip(verts.tolist(), vals.tolist()))
+            for g, verts, vals in group_min_pairs(groups, keys, values)
+        }
+        assert got == best
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), m=st.integers(0, 80))
+    def test_group_unique_pairs(self, seed, m):
+        rng = np.random.default_rng(seed)
+        groups = rng.integers(0, 4, size=m)
+        keys = rng.integers(0, 10, size=m)
+        want: dict[int, set[int]] = {}
+        for g, k in zip(groups, keys):
+            want.setdefault(int(g), set()).add(int(k))
+        got = {g: set(verts.tolist()) for g, verts in group_unique_pairs(groups, keys)}
+        assert got == want
+
+
+class TestAggregate:
+    CELLS = [
+        (1, 2, 2),
+        None,
+        (),
+        ("a", "b", 2),
+        (2,),
+        [3, 2, "a"],
+    ]
+
+    def test_flatten_cells(self):
+        flat, lengths = flatten_cells(self.CELLS)
+        assert lengths.tolist() == [3, 0, 0, 3, 1, 3]
+        assert list(flat) == [1, 2, 2, "a", "b", 2, 2, 3, 2, "a"]
+
+    def test_count_equal_mixed_types(self):
+        flat, _ = flatten_cells(self.CELLS)
+        assert count_equal(flat, 2) == 5
+        assert count_equal(flat, "a") == 2
+
+    def test_count_equal_in_cells(self):
+        assert count_equal_in_cells(self.CELLS, 2) == 5
+        assert count_equal_in_cells(self.CELLS, "missing") == 0
+        assert count_equal_in_cells([], 2) == 0
+
+    def test_contains_in_cells(self):
+        got = contains_in_cells(self.CELLS, 2)
+        assert got.tolist() == [True, False, False, True, True, True]
+
+    def test_contains_tuple_query_no_broadcast(self):
+        # A tuple query must compare as one value, not broadcast element-wise.
+        cells = [((1, 2),), ((3,),), None]
+        assert contains_in_cells(cells, (3,)).tolist() == [False, True, False]
+        assert contains_in_cells(cells, (1, 2)).tolist() == [True, False, False]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_random_cells_match_python_count(self, seed):
+        rng = np.random.default_rng(seed)
+        cells = []
+        for _ in range(rng.integers(0, 30)):
+            if rng.random() < 0.2:
+                cells.append(None)
+            else:
+                cells.append(tuple(rng.integers(0, 5, size=rng.integers(0, 6)).tolist()))
+        tag = int(rng.integers(0, 5))
+        want = sum(sum(1 for h in tw if h == tag) for tw in cells if tw)
+        assert count_equal_in_cells(cells, tag) == want
+        want_mask = [bool(tw) and tag in tw for tw in cells]
+        assert contains_in_cells(cells, tag).tolist() == want_mask

@@ -1,0 +1,191 @@
+"""Zero-copy GSL2 slice format: round-trips, back-compat, pickle gating."""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_collection
+from repro.partition import HashPartitioner, partition_graph
+from repro.storage import (
+    GoFS,
+    SliceKey,
+    read_slice,
+    slice_filename,
+    write_slice,
+)
+from repro.storage.serde import GSL2_MAGIC, pack_arrays, unpack_arrays
+from repro.storage.slices import DEFAULT_SLICE_FORMAT
+from tests.conftest import make_grid_template, populate_random
+
+
+def sample_arrays(with_objects=False):
+    arrays = {
+        "a": np.arange(12, dtype=np.int64).reshape(3, 4),
+        "b": np.linspace(0, 1, 7),
+        "c": np.asarray([True, False, True]),
+        "empty": np.empty((0, 5), dtype=np.float32),
+    }
+    if with_objects:
+        cells = np.empty(3, dtype=object)
+        cells[:] = [(1, 2), None, ("x",)]
+        arrays["tweets"] = cells
+    return arrays
+
+
+class TestPackArrays:
+    @pytest.mark.parametrize("compress", [False, True])
+    @pytest.mark.parametrize("with_objects", [False, True])
+    def test_roundtrip(self, compress, with_objects):
+        arrays = sample_arrays(with_objects)
+        buf = pack_arrays(arrays, compress=compress)
+        assert buf[:4] == GSL2_MAGIC
+        out = unpack_arrays(buf)
+        assert set(out) == set(arrays)
+        for name, arr in arrays.items():
+            got = out[name]
+            assert got.dtype == arr.dtype and got.shape == arr.shape
+            if arr.dtype == object:
+                assert got.tolist() == arr.tolist()
+            else:
+                assert got.tobytes() == arr.tobytes()
+
+    def test_numeric_arrays_are_zero_copy_views(self):
+        buf = pack_arrays(sample_arrays())
+        out = unpack_arrays(buf)
+        a = out["a"]
+        assert not a.flags.writeable  # frombuffer view over the file bytes
+        assert a.base is not None
+
+    def test_payload_offsets_are_aligned(self):
+        import json
+
+        buf = pack_arrays(sample_arrays())
+        hlen = int.from_bytes(buf[4:8], "little")
+        header = json.loads(buf[8 : 8 + hlen])
+        for entry in header["arrays"]:
+            assert entry["offset"] % 64 == 0
+
+    def test_allow_objects_false_rejects_pickled_columns(self):
+        buf = pack_arrays(sample_arrays(with_objects=True))
+        with pytest.raises(ValueError, match="tweets"):
+            unpack_arrays(buf, allow_objects=False)
+        # Numeric-only buffers pass the strict gate untouched.
+        strict = unpack_arrays(pack_arrays(sample_arrays()), allow_objects=False)
+        assert "a" in strict
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            unpack_arrays(b"NOPE" + b"\x00" * 16)
+
+
+@pytest.fixture
+def slice_case():
+    tpl = make_grid_template(4, 5)
+    coll = build_collection(tpl, 3, populate_random(7))
+    pg = partition_graph(tpl, 2, HashPartitioner(seed=1))
+    sg = pg.partitions[0].subgraphs[0]
+    verts = sg.vertices
+    edges = np.unique(np.concatenate([sg.edge_index, sg.remote.edge_index]))
+    instances = [coll.instance(t) for t in range(3)]
+    return verts, edges, instances
+
+
+class TestWriteReadSlice:
+    @pytest.mark.parametrize("slice_format", [1, 2])
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_formats_agree(self, tmp_path, slice_case, slice_format, compress):
+        verts, edges, instances = slice_case
+        key = SliceKey(0, 0, 0)
+        write_slice(
+            tmp_path, key, verts, edges, instances,
+            slice_format=slice_format, compress=compress,
+        )
+        data = read_slice(tmp_path, key)
+        assert np.array_equal(data["vertex_rows"], verts)
+        assert np.array_equal(data["edge_rows"], edges)
+        tweets = data["v__tweets"]
+        assert tweets.shape == (3, len(verts))
+        for i, inst in enumerate(instances):
+            want = inst.vertex_values.column("tweets")[verts]
+            assert tweets[i].tolist() == want.tolist()
+            np.testing.assert_array_equal(
+                data["e__latency"][i], inst.edge_values.column("latency")[edges]
+            )
+
+    def test_v2_preferred_over_v1(self, tmp_path, slice_case):
+        verts, edges, instances = slice_case
+        key = SliceKey(0, 0, 0)
+        write_slice(tmp_path, key, verts, edges, instances, slice_format=1)
+        write_slice(tmp_path, key, verts, edges, instances[:1], slice_format=2)
+        data = read_slice(tmp_path, key)  # the 1-instance v2 file wins
+        assert data["v__traffic"].shape[0] == 1
+
+    def test_filename_extension_per_format(self):
+        key = SliceKey(1, 2, 3)
+        assert slice_filename(key, 2).endswith(".gsl")
+        assert slice_filename(key, 1).endswith(".npz")
+        assert slice_filename(key) == slice_filename(key, DEFAULT_SLICE_FORMAT)
+
+    def test_unknown_format_rejected(self, tmp_path, slice_case):
+        verts, edges, instances = slice_case
+        with pytest.raises(ValueError, match="format"):
+            write_slice(tmp_path, SliceKey(0, 0, 0), verts, edges, instances, slice_format=3)
+
+    def test_numeric_only_v1_never_unpickles(self, tmp_path, slice_case):
+        """allow_objects=None tries the strict npz path first and only
+        retries permissively when object columns are actually present."""
+        verts, edges, instances = slice_case
+        key = SliceKey(0, 0, 0)
+        write_slice(tmp_path, key, verts, edges, instances, slice_format=1)
+        with pytest.raises(ValueError):
+            read_slice(tmp_path, key, allow_objects=False)  # tweets are objects
+        data = read_slice(tmp_path, key, allow_objects=None)  # auto-retry
+        assert "v__tweets" in data
+
+
+class TestGoFSFormats:
+    @pytest.fixture(scope="class")
+    def case(self):
+        tpl = make_grid_template(5, 6)
+        coll = build_collection(tpl, 6, populate_random(11))
+        pg = partition_graph(tpl, 2, HashPartitioner(seed=4))
+        return tpl, coll, pg
+
+    @pytest.mark.parametrize("slice_format", [1, 2])
+    def test_instances_identical_across_formats(self, case, tmp_path, slice_format):
+        tpl, coll, pg = case
+        root = tmp_path / f"v{slice_format}"
+        manifest = GoFS.write_collection(
+            root, pg, coll, packing=3, binning=2, slice_format=slice_format
+        )
+        assert manifest["slice_format"] == slice_format
+        assert GoFS.read_manifest(root)["slice_format"] == slice_format
+        for p in range(pg.num_partitions):
+            view = GoFS.partition_view(root, p)
+            for t in range(len(coll)):
+                inst = view.instance(t)
+                part = pg.partitions[p]
+                for sg in part.subgraphs:
+                    rows = sg.vertices
+                    np.testing.assert_array_equal(
+                        inst.vertex_column("traffic")[rows],
+                        coll.instance(t).vertex_column("traffic")[rows],
+                    )
+                    assert (
+                        inst.vertex_column("tweets")[rows].tolist()
+                        == coll.instance(t).vertex_column("tweets")[rows].tolist()
+                    )
+
+    def test_compressed_v2_smaller_and_identical(self, case, tmp_path):
+        tpl, coll, pg = case
+        raw_root, zip_root = tmp_path / "raw", tmp_path / "zip"
+        GoFS.write_collection(raw_root, pg, coll, packing=3, binning=2)
+        GoFS.write_collection(zip_root, pg, coll, packing=3, binning=2, compress=True)
+        raw_bytes = sum(f.stat().st_size for f in raw_root.glob("*.gsl"))
+        zip_bytes = sum(f.stat().st_size for f in zip_root.glob("*.gsl"))
+        assert zip_bytes < raw_bytes
+        v_raw = GoFS.partition_view(raw_root, 0).instance(4)
+        v_zip = GoFS.partition_view(zip_root, 0).instance(4)
+        assert (
+            v_raw.vertex_column("traffic").tobytes()
+            == v_zip.vertex_column("traffic").tobytes()
+        )
