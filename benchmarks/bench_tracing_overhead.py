@@ -8,13 +8,18 @@ The acceptance contract for the tracing plane is twofold:
 * **enabled** the run still produces bit-identical application results
   (tracing only observes) at a bounded slowdown.
 
+The live telemetry plane (``EngineConfig(live=...)``) carries the same
+contract: results stay bit-identical with streaming metrics on, and its
+overhead must not exceed the tracing plane's (live snapshots touch a tiny
+aggregate per protocol round, versus tracing's per-span recording).
+
 This bench runs TDSP/CARN hash-partitioned (the high-message-traffic
-regime, where per-send instrumentation would hurt most) three ways —
-untraced, traced, and traced+export — taking the min over rounds to damp
-scheduler noise.  With ``--json`` the numbers land in
-``BENCH_tracing_overhead.json``; overhead percentages are reported rather
-than hard-asserted because CI wall clocks are noisy, but result equality IS
-asserted.
+regime, where per-send instrumentation would hurt most) four ways —
+untraced, traced (plus export), live-only, and traced+live — taking the
+min over rounds to damp scheduler noise.  With ``--json`` the numbers land
+in ``BENCH_tracing_overhead.json``; overhead percentages are reported
+rather than hard-asserted because CI wall clocks are noisy, but result
+equality IS asserted.
 """
 
 import pickle
@@ -31,21 +36,33 @@ from conftest import SCALE, SEED, emit
 PARTITIONS = 6
 ROUNDS = 3
 
+#: The tracing plane's documented overhead budget (see docs/observability.md).
+#: Live mode must fit inside it: comparing against the budget envelope rather
+#: than this run's traced wall keeps the check stable under CI clock jitter.
+TRACING_BASELINE_PCT = 12.5
 
-def _run(pg, collection, *, tracing):
-    config = EngineConfig(
-        cost_model=CostModel.for_scale(SCALE), tracing=tracing
-    )
-    best = None
-    res = None
+
+def _run_modes(pg, collection, modes):
+    """Run every (tracing, live) mode once per round, interleaved.
+
+    Interleaving means slow machine drift (thermal throttling, co-tenant
+    load) hits all modes alike instead of whichever block ran last; the
+    min over rounds damps the remaining jitter.
+    """
+    walls = {name: None for name in modes}
+    results = {}
     for _ in range(ROUNDS):
-        t0 = time.perf_counter()
-        res = run_application(
-            TDSPComputation(0, halt_when_stalled=True), pg, collection, config=config
-        )
-        wall = time.perf_counter() - t0
-        best = wall if best is None else min(best, wall)
-    return res, best
+        for name, (tracing, live) in modes.items():
+            config = EngineConfig(
+                cost_model=CostModel.for_scale(SCALE), tracing=tracing, live=live
+            )
+            t0 = time.perf_counter()
+            results[name] = run_application(
+                TDSPComputation(0, halt_when_stalled=True), pg, collection, config=config
+            )
+            wall = time.perf_counter() - t0
+            walls[name] = wall if walls[name] is None else min(walls[name], wall)
+    return results, walls
 
 
 def test_tracing_overhead(benchmark, datasets, emit_json, tmp_path):
@@ -53,47 +70,61 @@ def test_tracing_overhead(benchmark, datasets, emit_json, tmp_path):
     collection = datasets["CARN"]["road"]
     pg = partition_graph(tpl, PARTITIONS, HashPartitioner(seed=SEED))
 
+    MODES = {
+        "off": (False, None),
+        "traced": (True, None),
+        "live": (False, True),
+        "traced+live": (True, True),
+    }
+
     def run_all():
-        off_res, off_wall = _run(pg, collection, tracing=False)
-        on_res, on_wall = _run(pg, collection, tracing=True)
+        results, walls = _run_modes(pg, collection, MODES)
         t0 = time.perf_counter()
-        on_res.trace.write(tmp_path / "trace", {"bench": "tracing_overhead"})
+        results["traced"].trace.write(tmp_path / "trace", {"bench": "tracing_overhead"})
         export_wall = time.perf_counter() - t0
-        return off_res, off_wall, on_res, on_wall, export_wall
+        return results, walls, export_wall
 
-    off_res, off_wall, on_res, on_wall, export_wall = benchmark.pedantic(
-        run_all, rounds=1, iterations=1
-    )
+    results, walls, export_wall = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    off_res, on_res = results["off"], results["traced"]
+    live_res, both_res = results["live"], results["traced+live"]
+    off_wall, on_wall = walls["off"], walls["traced"]
+    live_wall, both_wall = walls["live"], walls["traced+live"]
 
-    # Tracing only observes: application results are bit-identical on/off.
-    assert pickle.dumps(off_res.states) == pickle.dumps(on_res.states)
-    assert pickle.dumps(off_res.outputs) == pickle.dumps(on_res.outputs)
+    # Tracing and live telemetry only observe: application results are
+    # bit-identical with either plane (or both) enabled.
+    baseline_states = pickle.dumps(off_res.states)
+    baseline_outputs = pickle.dumps(off_res.outputs)
+    for res in (on_res, live_res, both_res):
+        assert pickle.dumps(res.states) == baseline_states
+        assert pickle.dumps(res.outputs) == baseline_outputs
     assert off_res.trace is None and on_res.trace is not None
+    assert off_res.live is None and live_res.live is not None
+    # The live mirror stayed exact even at bench scale.
+    assert live_res.live.summary() == live_res.metrics.summary()
 
-    overhead_pct = 100.0 * (on_wall - off_wall) / off_wall if off_wall else 0.0
+    def _pct(wall):
+        return 100.0 * (wall - off_wall) / off_wall if off_wall else 0.0
+
+    overhead_pct = _pct(on_wall)
+    live_pct = _pct(live_wall)
+    both_pct = _pct(both_wall)
     n_spans = len(on_res.trace.spans)
     n_events = len(on_res.trace.events)
+    n_snapshots = len(live_res.live.snapshots)
     rows = [
-        {
-            "tracing": "off",
-            "bench_wall_s": round(off_wall, 4),
-            "spans": 0,
-            "events": 0,
-        },
-        {
-            "tracing": "on",
-            "bench_wall_s": round(on_wall, 4),
-            "spans": n_spans,
-            "events": n_events,
-        },
+        {"mode": "off", "bench_wall_s": round(off_wall, 4), "overhead_pct": 0.0},
+        {"mode": "traced", "bench_wall_s": round(on_wall, 4), "overhead_pct": round(overhead_pct, 1)},
+        {"mode": "live", "bench_wall_s": round(live_wall, 4), "overhead_pct": round(live_pct, 1)},
+        {"mode": "traced+live", "bench_wall_s": round(both_wall, 4), "overhead_pct": round(both_pct, 1)},
     ]
     emit(
         "tracing_overhead",
         render_table(
             rows,
             title=(
-                f"Tracing overhead (TDSP/CARN hash, {PARTITIONS} partitions): "
-                f"{overhead_pct:+.1f}% wall, export {export_wall:.3f}s"
+                f"Observability overhead (TDSP/CARN hash, {PARTITIONS} partitions): "
+                f"tracing {overhead_pct:+.1f}%, live {live_pct:+.1f}%, "
+                f"export {export_wall:.3f}s"
             ),
         ),
     )
@@ -107,10 +138,20 @@ def test_tracing_overhead(benchmark, datasets, emit_json, tmp_path):
             "rounds": ROUNDS,
             "wall_s_tracing_off": round(off_wall, 6),
             "wall_s_tracing_on": round(on_wall, 6),
+            "wall_s_live_on": round(live_wall, 6),
+            "wall_s_traced_and_live": round(both_wall, 6),
             "overhead_pct": round(overhead_pct, 2),
+            "live_overhead_pct": round(live_pct, 2),
+            "traced_and_live_overhead_pct": round(both_pct, 2),
+            "tracing_baseline_pct": TRACING_BASELINE_PCT,
+            "live_overhead_within_tracing": (
+                live_wall <= on_wall
+                or live_pct <= TRACING_BASELINE_PCT
+            ),
             "export_wall_s": round(export_wall, 6),
             "spans_recorded": n_spans,
             "events_recorded": n_events,
+            "live_snapshots": n_snapshots,
             "results_bit_identical": True,
         },
     )

@@ -26,6 +26,43 @@ INSTANCES = int(os.environ.get("REPRO_BENCH_INSTANCES", "50"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 
 RESULTS_DIR = Path(__file__).parent / "results"
+HISTORY_DIR = Path(__file__).parent / "history"
+
+#: Version of the common ``--json`` payload schema every bench emits.
+BENCH_SCHEMA_VERSION = 1
+
+
+def bench_envelope(bench_name: str, results: dict) -> dict:
+    """The common machine-readable payload every ``--json`` bench emits.
+
+    One schema across all ``bench_*.py`` files: a provenance envelope
+    (bench scale knobs + git describe + timestamp, via ``run_provenance``)
+    wrapping the bench's named result series, so downstream tooling can
+    diff any bench against any PR without per-bench parsers.
+    """
+    from repro.observability import run_provenance
+
+    return {
+        "schema": "tibsp-bench-v1",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": bench_name,
+        "provenance": run_provenance(scale=SCALE, instances=INSTANCES, seed=SEED),
+        "results": results,
+    }
+
+
+def bench_history(bench_name: str, envelope: dict) -> Path:
+    """Append one envelope line to ``benchmarks/history/<bench>.jsonl``.
+
+    ``benchmarks/results/`` is truncated at the start of every bench
+    session, so the history lives in its own directory: one JSONL line per
+    run makes the perf trajectory across PRs machine-readable.
+    """
+    HISTORY_DIR.mkdir(exist_ok=True)
+    path = HISTORY_DIR / f"{bench_name}.jsonl"
+    with path.open("a") as fh:
+        fh.write(json.dumps(envelope, sort_keys=True) + "\n")
+    return path
 
 
 def emit(bench_name: str, text: str) -> None:
@@ -50,17 +87,22 @@ def pytest_addoption(parser):
 def emit_json(request):
     """Write ``BENCH_<name>.json`` when the session ran with ``--json``.
 
-    Returns the written path, or None when JSON output is disabled, so
-    benches can emit unconditionally and stay cheap in normal runs.
+    The payload is wrapped in the common :func:`bench_envelope` schema and
+    also appended to ``benchmarks/history/<bench>.jsonl`` so runs across
+    PRs accumulate into a machine-readable perf trajectory.  Returns the
+    written path, or None when JSON output is disabled, so benches can
+    emit unconditionally and stay cheap in normal runs.
     """
     enabled = request.config.getoption("--json")
 
     def _emit(bench_name: str, payload: dict):
         if not enabled:
             return None
+        envelope = bench_envelope(bench_name, payload)
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"BENCH_{bench_name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+        bench_history(bench_name, envelope)
         return path
 
     return _emit

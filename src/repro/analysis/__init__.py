@@ -1,5 +1,10 @@
 """Analysis and reporting: the series/tables behind Figures 5–7."""
 
+from .critical_path import (
+    critical_path_report,
+    crosscheck_critical_path,
+    format_critical_path_report,
+)
 from .export import result_summary, write_csv, write_result_json, write_series_csv
 from .report import render_bar_chart, render_series, render_table
 from .timeline import frontier_matrix, frontier_totals, timestep_times
@@ -12,6 +17,9 @@ from .trace_replay import (
 from .utilization import UtilizationRow, utilization_rows
 
 __all__ = [
+    "critical_path_report",
+    "crosscheck_critical_path",
+    "format_critical_path_report",
     "crosscheck_trace",
     "purge_rolled_back_events",
     "replay_partition_breakdown",

@@ -231,4 +231,19 @@ def crosscheck_trace(
         g, w = walls.get(t, 0.0), m.timestep_wall(t)
         if abs(g - w) > tolerance * max(1.0, abs(w)):
             problems.append(f"timestep {t} wall: replay {g!r} != collector {w!r}")
+
+    # Blocked vs hidden load must also replay exactly: a purge bug that
+    # keeps a rolled-back attempt's instance_load (or drops a committed
+    # one) shows up here even when it cancels out of the wall arithmetic.
+    purged = purge_rolled_back_events(events)
+    blocked = sum(e["seconds"] for e in purged if e.get("kind") == "instance_load")
+    hidden = sum(
+        e.get("hidden_s", 0.0) for e in purged if e.get("kind") == "instance_load"
+    )
+    for label, g, w in (
+        ("blocked load", blocked, m.total_load_s()),
+        ("hidden load", hidden, m.total_load_hidden_s()),
+    ):
+        if abs(g - w) > tolerance * max(1.0, abs(w)):
+            problems.append(f"{label} total: replay {g!r} != collector {w!r}")
     return problems

@@ -6,6 +6,7 @@ Subcommands::
     tibsp edgecuts   — Table 2: edge-cut % for 3/6/9 partitions
     tibsp run        — run one algorithm on one dataset configuration
     tibsp trace      — run one algorithm traced; write Perfetto trace + event log
+    tibsp top        — live TTY dashboard over a running --live-export directory
     tibsp fig5b     — the Giraph-vs-GoFFish comparison
     tibsp store      — write a dataset into a GoFS store directory
 
@@ -21,7 +22,10 @@ import sys
 from pathlib import Path
 
 from .analysis import (
+    critical_path_report,
+    crosscheck_critical_path,
     crosscheck_trace,
+    format_critical_path_report,
     render_series,
     render_table,
     utilization_rows,
@@ -47,7 +51,13 @@ from .generators import (
     smallworld_network,
 )
 from .graph import AttributeSchema, AttributeSpec, GraphTemplate
-from .observability import run_provenance, validate_chrome_trace
+from .observability import (
+    LiveConfig,
+    TraceConfig,
+    run_provenance,
+    run_top,
+    validate_chrome_trace,
+)
 from .partition import MetisLikePartitioner, compute_stats, partition_graph
 from .resilience import CheckpointConfig, FaultPlan, RecoveryPolicy, RunFailureError
 from .runtime import CollectionInstanceSource, GCModel, GreedyRebalancer
@@ -170,12 +180,38 @@ def _write_failure_log(path: str, result) -> None:
     print(f"failure log written to {path}")
 
 
+def _live_config(args: argparse.Namespace):
+    """LiveConfig for the ``--live-*`` flags, or None when live is off."""
+    if not (args.live_metrics or args.live_export):
+        return None
+    return LiveConfig(
+        interval_s=args.live_interval,
+        export_dir=args.live_export,
+    )
+
+
+def _print_live_summary(result) -> None:
+    live = result.live
+    if live is None:
+        return
+    snap = live.last_snapshot()
+    taken = snap["seq"] + 1 if snap is not None else 0
+    print(f"live telemetry: {taken} snapshot(s) taken")
+    if result.health_events:
+        print("health events:")
+        for ev in result.health_events:
+            print(f"  {ev.as_dict()}")
+    if result.early_warnings:
+        print(f"early warnings fed to recovery: {len(result.early_warnings)}")
+
+
 def _run(args: argparse.Namespace) -> int:
     _template, collection, pg, comp = _problem_setup(args)
     config = EngineConfig(
         executor=args.executor,
         gc_model=GCModel() if args.gc else GCModel.disabled(),
         rebalancer=GreedyRebalancer() if args.rebalance else None,
+        live=_live_config(args),
         **_resilience_config(args),
     )
     if (args.prefetch or args.cache_bytes is not None) and args.gofs is None:
@@ -223,6 +259,10 @@ def _run(args: argparse.Namespace) -> int:
         )
     if args.failure_log:
         _write_failure_log(args.failure_log, result)
+    _print_live_summary(result)
+    if args.live_export:
+        print(f"live snapshots: {Path(args.live_export) / 'live.jsonl'}")
+        print(f"prometheus:     {Path(args.live_export) / 'live.prom'}")
     print(render_table([result.metrics.summary()], title=f"{args.algorithm} on {args.graph}"))
     print(render_series(result.metrics.timestep_series(), label="time per timestep (s)"))
     print(render_table([r.as_row() for r in utilization_rows(result)], title="Per-partition utilization"))
@@ -245,11 +285,14 @@ def _run(args: argparse.Namespace) -> int:
 def _trace(args: argparse.Namespace) -> int:
     """Traced run: write Perfetto trace + JSONL event log + run manifest."""
     _template, collection, pg, comp = _problem_setup(args)
+    tracing: bool | TraceConfig = True
+    if args.stream:
+        tracing = TraceConfig(stream_dir=args.out)
     config = EngineConfig(
         executor=args.executor,
         gc_model=GCModel() if args.gc else GCModel.disabled(),
         rebalancer=GreedyRebalancer() if args.rebalance else None,
-        tracing=True,
+        tracing=tracing,
     )
     result = run_application(comp, pg, collection, config=config)
 
@@ -260,10 +303,25 @@ def _trace(args: argparse.Namespace) -> int:
 
     errors = validate_chrome_trace(result.trace.chrome_trace())
     mismatches = crosscheck_trace(result)
+    mismatches += crosscheck_critical_path(result)
     print(render_table([result.metrics.summary()], title=f"{args.algorithm} on {args.graph} (traced)"))
     print(f"trace:    {paths['trace']}  (open in https://ui.perfetto.dev)")
     print(f"events:   {paths['events']}")
     print(f"manifest: {paths['manifest']}")
+    if args.stream:
+        print(f"event log was streamed to {args.out} during the run")
+    if args.report:
+        import json
+
+        report = critical_path_report(
+            result.trace.event_records(),
+            pg.num_partitions,
+            barrier_s=manifest["barrier_s"],
+        )
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report).write_text(json.dumps(report, indent=2))
+        print(f"critical-path report written to {args.report}")
+        print(format_critical_path_report(report))
     if errors:
         print("TRACE VALIDATION FAILED:")
         for e in errors[:20]:
@@ -273,8 +331,13 @@ def _trace(args: argparse.Namespace) -> int:
         for msg in mismatches[:20]:
             print(f"  {msg}")
     if not errors and not mismatches:
-        print("trace valid; event-log replay matches the metrics collector")
+        print("trace valid; replay and critical-path attribution match the metrics collector")
     return 1 if (errors or mismatches) else 0
+
+
+def _top(args: argparse.Namespace) -> int:
+    """Follow a ``--live-export`` directory with the TTY dashboard."""
+    return run_top(args.dir, once=args.once, interval_s=args.interval)
 
 
 def _fig5b(args: argparse.Namespace) -> int:
@@ -380,6 +443,22 @@ def main(argv: list[str] | None = None) -> int:
     res.add_argument(
         "--failure-log", metavar="PATH", help="write the failure log as JSON"
     )
+    live = p.add_argument_group("live telemetry")
+    live.add_argument(
+        "--live-metrics", action="store_true",
+        help="stream per-host telemetry into a driver-side live registry "
+        "(heartbeats, straggler/stall detection)",
+    )
+    live.add_argument(
+        "--live-export", metavar="DIR",
+        help="write live.jsonl snapshots + live.prom Prometheus textfile to "
+        "DIR while the run executes (implies --live-metrics; watch with "
+        "'tibsp top DIR')",
+    )
+    live.add_argument(
+        "--live-interval", type=float, default=0.5, metavar="S",
+        help="seconds between live snapshots (default 0.5)",
+    )
     p.set_defaults(func=_run)
 
     p = sub.add_parser(
@@ -404,7 +483,31 @@ def main(argv: list[str] | None = None) -> int:
         "--out", metavar="DIR", default="trace-out",
         help="output directory for trace.json / events.jsonl / manifest.json",
     )
+    p.add_argument(
+        "--stream", action="store_true",
+        help="stream the event log to --out incrementally during the run, so "
+        "a killed run still leaves a valid events.jsonl behind",
+    )
+    p.add_argument(
+        "--report", metavar="PATH",
+        help="write the critical-path / straggler-attribution report as JSON "
+        "and print its summary",
+    )
     p.set_defaults(func=_trace)
+
+    p = sub.add_parser(
+        "top", help="live TTY dashboard over a run's --live-export directory"
+    )
+    p.add_argument("dir", help="the directory passed to 'tibsp run --live-export'")
+    p.add_argument(
+        "--once", action="store_true",
+        help="render the latest snapshot once and exit (exit 1 if none yet)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh interval in seconds (default 1.0)",
+    )
+    p.set_defaults(func=_top)
 
     p = sub.add_parser("fig5b", help="Giraph vs GoFFish comparison")
     _add_common(p)

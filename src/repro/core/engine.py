@@ -38,19 +38,30 @@ instead of hanging.  Deterministic application errors are never retried.
 
 from __future__ import annotations
 
+import copy
 import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 from ..graph.collection import TimeSeriesGraphCollection
-from ..observability import NULL_SPAN, RunTrace, tracing_enabled
+from ..observability import (
+    NULL_SPAN,
+    JsonlSnapshotExporter,
+    LiveConfig,
+    LiveMetrics,
+    PrometheusTextfileExporter,
+    RunTrace,
+    live_enabled,
+    tracing_enabled,
+)
 from ..partition.base import PartitionedGraph
 from ..resilience.checkpoint import CheckpointConfig, CheckpointCorrupt, CheckpointManager
 from ..resilience.faults import FaultPlan
 from ..resilience.recovery import (
+    EarlyWarning,
     FailureRecord,
     RecoverableError,
     RecoveryPolicy,
@@ -114,6 +125,17 @@ class EngineConfig:
         the result as ``result.trace`` — exportable to Perfetto and the
         JSONL event log.  Tracing only observes: engine results are
         bit-identical with it on or off.
+    live:
+        ``None``/``False`` (default, a strict no-op), ``True``, or a
+        :class:`~repro.observability.LiveConfig`.  When enabled, the run
+        maintains a thread-safe :class:`~repro.observability.LiveMetrics`
+        registry (attached as ``result.live``) fed at every protocol
+        round: ring-buffered snapshots, per-partition utilization,
+        host-published cache/prefetch stats, heartbeat/straggler/stall
+        detection, and optional Prometheus-textfile + JSONL exporters
+        (``LiveConfig.export_dir``).  Like tracing, the live plane only
+        observes — results are bit-identical with it on or off — and its
+        cumulative totals match ``result.metrics.summary()`` exactly.
     checkpoint:
         Optional :class:`~repro.resilience.checkpoint.CheckpointConfig`.
         When set, durable boundary snapshots are written on the configured
@@ -143,6 +165,7 @@ class EngineConfig:
     combiners: bool = True
     rebalancer: object | None = None
     tracing: object | None = None
+    live: object | None = None
     checkpoint: CheckpointConfig | None = None
     faults: FaultPlan | None = None
     recovery: RecoveryPolicy | None = None
@@ -188,7 +211,7 @@ class TIBSPEngine:
     # -- cluster construction ------------------------------------------------------
 
     def _make_cluster(
-        self, computation: TimeSeriesComputation, meta: RunMeta, tracing: bool
+        self, computation: TimeSeriesComputation, meta: RunMeta, tracing: bool, live: bool = False
     ) -> Cluster:
         cfg = self.config
         if cfg.executor == "process":
@@ -209,6 +232,7 @@ class TIBSPEngine:
                 cost_model=cfg.cost_model,
                 use_combiners=cfg.combiners,
                 tracing=tracing,
+                live=live,
                 gather_timeout_s=gather_timeout,
                 fault_plan=cfg.faults,
             )
@@ -222,8 +246,40 @@ class TIBSPEngine:
             executor=cfg.executor,
             use_combiners=cfg.combiners,
             tracing=tracing,
+            live=live,
             fault_plan=cfg.faults,
         )
+
+    def _make_live(self, policy: RecoveryPolicy | None, num_timesteps: int) -> LiveMetrics | None:
+        """Build the live registry (mirror collector + exporters) when enabled."""
+        cfg = self.config
+        if not live_enabled(cfg.live):
+            return None
+        live_cfg = cfg.live if isinstance(cfg.live, LiveConfig) else LiveConfig()
+        if policy is not None and policy.stall_warning_s is not None:
+            live_cfg = replace(live_cfg, stall_after_s=policy.stall_warning_s)
+        # The mirror is a second MetricsCollector with identical construction
+        # args, fed through the live plane with exactly the records the run's
+        # own collector receives — so live.summary() == metrics.summary()
+        # exactly, as a genuine end-to-end completeness check.
+        mirror = MetricsCollector(
+            self.pg.num_partitions,
+            barrier_s=cfg.cost_model.barrier_cost(self.pg.num_partitions),
+        )
+        live = LiveMetrics(
+            self.pg.num_partitions,
+            mirror=mirror,
+            num_timesteps=num_timesteps,
+            config=live_cfg,
+        )
+        if live_cfg.export_dir is not None:
+            from pathlib import Path
+
+            out = Path(live_cfg.export_dir)
+            live.add_exporter(JsonlSnapshotExporter(out / "live.jsonl"))
+            live.add_exporter(PrometheusTextfileExporter(out / "live.prom"))
+        live.start()
+        return live
 
     # -- routing helpers --------------------------------------------------------------
 
@@ -317,10 +373,15 @@ class TIBSPEngine:
         policy = cfg.recovery if cfg.recovery is not None else (
             RecoveryPolicy() if cfg.faults is not None else None
         )
+        live = self._make_live(policy, stop)
+        result.live = live
 
-        cluster = self._make_cluster(computation, meta, trace is not None)
+        cluster = self._make_cluster(computation, meta, trace is not None, live is not None)
         if trace is not None:
             cluster.driver_tracer = trace.tracer
+            stream_dir = getattr(cfg.tracing, "stream_dir", None)
+            if stream_dir is not None:
+                trace.open_stream(stream_dir)
 
         # Remote temporal sends buffered between timesteps, still framed;
         # same-partition temporal sends never leave their host.  This list's
@@ -336,6 +397,8 @@ class TIBSPEngine:
                 t, resume_inner, input_msgs, metrics = self._install_driver_blob(
                     blob, result, temporal_frames
                 )
+                if live is not None:
+                    live.resync(copy.deepcopy(metrics))
                 cluster.restore(
                     loaded.parts,
                     reload_timestep=t if blob["phase"] == "superstep" else None,
@@ -372,7 +435,7 @@ class TIBSPEngine:
                     try:
                         with trace.tracer.span("timestep", t=t) if trace is not None else NULL_SPAN:
                             halted_early = self._run_timestep(
-                                cluster, metrics, trace, result, pattern, t, start, stop,
+                                cluster, metrics, trace, live, result, pattern, t, start, stop,
                                 input_msgs, temporal_frames,
                                 resume=resume_inner, manager=manager,
                             )
@@ -382,7 +445,7 @@ class TIBSPEngine:
                         incident_attempt += 1
                         outcome = self._attempt_recovery(
                             exc, incident_attempt, policy, manager, genesis,
-                            cluster, result, trace, temporal_frames, at_t=t,
+                            cluster, result, trace, live, temporal_frames, at_t=t,
                         )
                         if outcome is None:
                             return self._exhausted(exc, policy, result, t)
@@ -393,10 +456,14 @@ class TIBSPEngine:
                     result.timesteps_executed += 1
                     if manager is not None and (t - start + 1) % cfg.checkpoint.every == 0:
                         self._write_checkpoint(
-                            manager, cluster, metrics, trace, pattern,
+                            manager, cluster, metrics, trace, live, pattern,
                             "timestep", t + 1, None, None, None,
                             temporal_frames, input_msgs, result,
                         )
+                    if trace is not None:
+                        # Streamed event-log flush point: everything up to
+                        # this timestep boundary is durable on disk.
+                        trace.stream_flush()
                     t += 1
                     if halted_early:
                         # Only count as early when timesteps actually remained.
@@ -404,7 +471,7 @@ class TIBSPEngine:
                         break
                 if not merge_done:
                     try:
-                        self._run_merge(cluster, metrics, trace, result)
+                        self._run_merge(cluster, metrics, trace, live, result)
                         merge_done = True
                     except RecoverableError as exc:
                         if policy is None:
@@ -412,7 +479,7 @@ class TIBSPEngine:
                         incident_attempt += 1
                         outcome = self._attempt_recovery(
                             exc, incident_attempt, policy, manager, genesis,
-                            cluster, result, trace, temporal_frames, at_t=-1,
+                            cluster, result, trace, live, temporal_frames, at_t=-1,
                         )
                         if outcome is None:
                             return self._exhausted(exc, policy, result, -1)
@@ -424,8 +491,36 @@ class TIBSPEngine:
             if cfg.collect_states:
                 result.states = cluster.final_states()
         finally:
+            if live is not None:
+                # Stop the watchdog, force the final snapshot, close the
+                # exporters — then hand the health events over.  Runs even
+                # on abnormal exit, so exporters always hold the last state.
+                live.finalize()
+                result.health_events = live.health_events()
+                if policy is not None:
+                    result.early_warnings = [
+                        EarlyWarning(
+                            kind=e.kind,
+                            partition=e.partition,
+                            timestep=e.timestep,
+                            superstep=e.superstep,
+                            age_s=e.seconds,
+                            threshold_s=(
+                                live.config.stall_after_s if e.kind == "stalled" else None
+                            ),
+                            detail=e.detail,
+                        )
+                        for e in result.health_events
+                    ]
+                if trace is not None:
+                    packet = live.drain_telemetry()
+                    if packet is not None:
+                        trace.absorb(packet)
             cluster.shutdown()
             if trace is not None:
+                # Flush the streamed event-log tail (valid JSONL even when
+                # the run died mid-timestep) and fold the driver tracer in.
+                trace.close_stream()
                 trace.finish()
         return result
 
@@ -502,6 +597,7 @@ class TIBSPEngine:
         cluster: Cluster,
         metrics: MetricsCollector,
         trace: RunTrace | None,
+        live: LiveMetrics | None,
         pattern: Pattern,
         phase: str,
         next_t: int,
@@ -530,6 +626,8 @@ class TIBSPEngine:
         )
         cost = self.config.cost_model.checkpoint_cost(info.nbytes)
         metrics.record_checkpoint(next_t, info.nbytes, cost)
+        if live is not None:
+            live.observe_checkpoint(next_t, info.nbytes, cost)
         if trace is not None:
             trace.tracer.event(
                 "checkpoint_write",
@@ -551,6 +649,7 @@ class TIBSPEngine:
         cluster: Cluster,
         result: AppResult,
         trace: RunTrace | None,
+        live: LiveMetrics | None,
         temporal_frames: list[MessageFrame],
         *,
         at_t: int,
@@ -615,8 +714,16 @@ class TIBSPEngine:
         next_t, resume_inner, input_msgs, metrics = self._install_driver_blob(
             blob, result, temporal_frames
         )
+        if live is not None:
+            # Rewind the live plane with a *copy* of the rolled-back
+            # collector (deepcopy preserves dict insertion order, so the
+            # exact-summary invariant survives), then mirror the recovery
+            # record the run's collector is about to take.
+            live.resync(copy.deepcopy(metrics))
         seconds = time.perf_counter() - started
         metrics.record_recovery(next_t, seconds)
+        if live is not None:
+            live.observe_recovery(next_t, seconds)
         if tr is not None:
             tr.event(
                 "restore",
@@ -647,28 +754,35 @@ class TIBSPEngine:
         self,
         metrics: MetricsCollector,
         trace: RunTrace | None,
+        live: LiveMetrics | None,
         phase: str,
         t: int,
         s: int,
         results: list[HostStepResult],
     ) -> None:
-        for r in results:
-            metrics.record_step(
-                StepRecord(
-                    phase=phase,
-                    timestep=t,
-                    superstep=s,
-                    partition=r.partition,
-                    compute_s=r.compute_s,
-                    send_s=r.send_s,
-                    subgraphs_computed=r.subgraphs_computed,
-                    messages_sent=r.messages_sent,
-                    bytes_sent=r.bytes_sent,
-                    local_messages=r.local_messages,
-                    remote_messages=r.remote_messages,
-                    frames_sent=r.frames_sent,
-                )
+        records = [
+            StepRecord(
+                phase=phase,
+                timestep=t,
+                superstep=s,
+                partition=r.partition,
+                compute_s=r.compute_s,
+                send_s=r.send_s,
+                subgraphs_computed=r.subgraphs_computed,
+                messages_sent=r.messages_sent,
+                bytes_sent=r.bytes_sent,
+                local_messages=r.local_messages,
+                remote_messages=r.remote_messages,
+                frames_sent=r.frames_sent,
             )
+            for r in results
+        ]
+        for rec in records:
+            metrics.record_step(rec)
+        if live is not None:
+            # The same StepRecords, in the same order, go to the live
+            # plane's mirror collector — the exact-summary invariant.
+            live.observe_steps(phase, t, s, records)
         if trace is not None:
             # Mirror every StepRecord as a "step" event: the event log must
             # carry everything the aggregate collector sees, so the replay
@@ -697,6 +811,7 @@ class TIBSPEngine:
         cluster: Cluster,
         metrics: MetricsCollector,
         trace: RunTrace | None,
+        live: LiveMetrics | None,
         result: AppResult,
         pattern: Pattern,
         t: int,
@@ -724,7 +839,7 @@ class TIBSPEngine:
         """
         tr = trace.tracer if trace is not None else None
         if self.config.rebalancer is not None and t > start:
-            self._rebalance(cluster, metrics, trace, t)
+            self._rebalance(cluster, metrics, trace, live, t)
         if resume is not None:
             superstep = resume["superstep"]
             per_part = resume["per_part"]
@@ -737,12 +852,18 @@ class TIBSPEngine:
             else:
                 pauses = [0.0] * self.pg.num_partitions
 
+            if live is not None:
+                live.round_begin("begin_timestep", t, -1)
             with tr.span("begin_timestep", t=t) if tr is not None else NULL_SPAN:
                 begin_results = cluster.begin_timestep(t, pauses)
             for r in begin_results:
                 metrics.record_load(t, r.partition, r.load_s, hidden=r.load_hidden_s)
                 if r.gc_pause_s:
                     metrics.record_gc(t, r.partition, r.gc_pause_s)
+            if live is not None:
+                # Mirrors the record_load/record_gc loop above (same order,
+                # same args) and folds host-published source stats.
+                live.observe_begin(t, begin_results)
             if trace is not None:
                 trace.absorb_results(begin_results)
                 for r in begin_results:
@@ -784,6 +905,8 @@ class TIBSPEngine:
                     f"timestep {t} exceeded max_supersteps={self.config.max_supersteps}; "
                     "is the computation failing to vote to halt?"
                 )
+            if live is not None:
+                live.round_begin(PHASE_COMPUTE, t, superstep)
             with tr.span("superstep", t=t, s=superstep) if tr is not None else NULL_SPAN:
                 barrier_start = time.perf_counter()
                 step_results = cluster.run_superstep(t, superstep, per_part)
@@ -795,7 +918,7 @@ class TIBSPEngine:
                         superstep=superstep,
                         wall_s=time.perf_counter() - barrier_start,
                     )
-            self._record(metrics, trace, PHASE_COMPUTE, t, superstep, step_results)
+            self._record(metrics, trace, live, PHASE_COMPUTE, t, superstep, step_results)
 
             frames: list[MessageFrame] = []
             for r in step_results:
@@ -810,6 +933,8 @@ class TIBSPEngine:
                 cluster.prefetch(t + 1)
                 cost = self.config.cost_model.prefetch_cost()
                 metrics.record_prefetch(t, cost)
+                if live is not None:
+                    live.observe_prefetch(t, cost)
                 if tr is not None:
                     tr.event(
                         "prefetch_issue",
@@ -833,14 +958,16 @@ class TIBSPEngine:
                 # Mid-timestep durable boundary: ``superstep`` is the next
                 # one to execute, with its deliveries and votes in the blob.
                 self._write_checkpoint(
-                    manager, cluster, metrics, trace, pattern,
+                    manager, cluster, metrics, trace, live, pattern,
                     "superstep", t, superstep, per_part, halt_votes,
                     temporal_frames, input_msgs, result,
                 )
 
+        if live is not None:
+            live.round_begin("end_of_timestep", t, superstep)
         with tr.span("end_of_timestep", t=t) if tr is not None else NULL_SPAN:
             eot_results = cluster.end_of_timestep(t)
-        self._record(metrics, trace, PHASE_COMPUTE, t, superstep, eot_results)
+        self._record(metrics, trace, live, PHASE_COMPUTE, t, superstep, eot_results)
         pending_temporal = 0
         for r in eot_results:
             temporal_frames.extend(r.temporal_frames)
@@ -855,7 +982,12 @@ class TIBSPEngine:
     # -- dynamic rebalancing ---------------------------------------------------------------
 
     def _rebalance(
-        self, cluster: Cluster, metrics: MetricsCollector, trace: RunTrace | None, t: int
+        self,
+        cluster: Cluster,
+        metrics: MetricsCollector,
+        trace: RunTrace | None,
+        live: LiveMetrics | None,
+        t: int,
     ) -> None:
         """Ask the policy for moves based on the previous timestep's load."""
         from ..runtime.cluster import LocalCluster
@@ -895,6 +1027,8 @@ class TIBSPEngine:
             # (apply_migrations updated the engine's copy; mirror onto hosts').
             cluster.hosts[0].subgraph_partition[:] = self._sg_part
         metrics.record_migration(t, len(moves), cost)
+        if live is not None:
+            live.observe_migration(t, len(moves), cost)
         if tr is not None:
             tr.event("migration", timestep=t, count=len(moves), cost_s=cost)
 
@@ -905,6 +1039,7 @@ class TIBSPEngine:
         cluster: Cluster,
         metrics: MetricsCollector,
         trace: RunTrace | None,
+        live: LiveMetrics | None,
         result: AppResult,
     ) -> None:
         tr = trace.tracer if trace is not None else None
@@ -913,6 +1048,8 @@ class TIBSPEngine:
         while True:
             if superstep >= self.config.max_supersteps:
                 raise RuntimeError("merge phase exceeded max_supersteps")
+            if live is not None:
+                live.round_begin(PHASE_MERGE, -1, superstep)
             with tr.span("merge_superstep", s=superstep) if tr is not None else NULL_SPAN:
                 barrier_start = time.perf_counter()
                 step_results = cluster.run_merge_superstep(superstep, per_part)
@@ -924,7 +1061,7 @@ class TIBSPEngine:
                         superstep=superstep,
                         wall_s=time.perf_counter() - barrier_start,
                     )
-            self._record(metrics, trace, PHASE_MERGE, -1, superstep, step_results)
+            self._record(metrics, trace, live, PHASE_MERGE, -1, superstep, step_results)
             frames: list[MessageFrame] = []
             for r in step_results:
                 frames.extend(r.frames)

@@ -50,6 +50,21 @@ class AppResult:
         Every :class:`~repro.resilience.recovery.FailureRecord` the
         recovery loop handled, including faults that were successfully
         retried (empty for fault-free runs).
+    live:
+        The :class:`~repro.observability.live.LiveMetrics` registry when
+        the run was configured with ``EngineConfig(live=...)``; ``None``
+        otherwise.  ``result.live.summary()`` matches
+        ``result.metrics.summary()`` exactly, and ``result.live.snapshots``
+        holds the ring-buffered time series.
+    health_events:
+        Every :class:`~repro.observability.live.HealthEvent` the live
+        plane flagged (stragglers, stalls, rollbacks); empty when live
+        telemetry is off.
+    early_warnings:
+        The same findings as :class:`~repro.resilience.recovery.EarlyWarning`
+        records — populated only when the run also had a
+        :class:`~repro.resilience.recovery.RecoveryPolicy`, so recovery
+        tooling reads one vocabulary.
     """
 
     outputs: list[tuple[int, int, Any]] = field(default_factory=list)
@@ -62,6 +77,9 @@ class AppResult:
     trace: Any | None = None
     failure: Any | None = None
     failure_log: list[Any] = field(default_factory=list)
+    live: Any | None = None
+    health_events: list[Any] = field(default_factory=list)
+    early_warnings: list[Any] = field(default_factory=list)
 
     def outputs_by_timestep(self) -> dict[int, list[Any]]:
         """Group output records by the timestep that emitted them."""

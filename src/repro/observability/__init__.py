@@ -23,12 +23,39 @@ Three primitives, one collector:
 collector the engine owns for one run: it absorbs packets, merges
 counters, and writes the three run artifacts (``trace.json``,
 ``events.jsonl``, ``manifest.json``).
+
+The **live telemetry plane** (:mod:`~repro.observability.live`) layers a
+during-the-run view on the same telemetry: a thread-safe
+:class:`~repro.observability.live.LiveMetrics` registry with ring-buffered
+snapshots, heartbeat/straggler/stall detection, Prometheus-textfile and
+JSONL exporters (:mod:`~repro.observability.export`), and the ``tibsp top``
+TTY dashboard (:mod:`~repro.observability.top`).
 """
 
 from .chrome import TRACE_SCHEMA_VERSION, chrome_trace, validate_chrome_trace, write_chrome_trace
-from .events import EVENT_SCHEMA_VERSION, read_event_log, write_event_log
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    BufferedEventLogWriter,
+    read_event_log,
+    write_event_log,
+)
+from .export import (
+    JsonlSnapshotExporter,
+    PrometheusTextfileExporter,
+    read_snapshots,
+    validate_live_snapshot,
+)
+from .live import (
+    LIVE_SCHEMA_VERSION,
+    HealthEvent,
+    HeartbeatMonitor,
+    LiveConfig,
+    LiveMetrics,
+    live_enabled,
+)
 from .provenance import PROVENANCE_SCHEMA_VERSION, git_describe, run_provenance
 from .runtrace import RunTrace, TraceConfig, tracing_enabled
+from .top import latest_snapshot, render_top, run_top
 from .tracer import DRIVER_PID, NULL_SPAN, Span, TracePacket, Tracer, partition_pid
 
 __all__ = [
@@ -37,8 +64,22 @@ __all__ = [
     "validate_chrome_trace",
     "write_chrome_trace",
     "EVENT_SCHEMA_VERSION",
+    "BufferedEventLogWriter",
     "read_event_log",
     "write_event_log",
+    "JsonlSnapshotExporter",
+    "PrometheusTextfileExporter",
+    "read_snapshots",
+    "validate_live_snapshot",
+    "LIVE_SCHEMA_VERSION",
+    "HealthEvent",
+    "HeartbeatMonitor",
+    "LiveConfig",
+    "LiveMetrics",
+    "live_enabled",
+    "latest_snapshot",
+    "render_top",
+    "run_top",
     "PROVENANCE_SCHEMA_VERSION",
     "git_describe",
     "run_provenance",

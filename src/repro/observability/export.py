@@ -1,0 +1,205 @@
+"""Exporters for the live telemetry plane.
+
+Two zero-dependency sinks for :meth:`LiveMetrics.snapshot` records:
+
+* :class:`JsonlSnapshotExporter` appends every snapshot as one JSON line
+  to ``live.jsonl`` (flushed per record so a killed run leaves every
+  snapshot it took), giving a machine-readable time series of the run;
+* :class:`PrometheusTextfileExporter` rewrites ``live.prom`` with the
+  *latest* snapshot in Prometheus text exposition format (atomic
+  tmp-then-rename so a node-exporter textfile collector never reads a
+  torn file).
+
+Both implement the duck type :class:`LiveMetrics` expects from
+``add_exporter``: ``export(snapshot)`` and ``close()``.
+
+:func:`validate_live_snapshot` checks a snapshot record against the
+schema the ``tibsp top`` dashboard and the CI smoke job rely on, in the
+spirit of ``validate_chrome_trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator
+
+from .live import LIVE_SCHEMA_VERSION
+
+__all__ = [
+    "JsonlSnapshotExporter",
+    "PrometheusTextfileExporter",
+    "read_snapshots",
+    "validate_live_snapshot",
+]
+
+
+class JsonlSnapshotExporter:
+    """Append each snapshot as one JSON line; flush per record."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def export(self, snapshot: dict[str, Any]) -> None:
+        if self._fh.closed:
+            return
+        self._fh.write(json.dumps(snapshot, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def read_snapshots(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Read a ``live.jsonl`` file back into snapshot dicts."""
+    snapshots = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                snapshots.append(json.loads(line))
+    return snapshots
+
+
+class PrometheusTextfileExporter:
+    """Rewrite a ``.prom`` textfile with the latest snapshot, atomically.
+
+    Metric names follow node-exporter textfile-collector conventions:
+    ``tibsp_`` prefix, ``_total`` suffix on counters, one ``# HELP`` /
+    ``# TYPE`` header per family.  Per-partition series carry a
+    ``partition`` label.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._closed = False
+
+    def export(self, snapshot: dict[str, Any]) -> None:
+        if self._closed:
+            return
+        text = render_prometheus(snapshot)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+def _families(snapshot: dict[str, Any]) -> Iterator[tuple[str, str, str, list[tuple[str, Any]]]]:
+    """Yield ``(name, type, help, [(labels, value), ...])`` metric families."""
+    totals = snapshot.get("totals", {})
+    gauge_totals = {
+        "total_wall_s": "run wall-clock seconds so far",
+        "cut_traffic_ratio": "remote / total message ratio",
+    }
+    for key, value in totals.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key in gauge_totals:
+            yield f"tibsp_{key}", "gauge", gauge_totals[key], [("", value)]
+        else:
+            yield f"tibsp_{key}_total", "counter", f"cumulative {key}", [("", value)]
+    progress = snapshot.get("progress", {})
+    yield (
+        "tibsp_timesteps_done",
+        "gauge",
+        "timesteps fully executed",
+        [("", progress.get("timesteps_done", 0))],
+    )
+    yield (
+        "tibsp_snapshot_seq",
+        "counter",
+        "live snapshot sequence number",
+        [("", snapshot.get("seq", 0))],
+    )
+    per_part: dict[str, tuple[str, str, list[tuple[str, Any]]]] = {
+        "busy_s": ("counter", "cumulative busy seconds", []),
+        "messages": ("counter", "cumulative messages sent", []),
+        "utilization": ("gauge", "busy share of peak partition", []),
+        "heartbeats": ("counter", "telemetry observations received", []),
+    }
+    for part in snapshot.get("partitions", []):
+        labels = f'{{partition="{part["partition"]}"}}'
+        for key, (_, _, samples) in per_part.items():
+            value = part.get(key)
+            if value is not None:
+                samples.append((labels, value))
+    for key, (mtype, help_, samples) in per_part.items():
+        if samples:
+            suffix = "_total" if mtype == "counter" else ""
+            yield f"tibsp_partition_{key}{suffix}", mtype, help_, samples
+    sources = snapshot.get("sources", {})
+    for key, value in sources.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            yield f"tibsp_source_{key}_total", "counter", f"aggregated source {key}", [("", value)]
+    health = snapshot.get("health", {})
+    yield (
+        "tibsp_stalled",
+        "gauge",
+        "1 when the in-flight round exceeded the stall threshold",
+        [("", 1 if health.get("stalled") else 0)],
+    )
+    yield (
+        "tibsp_stragglers",
+        "gauge",
+        "partitions currently flagged as stragglers",
+        [("", len(health.get("stragglers", [])))],
+    )
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render one snapshot in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, mtype, help_, samples in _families(snapshot):
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} {mtype}")
+        for labels, value in samples:
+            lines.append(f"{name}{labels} {value}")
+    return "\n".join(lines) + "\n"
+
+
+def validate_live_snapshot(record: dict[str, Any]) -> list[str]:
+    """Return a list of schema violations for one snapshot (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return [f"snapshot must be a dict, got {type(record).__name__}"]
+    if record.get("schema") != LIVE_SCHEMA_VERSION:
+        errors.append(f"schema must be {LIVE_SCHEMA_VERSION}, got {record.get('schema')!r}")
+    if record.get("kind") != "live_snapshot":
+        errors.append(f"kind must be 'live_snapshot', got {record.get('kind')!r}")
+    for key, typ in (("seq", int), ("wall_s", (int, float)), ("phase", str)):
+        if not isinstance(record.get(key), typ):
+            errors.append(f"missing or mistyped field {key!r}")
+    for key in ("totals", "progress", "sources", "health"):
+        if not isinstance(record.get(key), dict):
+            errors.append(f"missing or mistyped field {key!r}")
+    parts = record.get("partitions")
+    if not isinstance(parts, list):
+        errors.append("missing or mistyped field 'partitions'")
+    else:
+        for i, part in enumerate(parts):
+            if not isinstance(part, dict) or "partition" not in part:
+                errors.append(f"partitions[{i}] missing 'partition'")
+                continue
+            for key in ("busy_s", "messages", "utilization", "heartbeats"):
+                if key not in part:
+                    errors.append(f"partitions[{i}] missing {key!r}")
+    health = record.get("health")
+    if isinstance(health, dict):
+        if not isinstance(health.get("stragglers"), list):
+            errors.append("health.stragglers must be a list")
+        if not isinstance(health.get("recent"), list):
+            errors.append("health.recent must be a list")
+    return errors

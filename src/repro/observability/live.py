@@ -1,0 +1,561 @@
+"""Live telemetry plane: streaming metrics, heartbeats, straggler detection.
+
+Post-hoc tracing (PR 2) answers *what happened*; this module answers *what
+is happening*.  The engine feeds a :class:`LiveMetrics` registry at every
+protocol round — the same records, in the same order, that it feeds its
+:class:`~repro.runtime.metrics.MetricsCollector` — so the live plane's
+cumulative totals match the collector **exactly** at the end of the run,
+yet travel a genuinely independent observation path (an internal mirror
+collector injected by the engine, never the run's own).
+
+Three concerns live here:
+
+* **streaming aggregation** — thread-safe accumulation of per-partition
+  busy/compute/send/message series, host-published source stats (cache and
+  prefetch counters riding protocol replies), and a ring buffer of periodic
+  :meth:`LiveMetrics.snapshot` dicts that exporters and the ``tibsp top``
+  dashboard consume;
+* **heartbeat / straggler detection** — per-partition last-seen liveness,
+  a per-round stall watchdog (:class:`HeartbeatMonitor`, a daemon thread
+  that keeps watching while the driver blocks in a gather), and
+  median-based straggler attribution at snapshot ticks.  Health findings
+  become :class:`HealthEvent` records, surface in snapshots, and are
+  emitted into the PR 2 event log as ``straggler``/``stalled``/``rollback``
+  events via the registry's own tracer track (drained by the engine at the
+  end of the run — never shared with the driver's tracer, so no
+  cross-thread races);
+* **recovery integration** — :meth:`LiveMetrics.resync` swaps the mirror
+  for a copy of a restored collector after rollback recovery, so streaming
+  totals rewind exactly like the run's own metrics do.
+
+Like the rest of this package the module is repro-agnostic: the mirror
+collector is dependency-injected by the engine (duck-typed ``record_*`` /
+``summary`` surface), so no import cycle forms.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from .tracer import DRIVER_PID, Tracer
+
+__all__ = [
+    "LIVE_SCHEMA_VERSION",
+    "HealthEvent",
+    "HeartbeatMonitor",
+    "LiveConfig",
+    "LiveMetrics",
+    "live_enabled",
+]
+
+#: Version of the live snapshot record envelope (``live.jsonl`` lines).
+LIVE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Live-telemetry knobs for ``EngineConfig.live``.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  ``EngineConfig(live=True)`` is shorthand for
+        ``EngineConfig(live=LiveConfig())``.
+    interval_s:
+        Minimum seconds between periodic snapshots.  ``0`` snapshots at
+        every observation (tests; short runs).
+    ring:
+        Snapshot ring-buffer capacity (older snapshots fall off; exporters
+        already received them).
+    export_dir:
+        When set, the engine attaches the Prometheus-textfile and JSONL
+        snapshot exporters writing ``live.prom`` / ``live.jsonl`` here.
+    heartbeat_s:
+        Cadence of the stall watchdog thread.  ``None`` disables the
+        thread; stall checks then only happen at snapshot ticks (i.e. not
+        while the driver is blocked in a gather).
+    stall_after_s:
+        A protocol round older than this is flagged ``stalled``.  The
+        engine substitutes ``RecoveryPolicy.stall_warning_s`` when the run
+        has a recovery policy that sets one.
+    straggler_factor / straggler_min_s:
+        A partition whose busy-time delta since the last snapshot exceeds
+        ``straggler_factor`` × the median delta *and* exceeds the median by
+        at least ``straggler_min_s`` seconds is flagged ``straggler``.
+    """
+
+    enabled: bool = True
+    interval_s: float = 0.5
+    ring: int = 256
+    export_dir: str | None = None
+    heartbeat_s: float | None = 0.5
+    stall_after_s: float = 5.0
+    straggler_factor: float = 2.0
+    straggler_min_s: float = 0.05
+
+
+def live_enabled(live: object) -> bool:
+    """Interpret an ``EngineConfig.live`` value (None/bool/LiveConfig)."""
+    if live is None or live is False:
+        return False
+    if live is True:
+        return True
+    return bool(getattr(live, "enabled", False))
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One liveness finding (also emitted into the structured event log)."""
+
+    kind: str  #: straggler | stalled | rollback
+    partition: int | None
+    timestep: int
+    superstep: int
+    wall_s: float  #: seconds since the run started when detected
+    seconds: float  #: magnitude (busy delta, round age, ...) behind the finding
+    detail: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "partition": self.partition,
+            "timestep": self.timestep,
+            "superstep": self.superstep,
+            "wall_s": round(self.wall_s, 6),
+            "seconds": round(self.seconds, 6),
+            "detail": self.detail,
+        }
+
+
+class LiveMetrics:
+    """Thread-safe driver-side registry of one run's streaming telemetry.
+
+    Parameters
+    ----------
+    num_partitions:
+        Cluster width.
+    mirror:
+        A fresh :class:`~repro.runtime.metrics.MetricsCollector` (duck-
+        typed), dependency-injected by the engine.  Fed through the
+        ``observe_*`` methods with exactly the records the engine feeds the
+        run's own collector, so :meth:`summary` equals the run summary
+        exactly — an end-to-end completeness proof of the live path.
+    num_timesteps:
+        Planned timesteps (progress denominator).
+    config:
+        :class:`LiveConfig`; defaults apply when ``None``.
+    clock:
+        Monotonic clock (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        *,
+        mirror: Any,
+        num_timesteps: int = 0,
+        config: LiveConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.num_partitions = int(num_partitions)
+        self.num_timesteps = int(num_timesteps)
+        self.config = config or LiveConfig()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._mirror = mirror
+        self._started = clock()
+        n = self.num_partitions
+        self.busy_s = [0.0] * n
+        self.compute_s = [0.0] * n
+        self.send_s = [0.0] * n
+        self.messages = [0] * n
+        self.heartbeats = [0] * n
+        #: Per-partition last-observation instants (monotonic; None = never).
+        self.last_seen: list[float | None] = [None] * n
+        #: Host-published source stats (cache/prefetch counters), by partition.
+        self.source_stats: dict[int, dict[str, Any]] = {}
+        self.snapshots: deque[dict[str, Any]] = deque(maxlen=max(1, self.config.ring))
+        self._seq = 0
+        self._last_snap: float | None = None
+        self._busy_at_snap = [0.0] * n
+        self._flagged_stragglers: set[int] = set()
+        self._health: list[HealthEvent] = []
+        self._recent = deque(maxlen=32)
+        #: In-flight protocol round: ``(phase, timestep, superstep, started)``.
+        self._round: tuple[str, int, int, float] | None = None
+        self._stall_flagged = False
+        self._current = ("idle", -1, -1)
+        self._exporters: list[Any] = []
+        #: Dedicated tracer track for health events.  Shares the driver's
+        #: logical pid but never its Tracer object: health events may be
+        #: recorded from the watchdog thread, and this tracer is only
+        #: touched under ``self._lock``.
+        self._tracer = Tracer(DRIVER_PID, "driver")
+        self._monitor: HeartbeatMonitor | None = None
+        self._finalized = False
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def add_exporter(self, exporter: Any) -> None:
+        """Attach an exporter (``export(snapshot)`` + ``close()`` duck type)."""
+        with self._lock:
+            self._exporters.append(exporter)
+
+    def start(self) -> None:
+        """Start the stall watchdog when the config asks for one."""
+        if self.config.heartbeat_s is not None and self._monitor is None:
+            self._monitor = HeartbeatMonitor(self, self.config.heartbeat_s)
+            self._monitor.start()
+
+    def finalize(self) -> dict[str, Any] | None:
+        """Stop the watchdog, take the final snapshot, close exporters.
+
+        Idempotent; returns the final snapshot.  Called from the engine's
+        ``finally`` so a crashed run still flushes its exporters.
+        """
+        if self._monitor is not None:
+            self._monitor.stop()
+            self._monitor = None
+        with self._lock:
+            if self._finalized:
+                return self.snapshots[-1] if self.snapshots else None
+            snap = self.snapshot(force=True)
+            for exporter in self._exporters:
+                close = getattr(exporter, "close", None)
+                if callable(close):
+                    close()
+            self._finalized = True
+            return snap
+
+    def last_snapshot(self) -> dict[str, Any] | None:
+        """The most recent snapshot record, or None before the first tick."""
+        with self._lock:
+            return self.snapshots[-1] if self.snapshots else None
+
+    def drain_telemetry(self):
+        """Drain health events as a TracePacket for the run's event log."""
+        with self._lock:
+            return self._tracer.drain()
+
+    # -- observation (engine feed points) -----------------------------------------------
+
+    def round_begin(self, phase: str, timestep: int, superstep: int) -> None:
+        """A scatter/gather round is about to block; arm the stall watchdog."""
+        with self._lock:
+            self._round = (phase, int(timestep), int(superstep), self._clock())
+            self._stall_flagged = False
+            self._current = (phase, int(timestep), int(superstep))
+
+    def observe_steps(
+        self, phase: str, timestep: int, superstep: int, records: Sequence[Any]
+    ) -> None:
+        """Fold one superstep round's StepRecords (shared with the collector)."""
+        now = self._clock()
+        with self._lock:
+            for rec in records:
+                self._mirror.record_step(rec)
+                p = rec.partition
+                self.busy_s[p] += rec.busy_s
+                self.compute_s[p] += rec.compute_s
+                self.send_s[p] += rec.send_s
+                self.messages[p] += rec.messages_sent
+                self.last_seen[p] = now
+                self.heartbeats[p] += 1
+            self._round = None
+            self._stall_flagged = False  # the round completed after all
+            self._current = (phase, int(timestep), int(superstep))
+            self._maybe_snapshot(now)
+
+    def observe_begin(self, timestep: int, results: Iterable[Any]) -> None:
+        """Fold a begin-timestep round: loads, GC pauses, source stats."""
+        now = self._clock()
+        with self._lock:
+            for r in results:
+                self._mirror.record_load(timestep, r.partition, r.load_s, hidden=r.load_hidden_s)
+                if r.gc_pause_s:
+                    self._mirror.record_gc(timestep, r.partition, r.gc_pause_s)
+                stats = getattr(r, "stats", None)
+                if stats:
+                    self.source_stats[r.partition] = dict(stats)
+                self.last_seen[r.partition] = now
+                self.heartbeats[r.partition] += 1
+            self._round = None
+            self._stall_flagged = False
+            self._maybe_snapshot(now)
+
+    def observe_prefetch(self, timestep: int, seconds: float) -> None:
+        with self._lock:
+            self._mirror.record_prefetch(timestep, seconds)
+
+    def observe_migration(self, timestep: int, count: int, seconds: float) -> None:
+        with self._lock:
+            self._mirror.record_migration(timestep, count, seconds)
+
+    def observe_checkpoint(self, timestep: int, nbytes: int, seconds: float) -> None:
+        with self._lock:
+            self._mirror.record_checkpoint(timestep, nbytes, seconds)
+
+    def observe_recovery(self, timestep: int, seconds: float) -> None:
+        with self._lock:
+            self._mirror.record_recovery(timestep, seconds)
+
+    def resync(self, mirror: Any) -> None:
+        """Swap the mirror for a restored collector copy (rollback recovery).
+
+        The engine passes a *copy* of the collector it just rolled back to,
+        so streaming totals rewind exactly as the run's metrics did; the
+        per-partition cumulative series are rebuilt from the restored
+        records.  Emits a ``rollback`` health event.
+        """
+        now = self._clock()
+        with self._lock:
+            self._mirror = mirror
+            n = self.num_partitions
+            self.busy_s = [0.0] * n
+            self.compute_s = [0.0] * n
+            self.send_s = [0.0] * n
+            self.messages = [0] * n
+            for rec in getattr(mirror, "step_records", ()):
+                p = rec.partition
+                self.busy_s[p] += rec.busy_s
+                self.compute_s[p] += rec.compute_s
+                self.send_s[p] += rec.send_s
+                self.messages[p] += rec.messages_sent
+            self._busy_at_snap = list(self.busy_s)
+            self._flagged_stragglers = set()
+            phase, t, s = self._current
+            self._round = None
+            self._push_health(
+                HealthEvent(
+                    kind="rollback",
+                    partition=None,
+                    timestep=t,
+                    superstep=s,
+                    wall_s=now - self._started,
+                    seconds=0.0,
+                    detail=f"metrics resynced to restored collector during {phase}",
+                )
+            )
+            self.snapshot(force=True)
+
+    # -- health ------------------------------------------------------------------------
+
+    def _push_health(self, event: HealthEvent) -> None:
+        self._health.append(event)
+        self._recent.append(event)
+        self._tracer.event(
+            event.kind,
+            partition=event.partition,
+            timestep=event.timestep,
+            superstep=event.superstep,
+            seconds=event.seconds,
+            detail=event.detail,
+        )
+
+    def health_events(self) -> list[HealthEvent]:
+        with self._lock:
+            return list(self._health)
+
+    def check_stalled(self) -> HealthEvent | None:
+        """Flag the in-flight round when it exceeds the staleness threshold.
+
+        Called by the watchdog thread and at snapshot ticks; at most one
+        ``stalled`` event per round.  The suspect is the partition whose
+        telemetry is oldest (never-seen partitions first).
+        """
+        now = self._clock()
+        with self._lock:
+            if self._round is None or self._stall_flagged:
+                return None
+            phase, t, s, started = self._round
+            age = now - started
+            if age < self.config.stall_after_s:
+                return None
+            self._stall_flagged = True
+            suspect = min(
+                range(self.num_partitions),
+                key=lambda p: self.last_seen[p] if self.last_seen[p] is not None else -1.0,
+            )
+            event = HealthEvent(
+                kind="stalled",
+                partition=suspect,
+                timestep=t,
+                superstep=s,
+                wall_s=now - self._started,
+                seconds=age,
+                detail=(
+                    f"{phase} round open for {age:.2f}s "
+                    f"(threshold {self.config.stall_after_s:g}s); "
+                    f"partition {suspect} silent longest"
+                ),
+            )
+            self._push_health(event)
+            self._export_latest()
+            return event
+
+    def _detect_stragglers(self, now: float) -> list[int]:
+        """Median-based straggler attribution over the last snapshot window."""
+        n = self.num_partitions
+        if n < 2:
+            return []
+        deltas = [self.busy_s[p] - self._busy_at_snap[p] for p in range(n)]
+        med = sorted(deltas)[n // 2]
+        cfg = self.config
+        stragglers = [
+            p
+            for p in range(n)
+            if deltas[p] > cfg.straggler_factor * med and deltas[p] - med > cfg.straggler_min_s
+        ]
+        phase, t, s = self._current
+        for p in stragglers:
+            if p in self._flagged_stragglers:
+                continue  # still the same straggler; don't spam
+            ratio = deltas[p] / med if med > 0 else float("inf")
+            self._push_health(
+                HealthEvent(
+                    kind="straggler",
+                    partition=p,
+                    timestep=t,
+                    superstep=s,
+                    wall_s=now - self._started,
+                    seconds=deltas[p],
+                    detail=(
+                        f"busy {deltas[p]:.3f}s this window vs median {med:.3f}s "
+                        + (f"({ratio:.1f}x)" if ratio != float("inf") else "(median idle)")
+                    ),
+                )
+            )
+        self._flagged_stragglers = set(stragglers)
+        return stragglers
+
+    # -- snapshots ---------------------------------------------------------------------
+
+    def _maybe_snapshot(self, now: float) -> None:
+        if self._last_snap is not None and now - self._last_snap < self.config.interval_s:
+            return
+        self.snapshot(force=True)
+
+    def snapshot(self, force: bool = False) -> dict[str, Any] | None:
+        """Build one snapshot record; append to the ring; push to exporters."""
+        now = self._clock()
+        with self._lock:
+            if not force and self._last_snap is not None and (
+                now - self._last_snap < self.config.interval_s
+            ):
+                return None
+            self.check_stalled()
+            stragglers = self._detect_stragglers(now)
+            self._last_snap = now
+            self._busy_at_snap = list(self.busy_s)
+            phase, t, s = self._current
+            peak = max(self.busy_s) if any(self.busy_s) else 0.0
+            partitions = [
+                {
+                    "partition": p,
+                    "busy_s": round(self.busy_s[p], 6),
+                    "compute_s": round(self.compute_s[p], 6),
+                    "send_s": round(self.send_s[p], 6),
+                    "messages": self.messages[p],
+                    "heartbeats": self.heartbeats[p],
+                    "utilization": round(self.busy_s[p] / peak, 6) if peak > 0 else 0.0,
+                    "last_seen_age_s": (
+                        round(now - self.last_seen[p], 6)
+                        if self.last_seen[p] is not None
+                        else None
+                    ),
+                }
+                for p in range(self.num_partitions)
+            ]
+            record = {
+                "schema": LIVE_SCHEMA_VERSION,
+                "kind": "live_snapshot",
+                "seq": self._seq,
+                "wall_s": round(now - self._started, 6),
+                "phase": phase,
+                "timestep": t,
+                "superstep": s,
+                "progress": {
+                    "timesteps_done": self._mirror.num_timesteps_executed(),
+                    "num_timesteps": self.num_timesteps,
+                    "supersteps": self._mirror.total_supersteps(),
+                },
+                "totals": self._mirror.summary(),
+                "partitions": partitions,
+                "sources": self._aggregate_sources(),
+                "health": {
+                    "stragglers": stragglers,
+                    "stalled": self._stall_flagged,
+                    "recent": [e.as_dict() for e in self._recent],
+                },
+            }
+            self._seq += 1
+            self.snapshots.append(record)
+            self._export_latest()
+            return record
+
+    def _aggregate_sources(self) -> dict[str, Any]:
+        """Sum host-published source stats (cache/prefetch counters)."""
+        agg: dict[str, Any] = {}
+        for stats in self.source_stats.values():
+            for key, value in stats.items():
+                if key == "partition":
+                    continue
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    agg[key] = agg.get(key, 0) + value
+        return agg
+
+    def _export_latest(self) -> None:
+        if not self.snapshots:
+            return
+        latest = self.snapshots[-1]
+        for exporter in self._exporters:
+            try:
+                exporter.export(latest)
+            except OSError:  # pragma: no cover - exporter target vanished
+                pass
+
+    # -- totals ------------------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Cumulative totals — exactly ``MetricsCollector.summary()``."""
+        with self._lock:
+            return self._mirror.summary()
+
+
+class HeartbeatMonitor:
+    """Daemon thread probing for stalled rounds while the driver blocks.
+
+    The driver thread only reaches :class:`LiveMetrics` between protocol
+    rounds; when a gather wedges (a dead or silent worker), nothing would
+    ever flag it.  This thread wakes every ``interval_s`` and runs
+    :meth:`LiveMetrics.check_stalled`, which emits at most one ``stalled``
+    event per round and pushes the updated snapshot to exporters so
+    ``tibsp top`` shows the stall as it happens.
+    """
+
+    def __init__(self, live: LiveMetrics, interval_s: float) -> None:
+        self._live = live
+        self._interval = max(0.05, float(interval_s))
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="tibsp-live-heartbeat", daemon=True
+            )
+            self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._live.check_stalled()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 from .chrome import chrome_trace, write_chrome_trace
-from .events import normalize_event, write_event_log
+from .events import BufferedEventLogWriter, normalize_event, write_event_log
 from .tracer import DRIVER_PID, Span, TracePacket, Tracer, trace_clock_ns
 
 __all__ = ["RunTrace", "TraceConfig", "tracing_enabled"]
@@ -37,9 +37,16 @@ class TraceConfig:
     enabled:
         Master switch.  ``EngineConfig(tracing=True)`` is shorthand for
         ``EngineConfig(tracing=TraceConfig())``.
+    stream_dir:
+        When set, the engine streams the structured event log to
+        ``<stream_dir>/events.jsonl`` *during* the run through a
+        :class:`~repro.observability.events.BufferedEventLogWriter`,
+        flushing at timestep boundaries — so a killed run still leaves a
+        valid, replayable JSONL of everything up to its last flush.
     """
 
     enabled: bool = True
+    stream_dir: str | None = None
 
 
 def tracing_enabled(tracing: object) -> bool:
@@ -66,6 +73,8 @@ class RunTrace:
         self.counters: dict[str, int | float] = {}
         self.track_labels: dict[int, str] = {DRIVER_PID: "driver"}
         self._lock = threading.Lock()
+        self._stream: BufferedEventLogWriter | None = None
+        self._streamed = 0  #: prefix of ``self.events`` already streamed out
 
     # -- collection --------------------------------------------------------------------
 
@@ -91,6 +100,54 @@ class RunTrace:
         packet = self.tracer.drain()
         if packet is not None:
             self.absorb(packet)
+
+    # -- streaming ---------------------------------------------------------------------
+
+    def open_stream(self, out_dir: str | Path) -> Path:
+        """Start streaming the event log to ``<out_dir>/events.jsonl``."""
+        path = Path(out_dir) / "events.jsonl"
+        self._stream = BufferedEventLogWriter(path)
+        return path
+
+    def stream_flush(self) -> None:
+        """Stream every not-yet-streamed event; commit with one write+flush.
+
+        Called at flush points (timestep boundaries, teardown).  The driver
+        tracer is drained first so its events enter the stream too.  Each
+        batch is sorted by timestamp before writing; hosts drain at every
+        protocol reply and the driver drains at every flush, so no event
+        recorded before a flush can be absorbed after it — per-batch
+        sorting therefore yields a globally sorted file, matching the
+        post-hoc ``event_records()`` ordering.
+        """
+        if self._stream is None:
+            return
+        self.finish()
+        with self._lock:
+            batch = self.events[self._streamed :]
+            self._streamed = len(self.events)
+        if batch:
+            records = sorted(
+                (normalize_event(e, self.epoch_ns) for e in batch),
+                key=lambda r: r["ts_us"],
+            )
+            self._stream.write_many(records)
+        self._stream.flush()
+
+    def close_stream(self) -> None:
+        """Flush the tail and close the streaming writer (idempotent)."""
+        if self._stream is None:
+            return
+        self.stream_flush()
+        self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "RunTrace":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close_stream()
+        self.finish()
 
     # -- export ------------------------------------------------------------------------
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, NamedTuple
 
 __all__ = [
     "DRIVER_PID",
@@ -62,9 +62,14 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
-@dataclass(frozen=True, slots=True)
-class Span:
-    """One completed span on one track (Chrome trace "X" event)."""
+class Span(NamedTuple):
+    """One completed span on one track (Chrome trace "X" event).
+
+    A NamedTuple rather than a dataclass: spans are constructed on the
+    superstep hot path (every compute/send_flush), and tuple construction
+    is measurably cheaper than frozen-dataclass ``__init__``; they also
+    pickle smaller inside :class:`TracePacket` protocol replies.
+    """
 
     name: str
     ts_ns: int  #: start, perf_counter_ns

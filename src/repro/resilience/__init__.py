@@ -21,6 +21,7 @@ engine wires together:
 from .checkpoint import CheckpointConfig, CheckpointCorrupt, CheckpointInfo, CheckpointManager
 from .faults import AT_BEGIN, AT_EOT, FAULT_KINDS, FaultPlan, FaultSpec, parse_fault_specs
 from .recovery import (
+    EarlyWarning,
     FailureRecord,
     InjectedFault,
     RecoverableError,
@@ -41,6 +42,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "parse_fault_specs",
+    "EarlyWarning",
     "FailureRecord",
     "InjectedFault",
     "RecoverableError",

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = [
+    "EarlyWarning",
     "FailureRecord",
     "InjectedFault",
     "RecoverableError",
@@ -78,22 +79,63 @@ class RecoveryPolicy:
         ``"raise"`` (default) raises :class:`RunFailureError`;
         ``"degrade"`` returns the partial result with ``result.failure``
         set — the graceful-degradation mode.
+    stall_warning_s:
+        When set (and the run has live telemetry on), a protocol round
+        open longer than this flags a ``stalled`` health event *before*
+        the gather timeout fires — the live plane's structured early
+        warning.  Findings surface as :class:`EarlyWarning` records on
+        ``result.early_warnings``.  ``None`` keeps the live plane's own
+        default threshold.
     """
 
     max_retries: int = 2
     backoff_s: float = 0.01
     backoff_factor: float = 2.0
     on_exhausted: str = "raise"
+    stall_warning_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.on_exhausted not in ("raise", "degrade"):
             raise ValueError("on_exhausted must be 'raise' or 'degrade'")
+        if self.stall_warning_s is not None and self.stall_warning_s <= 0:
+            raise ValueError("stall_warning_s must be positive (or None)")
 
     def backoff_for(self, attempt: int) -> float:
         """Sleep before retry ``attempt`` (1-based)."""
         return self.backoff_s * self.backoff_factor ** max(0, attempt - 1)
+
+
+@dataclass(frozen=True)
+class EarlyWarning:
+    """A structured liveness warning from the live telemetry plane.
+
+    Emitted before (or instead of) a hard failure: a straggling partition
+    or a stalled protocol round.  The engine converts live-plane
+    :class:`~repro.observability.live.HealthEvent` findings into these when
+    the run has a :class:`RecoveryPolicy`, so recovery tooling reads one
+    vocabulary.
+    """
+
+    kind: str  #: straggler | stalled | rollback
+    partition: int | None
+    timestep: int
+    superstep: int
+    age_s: float  #: how long the condition had persisted when flagged
+    threshold_s: float | None  #: the configured threshold it crossed (stalls)
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "partition": self.partition,
+            "timestep": self.timestep,
+            "superstep": self.superstep,
+            "age_s": round(self.age_s, 6),
+            "threshold_s": self.threshold_s,
+            "detail": self.detail,
+        }
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,7 @@ def build_hosts(
     *,
     use_combiners: bool = True,
     tracing: bool = False,
+    live: bool = False,
 ) -> list[ComputeHost]:
     """Construct one :class:`ComputeHost` per partition."""
     if len(sources) != pg.num_partitions:
@@ -73,6 +74,7 @@ def build_hosts(
             cost_model,
             use_combiners=use_combiners,
             tracer=Tracer(partition_pid(p), f"partition {p}") if tracing else None,
+            publish_stats=live,
         )
         for p in range(pg.num_partitions)
     ]
@@ -203,6 +205,7 @@ class LocalCluster(Cluster):
         executor: str = "serial",
         use_combiners: bool = True,
         tracing: bool = False,
+        live: bool = False,
         fault_plan: FaultPlan | None = None,
     ) -> None:
         cost_model = cost_model or CostModel()
@@ -218,11 +221,12 @@ class LocalCluster(Cluster):
         self._cost_model = cost_model
         self._use_combiners = use_combiners
         self._tracing = tracing
+        self._live = live
         self.fault_plan = fault_plan
         self.incarnation = 0
         self.hosts = build_hosts(
             pg, computation, meta, self._sources, cost_model,
-            use_combiners=use_combiners, tracing=tracing,
+            use_combiners=use_combiners, tracing=tracing, live=live,
         )
         self.num_partitions = pg.num_partitions
         if executor not in ("serial", "thread"):
@@ -347,7 +351,7 @@ class LocalCluster(Cluster):
         self.incarnation += 1
         self.hosts = build_hosts(
             self._pg, self._computation, self._meta, self._sources, self._cost_model,
-            use_combiners=self._use_combiners, tracing=self._tracing,
+            use_combiners=self._use_combiners, tracing=self._tracing, live=self._live,
         )
 
     def shutdown(self) -> None:

@@ -179,6 +179,7 @@ def _worker_main(
     cost_model,
     use_combiners,
     tracing,
+    live,
     fault_plan,
     incarnation,
 ) -> None:
@@ -220,6 +221,7 @@ def _worker_main(
         cost_model,
         use_combiners=use_combiners,
         tracer=Tracer(partition_pid(pid), f"partition {pid}") if tracing else None,
+        publish_stats=live,
     )
     try:
         while True:
@@ -335,6 +337,7 @@ class ProcessCluster(Cluster):
         mp_context: Any = "fork",
         use_combiners: bool = True,
         tracing: bool = False,
+        live: bool = False,
         gather_timeout_s: float | None = None,
         fault_plan: FaultPlan | None = None,
     ) -> None:
@@ -350,6 +353,7 @@ class ProcessCluster(Cluster):
         self._cost_model = cost_model
         self._use_combiners = use_combiners
         self._tracing = tracing
+        self._live = live
         self._sg_part = np.asarray([sg.partition_id for sg in pg.subgraphs], dtype=np.int64)
         self._ctx = mp.get_context(mp_context) if isinstance(mp_context, str) else mp_context
         self.gather_timeout_s = gather_timeout_s
@@ -384,6 +388,7 @@ class ProcessCluster(Cluster):
                             self._cost_model,
                             self._use_combiners,
                             self._tracing,
+                            self._live,
                             self.fault_plan,
                             self.incarnation,
                         ),

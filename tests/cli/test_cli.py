@@ -137,3 +137,61 @@ class TestTraceSubcommand:
         assert prov["executor"] == "serial"
         assert prov["scale"] == 300 and prov["seed"] == 0
         assert "created_utc" in prov and "git_describe" in prov
+
+
+class TestLiveCLI:
+    def test_run_with_live_metrics(self, capsys):
+        assert main([
+            "run", "tdsp", "--scale", "400", "--instances", "5",
+            "--partitions", "3", "--live-metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live telemetry:" in out
+
+    def test_run_with_live_export(self, tmp_path, capsys):
+        import json
+
+        from repro.observability import read_snapshots, validate_live_snapshot
+
+        live_dir = tmp_path / "live"
+        assert main([
+            "run", "tdsp", "--scale", "400", "--instances", "5",
+            "--partitions", "3", "--executor", "process",
+            "--live-export", str(live_dir), "--live-interval", "0",
+        ]) == 0
+        records = read_snapshots(live_dir / "live.jsonl")
+        assert records
+        assert all(validate_live_snapshot(r) == [] for r in records)
+        prom = (live_dir / "live.prom").read_text()
+        assert "tibsp_messages_total" in prom
+
+    def test_top_once(self, tmp_path, capsys):
+        live_dir = tmp_path / "live"
+        assert main([
+            "run", "tdsp", "--scale", "400", "--instances", "5",
+            "--partitions", "3", "--live-export", str(live_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["top", str(live_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "tibsp top" in out and "progress" in out
+
+    def test_top_once_empty(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path), "--once"]) == 1
+
+    def test_trace_stream_and_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "t"
+        report = tmp_path / "cp.json"
+        assert main([
+            "trace", "tdsp", "--scale", "300", "--instances", "4",
+            "--partitions", "3", "--out", str(out),
+            "--stream", "--report", str(report),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "critical path over" in text
+        assert "trace valid" in text
+        payload = json.loads(report.read_text())
+        assert payload["timesteps"] and payload["partitions"]
+        assert set(payload["totals"]) >= {"compute", "barrier", "load"}
