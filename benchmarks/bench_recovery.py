@@ -1,0 +1,179 @@
+"""Recovery cost: surgical per-host repair vs full-cohort rollback.
+
+ISSUE 8 acceptance: under a single seeded worker kill, surgical recovery
+(respawn one worker, restore one partition, replay its journal) must
+strictly reduce **wasted work** versus the cohort mode (respawn everyone,
+roll everyone back to the checkpoint) on a cluster of >= 8 partitions —
+while both modes stay bit-identical to the fault-free run.
+
+Wasted-work units are recomputed superstep-units (host-rounds):
+
+* **cohort** — compute step events discarded by the rollback purge
+  (every partition's post-checkpoint work is torn up and redone);
+* **surgical** — journal rounds replayed onto the respawned worker (an
+  *overcount* in this comparison: it also includes the begin/eot protocol
+  rounds the cohort number does not — surgical must win anyway).
+
+Recovery latency is the run's measured ``total_recovery_s``.  With
+``--json`` the numbers land in ``BENCH_recovery.json`` and append to
+``benchmarks/history/recovery.jsonl``.
+"""
+
+
+from repro.analysis import purge_rolled_back_events, render_table
+from repro.core import EngineConfig, Pattern, TimeSeriesComputation, run_application
+from repro.generators import road_latency_collection, road_network
+from repro.partition import MetisLikePartitioner, partition_graph
+from repro.resilience import CheckpointConfig, FaultPlan, RecoveryPolicy
+from repro.runtime.metrics import PHASE_COMPUTE
+
+from conftest import INSTANCES, SCALE, SEED, emit
+
+PARTITIONS = 8
+TIMESTEPS = min(INSTANCES, 8)
+CHECKPOINT_EVERY = 2
+#: Kill mid-run, off a checkpoint boundary, so both modes have journal /
+#: rollback distance to cover.
+KILL_AT = max(3, (TIMESTEPS // 2) | 1)
+KILLED_PARTITION = 3
+FAULTS = f"kill@t{KILL_AT}:s1:p{KILLED_PARTITION}"
+
+
+class Relay(TimeSeriesComputation):
+    """Three-hop subgraph relay + temporal carry: enough supersteps per
+    timestep that a rollback has real work to tear up."""
+
+    pattern = Pattern.SEQUENTIALLY_DEPENDENT
+    HOPS = 3
+
+    def __init__(self, num_subgraphs):
+        self.num_subgraphs = num_subgraphs
+
+    def compute(self, ctx):
+        nxt = (ctx.subgraph.subgraph_id + 1) % self.num_subgraphs
+        if ctx.superstep == 0:
+            carried = sum(m.payload for m in ctx.messages) if ctx.messages else 0
+            ctx.state["seen"] = carried + ctx.subgraph.subgraph_id * 100 + ctx.timestep
+            ctx.send_to_subgraph(nxt, ctx.state["seen"])
+        elif ctx.superstep <= self.HOPS:
+            for m in ctx.messages:
+                ctx.state["seen"] += m.payload
+            if ctx.superstep < self.HOPS:
+                ctx.send_to_subgraph(nxt, ctx.state["seen"])
+        ctx.vote_to_halt()
+
+    def end_of_timestep(self, ctx):
+        ctx.send_to_next_timestep(ctx.state["seen"] % 100003)
+        ctx.output(ctx.state["seen"])
+
+
+def _config(mode, ckpt_dir):
+    return EngineConfig(
+        tracing=True,
+        checkpoint=CheckpointConfig(dir=ckpt_dir, every=CHECKPOINT_EVERY),
+        faults=FaultPlan.parse(FAULTS, seed=SEED),
+        recovery=RecoveryPolicy(backoff_s=0.0, mode=mode),
+    )
+
+
+def _compute_steps(events):
+    return [e for e in events if e.get("kind") == "step" and e["phase"] == PHASE_COMPUTE]
+
+
+def _wasted_cohort(result):
+    """Step events the rollback purge discarded: work done, then redone."""
+    events = result.trace.event_records()
+    return len(_compute_steps(events)) - len(_compute_steps(purge_rolled_back_events(events)))
+
+
+def _wasted_surgical(result):
+    """Journal rounds replayed onto the one respawned worker."""
+    return sum(
+        a.replayed_rounds for a in result.recovery_actions if a.kind == "worker_respawn"
+    )
+
+
+def test_recovery_cost_surgical_vs_cohort(benchmark, emit_json, tmp_path):
+    tpl = road_network(SCALE, seed=SEED)
+    coll = road_latency_collection(tpl, TIMESTEPS, seed=SEED)
+    pg = partition_graph(tpl, PARTITIONS, MetisLikePartitioner(seed=SEED))
+    comp = Relay(len(pg.subgraphs))
+
+    def run_all():
+        baseline = run_application(comp, pg, coll)
+        cohort = run_application(
+            comp, pg, coll, config=_config("cohort", tmp_path / "ck-cohort")
+        )
+        surgical = run_application(
+            comp, pg, coll, config=_config("surgical", tmp_path / "ck-surgical")
+        )
+        return baseline, cohort, surgical
+
+    baseline, cohort, surgical = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Both recovery styles repaired the kill bit-identically.
+    for res in (cohort, surgical):
+        assert res.failure is None
+        assert res.metrics.retries >= 1
+        assert res.states == baseline.states
+        assert res.outputs == baseline.outputs
+
+    # Surgical recovered exactly one worker; cohort respawned all of them.
+    respawns = [a for a in surgical.recovery_actions if a.kind == "worker_respawn"]
+    assert len(respawns) == 1 and respawns[0].partition == KILLED_PARTITION
+    assert cohort.recovery_actions == []  # cohort mode predates provenance
+
+    wasted_cohort = _wasted_cohort(cohort)
+    wasted_surgical = _wasted_surgical(surgical)
+    # The acceptance bar: surgical strictly reduces recomputed
+    # superstep-units on >= 8 partitions.
+    assert wasted_surgical < wasted_cohort
+
+    latency_cohort = cohort.metrics.total_recovery_s()
+    latency_surgical = surgical.metrics.total_recovery_s()
+    rows = [
+        {
+            "mode": "cohort",
+            "wasted_superstep_units": wasted_cohort,
+            "recovery_latency_s": round(latency_cohort, 6),
+            "workers_respawned": PARTITIONS,
+        },
+        {
+            "mode": "surgical",
+            "wasted_superstep_units": wasted_surgical,
+            "recovery_latency_s": round(latency_surgical, 6),
+            "workers_respawned": 1,
+        },
+    ]
+    emit(
+        "recovery",
+        render_table(
+            rows,
+            title=(
+                f"Recovery cost under {FAULTS} (Relay, {PARTITIONS} partitions, "
+                f"{TIMESTEPS} timesteps, checkpoint every {CHECKPOINT_EVERY}): "
+                f"surgical wastes {wasted_surgical} vs cohort {wasted_cohort} units"
+            ),
+        ),
+    )
+    emit_json(
+        "recovery",
+        {
+            "dataset": "CARN",
+            "algorithm": "Relay",
+            "partitions": PARTITIONS,
+            "timesteps": TIMESTEPS,
+            "checkpoint_every": CHECKPOINT_EVERY,
+            "fault": FAULTS,
+            "wasted_units_cohort": wasted_cohort,
+            "wasted_units_surgical": wasted_surgical,
+            "wasted_units_ratio": (
+                round(wasted_surgical / wasted_cohort, 4) if wasted_cohort else None
+            ),
+            "recovery_latency_s_cohort": round(latency_cohort, 6),
+            "recovery_latency_s_surgical": round(latency_surgical, 6),
+            "workers_respawned_cohort": PARTITIONS,
+            "workers_respawned_surgical": 1,
+            "results_bit_identical": True,
+        },
+    )

@@ -118,6 +118,9 @@ def critical_path_report(
             driver_costs[e["timestep"]]["prefetch"] += e["cost_s"]
         elif kind == "restore":
             driver_costs[e["timestep"]]["recovery"] += e["seconds"]
+        elif kind in ("worker_respawn", "protocol_retry"):
+            # Surgical repairs charge the round's timestep, like a restore.
+            driver_costs[e["timestep"]]["recovery"] += e["seconds"]
 
     timesteps = sorted(
         {t for (t, _s) in steps}

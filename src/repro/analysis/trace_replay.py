@@ -18,6 +18,7 @@ from collections import defaultdict
 from typing import Iterable, Mapping, Sequence
 
 from ..core.results import AppResult
+from ..resilience.faults import AT_EOT
 from ..runtime.metrics import PHASE_COMPUTE, PartitionBreakdown
 
 __all__ = [
@@ -70,6 +71,16 @@ def _rolled_back(e: Mapping, t0: int, s0: int | None) -> bool:
         rs = e.get("superstep")
         return te > t0 or (
             te == t0 and (s0 is None or (rs is not None and rs >= s0))
+        )
+    if kind in ("worker_respawn", "protocol_retry"):
+        # Surgical recoveries record into the collector at their round's
+        # timestep; a later cohort rollback past that round rewinds the
+        # record away.  Round supersteps use sentinels: a begin-round
+        # recovery (AT_BEGIN < s0) precedes any superstep checkpoint and
+        # survives it; an eot-round one postdates every superstep boundary.
+        rs = e.get("superstep")
+        return te > t0 or (
+            te == t0 and (s0 is None or rs >= s0 or rs == AT_EOT)
         )
     return False
 
@@ -186,6 +197,10 @@ def replay_timestep_walls(
         elif kind == "prefetch_issue":
             walls[e["timestep"]] += e["cost_s"]
         elif kind == "restore":
+            walls[e["timestep"]] += e["seconds"]
+        elif kind in ("worker_respawn", "protocol_retry"):
+            # Surgical repairs: the collector records their measured
+            # seconds at the round's timestep, exactly like a restore.
             walls[e["timestep"]] += e["seconds"]
     return dict(walls)
 

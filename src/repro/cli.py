@@ -150,6 +150,41 @@ def _provenance(args: argparse.Namespace) -> dict:
     )
 
 
+def _check_resilience_flags(args: argparse.Namespace) -> list[str]:
+    """Reject resilience flags that would otherwise be silently inert.
+
+    Each returned string is a hard error: a tuning knob the user set that
+    cannot affect the run they asked for is a misconfiguration, not a no-op.
+    """
+    problems: list[str] = []
+    if args.fault_seed is not None and not args.inject_faults:
+        problems.append(
+            "--fault-seed seeds the fault plan's RNG and does nothing "
+            "without --inject-faults"
+        )
+    if args.gather_timeout is not None and args.executor != "process":
+        problems.append(
+            "--gather-timeout bounds driver-side pipe reads, which only the "
+            "process executor performs; add --executor process"
+        )
+    wants_recovery = (
+        args.max_retries is not None
+        or args.degrade
+        or args.quarantine
+        or args.recovery_mode is not None
+    )
+    if wants_recovery and not args.inject_faults and args.executor != "process":
+        # In-process executors without injected faults have no recoverable
+        # failure source: the policy would never act.  Loud, not fatal.
+        print(
+            "WARNING: recovery flags (--max-retries/--degrade/--quarantine/"
+            "--recovery-mode) have no effect on an in-process executor "
+            "without --inject-faults: nothing can fail recoverably",
+            file=sys.stderr,
+        )
+    return problems
+
+
 def _resilience_config(args: argparse.Namespace) -> dict:
     """EngineConfig kwargs for the resilience flags (empty when all are off)."""
     kwargs: dict = {}
@@ -158,11 +193,21 @@ def _resilience_config(args: argparse.Namespace) -> dict:
             dir=args.checkpoint_dir, every=args.checkpoint_every or 1
         )
     if args.inject_faults:
-        kwargs["faults"] = FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
-    if args.max_retries is not None or args.degrade:
+        kwargs["faults"] = FaultPlan.parse(
+            args.inject_faults,
+            seed=args.fault_seed if args.fault_seed is not None else 0,
+        )
+    if (
+        args.max_retries is not None
+        or args.degrade
+        or args.quarantine
+        or args.recovery_mode is not None
+    ):
         kwargs["recovery"] = RecoveryPolicy(
             max_retries=args.max_retries if args.max_retries is not None else 2,
             on_exhausted="degrade" if args.degrade else "raise",
+            mode=args.recovery_mode or "surgical",
+            quarantine=args.quarantine,
         )
     if args.gather_timeout is not None:
         kwargs["gather_timeout_s"] = args.gather_timeout
@@ -175,6 +220,9 @@ def _write_failure_log(path: str, result) -> None:
     payload = {
         "failure": result.failure.as_dict() if result.failure is not None else None,
         "failure_log": [rec.as_dict() for rec in result.failure_log],
+        "recovery_actions": [a.as_dict() for a in result.recovery_actions],
+        "degraded_partitions": list(result.degraded_partitions),
+        "protocol_stats": dict(result.protocol_stats),
     }
     Path(path).write_text(json.dumps(payload, indent=2))
     print(f"failure log written to {path}")
@@ -206,6 +254,11 @@ def _print_live_summary(result) -> None:
 
 
 def _run(args: argparse.Namespace) -> int:
+    problems = _check_resilience_flags(args)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 2
     _template, collection, pg, comp = _problem_setup(args)
     config = EngineConfig(
         executor=args.executor,
@@ -256,6 +309,18 @@ def _run(args: argparse.Namespace) -> int:
         print(
             f"recovered from {len(result.failure_log)} fault(s); "
             f"recovery time {result.metrics.total_recovery_s():.3f}s"
+        )
+    if result.degraded_partitions:
+        print(
+            f"QUARANTINED PARTITIONS: {result.degraded_partitions} — outputs "
+            "and states exclude their contributions from the quarantine on"
+        )
+    if result.recovery_actions:
+        respawns = sum(1 for a in result.recovery_actions if a.kind == "worker_respawn")
+        cured = sum(1 for a in result.recovery_actions if a.kind == "protocol_retry")
+        print(
+            f"recovery provenance: {respawns} surgical respawn(s), "
+            f"{cured} protocol incident(s) cured by resend"
         )
     if args.failure_log:
         _write_failure_log(args.failure_log, result)
@@ -423,12 +488,26 @@ def main(argv: list[str] | None = None) -> int:
     res.add_argument(
         "--inject-faults", metavar="SPEC",
         help="deterministic fault plan, e.g. 'kill@t2:p1,delay@t3:s0:p0:d0.1' "
-        "(kinds: kill, delay, drop, corrupt, fail_load)",
+        "(kinds: kill, delay, drop, corrupt, fail_load, drop_frame, "
+        "dup_frame, reorder, corrupt_frame, slow_host)",
     )
-    res.add_argument("--fault-seed", type=int, default=0, help="fault plan RNG seed")
+    res.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault plan RNG seed (requires --inject-faults; default 0)",
+    )
     res.add_argument(
         "--max-retries", type=int, default=None, metavar="N",
-        help="rollback retries per incident (default 2 when faults/recovery active)",
+        help="recovery retries per incident (default 2 when faults/recovery active)",
+    )
+    res.add_argument(
+        "--recovery-mode", choices=["surgical", "cohort"], default=None,
+        help="surgical (default): respawn only the failed worker and replay "
+        "its journal; cohort: respawn everyone and roll the whole run back",
+    )
+    res.add_argument(
+        "--quarantine", action="store_true",
+        help="on exhausted retries, quarantine the failed partition and "
+        "complete the run degraded (surgical mode)",
     )
     res.add_argument(
         "--degrade", action="store_true",
@@ -437,8 +516,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     res.add_argument(
         "--gather-timeout", type=float, default=None, metavar="S",
-        help="bound each driver-side pipe read (process executor; default: none, "
-        "or 10s when faults are injected)",
+        help="bound each driver-side pipe read (process executor only; "
+        "default: none, or 10s when faults are injected)",
     )
     res.add_argument(
         "--failure-log", metavar="PATH", help="write the failure log as JSON"

@@ -26,11 +26,30 @@ host state plus its own driver state (buffered temporal frames, outputs,
 metrics) into a :class:`~repro.resilience.checkpoint.CheckpointManager`
 directory at timestep (and optionally superstep) boundaries.  When a
 *recoverable* failure surfaces — a dead worker process, a wedged gather, a
-corrupt reply, an injected fault — the engine performs global-rollback
-recovery in the Pregel/GoFFish style: respawn the entire worker cohort at a
-higher incarnation, restore all partitions from the latest checkpoint (or
-replay from the beginning when none exists yet), roll its own state back,
-and re-execute.  Retries are bounded per incident by
+corrupt reply, an injected fault — recovery runs in one of two styles,
+chosen by :attr:`~repro.resilience.recovery.RecoveryPolicy.mode`:
+
+* ``"surgical"`` (default) — a :class:`~repro.resilience.supervisor.
+  HostSupervisor` journals every protocol round in a driver-side
+  :class:`~repro.resilience.journal.FrameJournal` and repairs a failed
+  host in place: respawn only its worker at a higher incarnation, restore
+  only its partition from the latest checkpoint (or genesis-fresh state),
+  silently replay its journaled rounds, and re-issue the in-flight round
+  while the survivors hold at the barrier.  Wire-level trouble (dropped,
+  duplicated, reordered, corrupted replies; wedged gathers) is cured a
+  layer below by the process cluster's sequence-numbered idempotent
+  resend protocol and surfaces only as *protocol incidents* in the
+  failure log.  When a partition exhausts its retry budget with
+  ``RecoveryPolicy.quarantine=True``, it is quarantined and the run
+  completes degraded, with provenance in ``AppResult.recovery_actions``
+  and ``AppResult.degraded_partitions``.
+* ``"cohort"`` — the PR 3 global rollback (Pregel/GoFFish style):
+  respawn the entire worker cohort, restore all partitions from the
+  latest checkpoint (or replay from the beginning when none exists yet),
+  roll the driver back, and re-execute.  Surgical mode also falls back to
+  this path for failures outside a supervised round.
+
+Retries are bounded per incident by
 :class:`~repro.resilience.recovery.RecoveryPolicy`; when they run out the
 run surfaces a structured :class:`~repro.resilience.recovery.RunFailure`
 instead of hanging.  Deterministic application errors are never retried.
@@ -59,7 +78,8 @@ from ..observability import (
 )
 from ..partition.base import PartitionedGraph
 from ..resilience.checkpoint import CheckpointConfig, CheckpointCorrupt, CheckpointManager
-from ..resilience.faults import FaultPlan
+from ..resilience.faults import AT_BEGIN, AT_EOT, FaultPlan
+from ..resilience.journal import FrameJournal
 from ..resilience.recovery import (
     EarlyWarning,
     FailureRecord,
@@ -68,6 +88,7 @@ from ..resilience.recovery import (
     RunFailure,
     RunFailureError,
 )
+from ..resilience.supervisor import HostSupervisor, RecoveryExhausted
 from ..runtime.cluster import Cluster, LocalCluster
 from ..runtime.cost import CostModel
 from ..runtime.gc_model import GCModel
@@ -211,7 +232,12 @@ class TIBSPEngine:
     # -- cluster construction ------------------------------------------------------
 
     def _make_cluster(
-        self, computation: TimeSeriesComputation, meta: RunMeta, tracing: bool, live: bool = False
+        self,
+        computation: TimeSeriesComputation,
+        meta: RunMeta,
+        tracing: bool,
+        live: bool = False,
+        policy: RecoveryPolicy | None = None,
     ) -> Cluster:
         cfg = self.config
         if cfg.executor == "process":
@@ -235,6 +261,9 @@ class TIBSPEngine:
                 live=live,
                 gather_timeout_s=gather_timeout,
                 fault_plan=cfg.faults,
+                # Surgical mode hardens the wire protocol: bounded idempotent
+                # resends cure drops/corruption/timeouts below recovery.
+                retry_policy=policy if policy is not None and policy.mode == "surgical" else None,
             )
         return LocalCluster(
             self.pg,
@@ -373,23 +402,33 @@ class TIBSPEngine:
         policy = cfg.recovery if cfg.recovery is not None else (
             RecoveryPolicy() if cfg.faults is not None else None
         )
-        live = self._make_live(policy, stop)
-        result.live = live
-
-        cluster = self._make_cluster(computation, meta, trace is not None, live is not None)
-        if trace is not None:
-            cluster.driver_tracer = trace.tracer
-            stream_dir = getattr(cfg.tracing, "stream_dir", None)
-            if stream_dir is not None:
-                trace.open_stream(stream_dir)
 
         # Remote temporal sends buffered between timesteps, still framed;
         # same-partition temporal sends never leave their host.  This list's
         # identity is stable across rollbacks (restores slice-assign it).
         temporal_frames: list[MessageFrame] = []
         resume_inner: dict | None = None
+        # Created inside the try so the finally tears them down on *every*
+        # exit path — including failures during cluster spawn or resume
+        # (a leaked heartbeat watchdog or prefetch worker outlives the run
+        # otherwise).
+        live: LiveMetrics | None = None
+        cluster: Cluster | None = None
+        journal: FrameJournal | None = None
+        supervisor: HostSupervisor | None = None
         t = start
         try:
+            live = self._make_live(policy, stop)
+            result.live = live
+            cluster = self._make_cluster(
+                computation, meta, trace is not None, live is not None, policy
+            )
+            if trace is not None:
+                cluster.driver_tracer = trace.tracer
+                stream_dir = getattr(cfg.tracing, "stream_dir", None)
+                if stream_dir is not None:
+                    trace.open_stream(stream_dir)
+
             if resume_from is not None:
                 loaded = manager.load(None if resume_from is True else resume_from)
                 self._verify_signature(loaded.meta, pattern)
@@ -428,6 +467,22 @@ class TIBSPEngine:
                     )
                 )
 
+            if policy is not None and policy.mode == "surgical":
+                # Surgical recovery: every protocol round goes through the
+                # supervisor, which journals it and repairs single-host
+                # failures in place while the survivors hold at the barrier.
+                journal = FrameJournal(self.pg.num_partitions)
+                supervisor = HostSupervisor(
+                    cluster,
+                    policy,
+                    journal,
+                    manager=manager,
+                    metrics=metrics,
+                    failure_log=result.failure_log,
+                    tracer=trace.tracer if trace is not None else None,
+                    live=live,
+                )
+
             incident_attempt = 0
             merge_done = not pattern.has_merge
             while True:
@@ -438,7 +493,12 @@ class TIBSPEngine:
                                 cluster, metrics, trace, live, result, pattern, t, start, stop,
                                 input_msgs, temporal_frames,
                                 resume=resume_inner, manager=manager,
+                                supervisor=supervisor, journal=journal,
                             )
+                    except RecoveryExhausted as exc:
+                        # The supervisor burned the whole per-round budget on
+                        # one partition; surface the original cause.
+                        return self._exhausted(exc.original, policy, result, t)
                     except RecoverableError as exc:
                         if policy is None:
                             raise
@@ -450,15 +510,27 @@ class TIBSPEngine:
                         if outcome is None:
                             return self._exhausted(exc, policy, result, t)
                         t, resume_inner, input_msgs, metrics = outcome
+                        if supervisor is not None:
+                            # Cohort fallback (a failure outside a supervised
+                            # round): every partition rewound to the rollback
+                            # base, so the journal restarts empty and the
+                            # supervisor follows the restored collector.
+                            journal.clear()
+                            supervisor.rebind(metrics)
                         continue
                     resume_inner = None
                     incident_attempt = 0
                     result.timesteps_executed += 1
-                    if manager is not None and (t - start + 1) % cfg.checkpoint.every == 0:
+                    if (
+                        manager is not None
+                        and (t - start + 1) % cfg.checkpoint.every == 0
+                        and (supervisor is None or not supervisor.quarantined)
+                    ):
                         self._write_checkpoint(
                             manager, cluster, metrics, trace, live, pattern,
                             "timestep", t + 1, None, None, None,
                             temporal_frames, input_msgs, result,
+                            journal=journal,
                         )
                     if trace is not None:
                         # Streamed event-log flush point: everything up to
@@ -471,8 +543,10 @@ class TIBSPEngine:
                         break
                 if not merge_done:
                     try:
-                        self._run_merge(cluster, metrics, trace, live, result)
+                        self._run_merge(cluster, metrics, trace, live, result, supervisor)
                         merge_done = True
+                    except RecoveryExhausted as exc:
+                        return self._exhausted(exc.original, policy, result, -1)
                     except RecoverableError as exc:
                         if policy is None:
                             raise
@@ -484,6 +558,9 @@ class TIBSPEngine:
                         if outcome is None:
                             return self._exhausted(exc, policy, result, -1)
                         t, resume_inner, input_msgs, metrics = outcome
+                        if supervisor is not None:
+                            journal.clear()
+                            supervisor.rebind(metrics)
                         # Rollback may land before ``stop``; the timestep
                         # loop above re-runs the remainder, then merge again.
                         continue
@@ -516,7 +593,17 @@ class TIBSPEngine:
                     packet = live.drain_telemetry()
                     if packet is not None:
                         trace.absorb(packet)
-            cluster.shutdown()
+            if supervisor is not None:
+                # Structured provenance: what was repaired, what was given
+                # up on — attached even when the run exits abnormally.
+                result.recovery_actions = list(supervisor.actions)
+                result.degraded_partitions = sorted(supervisor.quarantined)
+            if cluster is not None:
+                stats = cluster.protocol_stats()
+                if supervisor is not None and supervisor.dropped_messages:
+                    stats["dropped_to_quarantined"] = supervisor.dropped_messages
+                result.protocol_stats = stats
+                cluster.shutdown()
             if trace is not None:
                 # Flush the streamed event-log tail (valid JSONL even when
                 # the run died mid-timestep) and fold the driver tracer in.
@@ -607,6 +694,7 @@ class TIBSPEngine:
         temporal_frames: list[MessageFrame],
         input_msgs: dict[int, list[Message]],
         result: AppResult,
+        journal: FrameJournal | None = None,
     ) -> None:
         """Snapshot cluster + driver state into one durable checkpoint.
 
@@ -624,6 +712,9 @@ class TIBSPEngine:
         info = manager.write(
             next_t, blob, parts, superstep=superstep, signature=self._signature(pattern)
         )
+        if journal is not None:
+            # This checkpoint is the new surgical replay base.
+            journal.truncate()
         cost = self.config.cost_model.checkpoint_cost(info.nbytes)
         metrics.record_checkpoint(next_t, info.nbytes, cost)
         if live is not None:
@@ -750,6 +841,27 @@ class TIBSPEngine:
 
     # -- one timestep ---------------------------------------------------------------------
 
+    @staticmethod
+    def _round(
+        cluster: Cluster,
+        supervisor: HostSupervisor | None,
+        op: str,
+        timestep: int,
+        superstep: int,
+        payloads: list | None,
+    ) -> list[HostStepResult]:
+        """Issue one protocol round, supervised (journal + surgical repair)
+        or plain (legacy raise-on-first-failure), per the recovery mode."""
+        if supervisor is not None:
+            return supervisor.round(op, timestep, superstep, payloads)
+        if op == "begin":
+            return cluster.begin_timestep(timestep, payloads)
+        if op == "superstep":
+            return cluster.run_superstep(timestep, superstep, payloads)
+        if op == "eot":
+            return cluster.end_of_timestep(timestep)
+        return cluster.run_merge_superstep(superstep, payloads)
+
     def _record(
         self,
         metrics: MetricsCollector,
@@ -821,6 +933,8 @@ class TIBSPEngine:
         temporal_frames: list[MessageFrame],
         resume: dict | None = None,
         manager: CheckpointManager | None = None,
+        supervisor: HostSupervisor | None = None,
+        journal: FrameJournal | None = None,
     ) -> bool:
         """Run one BSP timestep.  Returns True when the app halted early.
 
@@ -855,7 +969,7 @@ class TIBSPEngine:
             if live is not None:
                 live.round_begin("begin_timestep", t, -1)
             with tr.span("begin_timestep", t=t) if tr is not None else NULL_SPAN:
-                begin_results = cluster.begin_timestep(t, pauses)
+                begin_results = self._round(cluster, supervisor, "begin", t, AT_BEGIN, pauses)
             for r in begin_results:
                 metrics.record_load(t, r.partition, r.load_s, hidden=r.load_hidden_s)
                 if r.gc_pause_s:
@@ -909,7 +1023,7 @@ class TIBSPEngine:
                 live.round_begin(PHASE_COMPUTE, t, superstep)
             with tr.span("superstep", t=t, s=superstep) if tr is not None else NULL_SPAN:
                 barrier_start = time.perf_counter()
-                step_results = cluster.run_superstep(t, superstep, per_part)
+                step_results = self._round(cluster, supervisor, "superstep", t, superstep, per_part)
                 if tr is not None:
                     tr.event(
                         "barrier",
@@ -954,19 +1068,24 @@ class TIBSPEngine:
                 and ckpt_cfg is not None
                 and ckpt_cfg.superstep_every is not None
                 and superstep % ckpt_cfg.superstep_every == 0
+                and (supervisor is None or not supervisor.quarantined)
             ):
                 # Mid-timestep durable boundary: ``superstep`` is the next
                 # one to execute, with its deliveries and votes in the blob.
+                # Skipped while any partition is quarantined: its snapshot
+                # slot would be a hole, and a degraded run must stay
+                # restorable from its last *complete* checkpoint.
                 self._write_checkpoint(
                     manager, cluster, metrics, trace, live, pattern,
                     "superstep", t, superstep, per_part, halt_votes,
                     temporal_frames, input_msgs, result,
+                    journal=journal,
                 )
 
         if live is not None:
             live.round_begin("end_of_timestep", t, superstep)
         with tr.span("end_of_timestep", t=t) if tr is not None else NULL_SPAN:
-            eot_results = cluster.end_of_timestep(t)
+            eot_results = self._round(cluster, supervisor, "eot", t, AT_EOT, None)
         self._record(metrics, trace, live, PHASE_COMPUTE, t, superstep, eot_results)
         pending_temporal = 0
         for r in eot_results:
@@ -1041,6 +1160,7 @@ class TIBSPEngine:
         trace: RunTrace | None,
         live: LiveMetrics | None,
         result: AppResult,
+        supervisor: HostSupervisor | None = None,
     ) -> None:
         tr = trace.tracer if trace is not None else None
         per_part: list[list[MessageFrame]] = [[] for _ in range(self.pg.num_partitions)]
@@ -1052,7 +1172,7 @@ class TIBSPEngine:
                 live.round_begin(PHASE_MERGE, -1, superstep)
             with tr.span("merge_superstep", s=superstep) if tr is not None else NULL_SPAN:
                 barrier_start = time.perf_counter()
-                step_results = cluster.run_merge_superstep(superstep, per_part)
+                step_results = self._round(cluster, supervisor, "merge", -1, superstep, per_part)
                 if tr is not None:
                     tr.event(
                         "barrier",

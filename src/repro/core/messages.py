@@ -153,6 +153,14 @@ class MessageFrame:
     at pack time (``approx_size`` is called once per message when the frame
     is built, never re-summed).  With pickle protocol 5 the destination
     array and any numpy payloads cross process pipes as out-of-band buffers.
+
+    Frames are treated as immutable once packed: ``deliver_into`` only
+    reads, and nothing in the engine rewrites ``destinations``/``messages``
+    afterward.  The surgical-recovery
+    :class:`~repro.resilience.journal.FrameJournal` depends on this — it
+    holds *references* to delivered frames and redelivers the same objects
+    on replay, so computations must treat message payloads as read-only
+    (every repro workload does).
     """
 
     __slots__ = ("src_partition", "dst_partition", "destinations", "messages", "nbytes")

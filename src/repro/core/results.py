@@ -65,6 +65,21 @@ class AppResult:
         records — populated only when the run also had a
         :class:`~repro.resilience.recovery.RecoveryPolicy`, so recovery
         tooling reads one vocabulary.
+    recovery_actions:
+        Structured :class:`~repro.resilience.supervisor.RecoveryAction`
+        provenance from surgical recovery mode — every worker respawn,
+        cured protocol incident, and quarantine decision, in order.
+        Empty for fault-free and cohort-mode runs.
+    degraded_partitions:
+        Partitions quarantined by graceful exhaustion
+        (``RecoveryPolicy.quarantine=True``), sorted.  A non-empty list
+        means outputs/states silently exclude these partitions'
+        contributions from the quarantine point on.
+    protocol_stats:
+        Driver-side wire-protocol counters (commands sent, idempotent
+        resends, cured protocol retries, duplicate replies dropped by
+        sequence-number dedup) — populated by the process executor's
+        hardened protocol, ``{}`` for in-process executors.
     """
 
     outputs: list[tuple[int, int, Any]] = field(default_factory=list)
@@ -80,6 +95,9 @@ class AppResult:
     live: Any | None = None
     health_events: list[Any] = field(default_factory=list)
     early_warnings: list[Any] = field(default_factory=list)
+    recovery_actions: list[Any] = field(default_factory=list)
+    degraded_partitions: list[int] = field(default_factory=list)
+    protocol_stats: dict[str, int] = field(default_factory=dict)
 
     def outputs_by_timestep(self) -> dict[int, list[Any]]:
         """Group output records by the timestep that emitted them."""

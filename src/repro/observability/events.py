@@ -34,6 +34,23 @@ Schema v1 event kinds
 ``migrate``           one subgraph move (src/dst partitions, modeled cost)
 ``vm_spinup`` /       elastic-scaling policy decisions (offline replay)
 ``vm_spindown``
+``checkpoint_write``  one durable boundary snapshot (``nbytes``, measured
+                      ``seconds``, modeled ``cost_s``, checkpoint name)
+``worker_lost``       a recoverable failure was detected (error kind,
+                      coordinates, attempt number)
+``retry``             the recovery loop is about to retry (``backoff_s``)
+``restore``           cohort rollback completed (or ``resumed=True`` for a
+                      ``resume_from`` start); measured ``seconds``
+``worker_respawn``    surgical recovery completed: one worker respawned at a
+                      higher ``incarnation``, its partition restored and
+                      ``replayed_rounds`` journal rounds replayed while
+                      ``survivors`` hosts held at the barrier
+``protocol_retry``    the wire protocol cured a dropped/corrupt/wedged reply
+                      with an idempotent resend (no respawn needed)
+``frames_dropped``    deliveries addressed to a quarantined partition were
+                      dropped (``messages`` counted, degraded-run contract)
+``worker_quarantined``  a partition exhausted its retry budget and was
+                      quarantined (``RecoveryPolicy.quarantine=True``)
 ====================  =========================================================
 
 Unknown kinds are allowed — the schema governs the envelope (``schema``,

@@ -20,9 +20,9 @@ Three concerns live here:
   that keeps watching while the driver blocks in a gather), and
   median-based straggler attribution at snapshot ticks.  Health findings
   become :class:`HealthEvent` records, surface in snapshots, and are
-  emitted into the PR 2 event log as ``straggler``/``stalled``/``rollback``
-  events via the registry's own tracer track (drained by the engine at the
-  end of the run — never shared with the driver's tracer, so no
+  emitted into the PR 2 event log as ``straggler``/``stalled``/``rollback``/
+  ``respawn`` events via the registry's own tracer track (drained by the
+  engine at the end of the run — never shared with the driver's tracer, so no
   cross-thread races);
 * **recovery integration** — :meth:`LiveMetrics.resync` swaps the mirror
   for a copy of a restored collector after rollback recovery, so streaming
@@ -111,7 +111,7 @@ def live_enabled(live: object) -> bool:
 class HealthEvent:
     """One liveness finding (also emitted into the structured event log)."""
 
-    kind: str  #: straggler | stalled | rollback
+    kind: str  #: straggler | stalled | rollback | respawn
     partition: int | None
     timestep: int
     superstep: int
@@ -302,6 +302,37 @@ class LiveMetrics:
     def observe_recovery(self, timestep: int, seconds: float) -> None:
         with self._lock:
             self._mirror.record_recovery(timestep, seconds)
+
+    def observe_respawn(
+        self,
+        timestep: int,
+        superstep: int,
+        partition: int,
+        seconds: float,
+        *,
+        incarnation: int,
+        detail: str = "",
+    ) -> None:
+        """One worker was surgically respawned (supervisor recovery).
+
+        Unlike :meth:`resync` — the cohort-rollback path, which rewinds the
+        whole mirror — a surgical repair leaves the mirror alone (its
+        records were never discarded) and only flags the liveness finding.
+        """
+        now = self._clock()
+        with self._lock:
+            cause = f"incarnation {incarnation}" + (f" after {detail}" if detail else "")
+            self._push_health(
+                HealthEvent(
+                    kind="respawn",
+                    partition=partition,
+                    timestep=timestep,
+                    superstep=superstep,
+                    wall_s=now - self._started,
+                    seconds=seconds,
+                    detail=cause,
+                )
+            )
 
     def resync(self, mirror: Any) -> None:
         """Swap the mirror for a restored collector copy (rollback recovery).

@@ -15,11 +15,29 @@ engine wires together:
 * :mod:`~repro.resilience.recovery` — the failure taxonomy
   (:class:`RecoverableError` vs application errors), the bounded-retry
   :class:`RecoveryPolicy`, and the structured :class:`RunFailure` surfaced
-  when retries are exhausted instead of hanging the driver.
+  when retries are exhausted instead of hanging the driver;
+* :mod:`~repro.resilience.journal` — the driver-side
+  :class:`FrameJournal` WAL of post-checkpoint protocol rounds that makes
+  single-partition restores replayable;
+* :mod:`~repro.resilience.supervisor` — the :class:`HostSupervisor` that
+  recovers failed hosts *surgically* (respawn one worker, restore one
+  partition, replay its journal) while healthy hosts hold at the barrier,
+  with quarantine-based graceful exhaustion and structured
+  :class:`RecoveryAction` provenance.
 """
 
 from .checkpoint import CheckpointConfig, CheckpointCorrupt, CheckpointInfo, CheckpointManager
-from .faults import AT_BEGIN, AT_EOT, FAULT_KINDS, FaultPlan, FaultSpec, parse_fault_specs
+from .faults import (
+    AT_BEGIN,
+    AT_EOT,
+    FAULT_KINDS,
+    NETWORK_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_specs,
+)
+from .journal import FrameJournal, JournalEntry
+from .supervisor import HostSupervisor, RecoveryAction, RecoveryExhausted
 from .recovery import (
     EarlyWarning,
     FailureRecord,
@@ -39,9 +57,15 @@ __all__ = [
     "AT_BEGIN",
     "AT_EOT",
     "FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "parse_fault_specs",
+    "FrameJournal",
+    "JournalEntry",
+    "HostSupervisor",
+    "RecoveryAction",
+    "RecoveryExhausted",
     "EarlyWarning",
     "FailureRecord",
     "InjectedFault",

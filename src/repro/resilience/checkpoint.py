@@ -208,8 +208,17 @@ class CheckpointManager:
             return None
         return max(complete, key=lambda n: int(n.split("-")[1]))
 
-    def load(self, name: str | None = None) -> _LoadedCheckpoint:
-        """Load and verify a checkpoint (the latest when ``name`` is None)."""
+    def load(
+        self, name: str | None = None, partitions: Sequence[int] | None = None
+    ) -> _LoadedCheckpoint:
+        """Load and verify a checkpoint (the latest when ``name`` is None).
+
+        ``partitions`` restricts which per-partition blobs are read and
+        verified — surgical recovery restores one host without paying for
+        (or requiring the integrity of) every other partition's blob.  The
+        returned ``parts`` list keeps positional indexing: partitions not
+        requested hold ``None``.
+        """
         name = name or self.latest_name()
         if name is None:
             raise FileNotFoundError(f"no complete checkpoint under {self.root}")
@@ -222,17 +231,23 @@ class CheckpointManager:
             raise CheckpointCorrupt(
                 f"checkpoint {ckpt_dir}: unsupported format version {meta.get('format_version')!r}"
             )
+        num_parts = int(meta["num_partitions"])
+        wanted = range(num_parts) if partitions is None else sorted(set(partitions))
+        if partitions is not None and any(p < 0 or p >= num_parts for p in wanted):
+            raise ValueError(
+                f"checkpoint {ckpt_dir} holds partitions 0..{num_parts - 1}, "
+                f"requested {sorted(set(partitions))}"
+            )
         try:
             driver = read_blob(
                 ckpt_dir / "driver.bin", expected_sha256=meta["files"]["driver.bin"]["sha256"]
             )
-            parts = [
-                read_blob(
+            parts: list[Any] = [None] * num_parts
+            for p in wanted:
+                parts[p] = read_blob(
                     ckpt_dir / f"part-{p}.bin",
                     expected_sha256=meta["files"][f"part-{p}.bin"]["sha256"],
                 )
-                for p in range(meta["num_partitions"])
-            ]
         except (OSError, KeyError, ValueError) as exc:
             raise CheckpointCorrupt(f"checkpoint {ckpt_dir} failed validation: {exc}") from exc
         return _LoadedCheckpoint(meta, driver, parts)

@@ -32,6 +32,32 @@ Fault kinds and where they are enforced:
     The instance load at ``begin_timestep`` raises an I/O-style error
     (a failed GoFS slice read), reported as a *recoverable* worker error.
 
+The *network-fault* kinds model wire-level misbehavior between driver and
+host rather than host death.  They are enforced on the process executor's
+pipes, where the sequence-numbered protocol recovers them without a
+respawn; in-process clusters have no wire, so all of them except
+``slow_host`` are deterministic no-ops there (the spec is still spent, so
+plans stay executor-portable):
+
+``drop_frame``
+    The worker computes the round but its reply frame vanishes in flight.
+    The driver's gather times out, resends the sequence-numbered command,
+    and the worker answers from its reply cache — no work is redone.
+``dup_frame``
+    The reply frame is delivered twice.  The driver consumes the first
+    copy and discards the duplicate by sequence number (the dedup counter
+    proves delivery stayed exactly-once).
+``reorder``
+    The previous round's reply frame is re-delivered ahead of the current
+    one; the driver skips the stale frame by sequence number.
+``corrupt_frame``
+    The reply frame arrives as garbage bytes; the driver's resend fetches
+    the cached good reply instead of declaring the worker lost.
+``slow_host``
+    The whole host lags: the reply is delayed like ``delay`` (the
+    ``:d<SECONDS>`` token, or a seed-derived value).  Enforced on every
+    executor.
+
 Superstep coordinates: ``superstep`` in a spec may be an ordinary compute
 superstep number, one of the sentinels :data:`AT_BEGIN` / :data:`AT_EOT`
 (the begin-timestep / end-of-timestep protocol calls), or ``None`` to match
@@ -49,6 +75,7 @@ __all__ = [
     "AT_BEGIN",
     "AT_EOT",
     "FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "parse_fault_specs",
@@ -59,7 +86,24 @@ AT_BEGIN = -101
 #: Superstep sentinel for the ``end_of_timestep`` protocol call.
 AT_EOT = -102
 
-FAULT_KINDS = ("kill", "delay", "drop", "corrupt", "fail_load")
+FAULT_KINDS = (
+    "kill",
+    "delay",
+    "drop",
+    "corrupt",
+    "fail_load",
+    # Wire-level network faults (sequence-numbered protocol recovers these
+    # without a respawn; see the module docstring).
+    "drop_frame",
+    "dup_frame",
+    "reorder",
+    "corrupt_frame",
+    "slow_host",
+)
+
+#: Kinds that misbehave on the wire *after* the round computed; the
+#: idempotent retry protocol — not a respawn — is the cure.
+NETWORK_FAULT_KINDS = ("drop_frame", "dup_frame", "reorder", "corrupt_frame", "slow_host")
 
 #: Default straggler delay when a ``delay`` spec does not set one (seconds).
 _DEFAULT_DELAY_S = 0.05
@@ -168,7 +212,7 @@ class FaultPlan:
         return None
 
     def delay_for(self, spec: FaultSpec) -> float:
-        """The straggler sleep for ``spec`` (seed-derived when unset)."""
+        """The sleep for a ``delay``/``slow_host`` spec (seed-derived when unset)."""
         if spec.delay_s is not None:
             return float(spec.delay_s)
         rng = random.Random((self.seed << 20) ^ hash((spec.timestep, spec.partition)))

@@ -79,6 +79,21 @@ class RecoveryPolicy:
         ``"raise"`` (default) raises :class:`RunFailureError`;
         ``"degrade"`` returns the partial result with ``result.failure``
         set — the graceful-degradation mode.
+    mode:
+        ``"surgical"`` (default) recovers only the failed host: respawn
+        one worker, restore its partition from the latest checkpoint, and
+        replay its journaled post-checkpoint rounds while the healthy
+        hosts hold at the barrier.  ``"cohort"`` is the PR 3 behavior:
+        any recoverable failure respawns every worker and rolls the whole
+        run back to the last checkpoint.
+    quarantine:
+        Surgical mode only.  When True, a partition that exhausts its
+        retry budget is *quarantined* instead of failing the run: its
+        worker is torn down, its rounds report empty halted results, and
+        deliveries addressed to it are dropped (counted).  The run
+        completes with ``result.failure`` still ``None`` but
+        ``result.degraded_partitions`` and ``result.recovery_actions``
+        carrying the structured provenance.
     stall_warning_s:
         When set (and the run has live telemetry on), a protocol round
         open longer than this flags a ``stalled`` health event *before*
@@ -93,6 +108,8 @@ class RecoveryPolicy:
     backoff_factor: float = 2.0
     on_exhausted: str = "raise"
     stall_warning_s: float | None = None
+    mode: str = "surgical"
+    quarantine: bool = False
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -101,6 +118,10 @@ class RecoveryPolicy:
             raise ValueError("on_exhausted must be 'raise' or 'degrade'")
         if self.stall_warning_s is not None and self.stall_warning_s <= 0:
             raise ValueError("stall_warning_s must be positive (or None)")
+        if self.mode not in ("surgical", "cohort"):
+            raise ValueError("mode must be 'surgical' or 'cohort'")
+        if self.quarantine and self.mode != "surgical":
+            raise ValueError("quarantine requires mode='surgical'")
 
     def backoff_for(self, attempt: int) -> float:
         """Sleep before retry ``attempt`` (1-based)."""
@@ -118,7 +139,7 @@ class EarlyWarning:
     vocabulary.
     """
 
-    kind: str  #: straggler | stalled | rollback
+    kind: str  #: straggler | stalled | rollback | respawn
     partition: int | None
     timestep: int
     superstep: int

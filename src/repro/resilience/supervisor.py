@@ -1,0 +1,388 @@
+"""Per-host supervision: surgical recovery instead of full-cohort rollback.
+
+PR 3's recovery is blunt: any recoverable failure respawns *every* worker
+and rolls *every* partition back to the last checkpoint — one flaky host
+costs the whole cluster a timestep.  The :class:`HostSupervisor` closes
+the detect→act loop per host instead:
+
+* every protocol round (``begin`` / ``superstep`` / ``eot`` / ``merge``)
+  is journaled in the :class:`~repro.resilience.journal.FrameJournal`
+  *before* it executes, then issued through the cluster's
+  ``run_round`` — which returns a per-partition outcome list instead of
+  raising on the first failure, so surviving hosts complete their round
+  and hold at the barrier;
+* a failed partition is recovered **surgically**: respawn only its
+  worker (higher incarnation), restore only its blob from the latest
+  checkpoint (or start from genesis-fresh state when none exists),
+  silently replay its journaled post-checkpoint rounds, then re-issue
+  the in-flight round — the survivors' round results are kept, nothing
+  is recorded twice, and results stay bit-identical to a fault-free run;
+* wire-level misbehavior (the ``drop_frame``/``dup_frame``/``reorder``/
+  ``corrupt_frame`` network faults) never reaches this layer at all: the
+  process cluster's sequence-numbered protocol cures it with an
+  idempotent resend, and the supervisor merely drains those *protocol
+  incidents* into the failure log and recovery metrics;
+* when a partition exhausts its retry budget, the policy decides:
+  ``quarantine=True`` tears the partition down, synthesizes empty halted
+  rounds for it and drops its inbound deliveries so the run completes
+  degraded-but-alive; otherwise :class:`RecoveryExhausted` carries the
+  original error to the engine's raise/degrade handling.
+
+Retry accounting matches the cohort path exactly: one
+:class:`~repro.resilience.recovery.FailureRecord` per failure occurrence
+with a shared per-round attempt counter, ``metrics.record_recovery`` per
+completed recovery, and bounded :class:`RecoveryPolicy` backoff between
+attempts.  Every action is additionally captured as a structured
+:class:`RecoveryAction` for ``AppResult.recovery_actions`` provenance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..runtime.host import HostStepResult
+from .checkpoint import CheckpointManager
+from .journal import FrameJournal
+from .recovery import FailureRecord, RecoverableError, RecoveryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.cluster import Cluster
+
+__all__ = ["HostSupervisor", "RecoveryAction", "RecoveryExhausted"]
+
+
+class RecoveryExhausted(RecoverableError):
+    """A partition burned its whole retry budget (and quarantine is off).
+
+    Carries the ``original`` failure so the engine can surface the real
+    cause in the structured :class:`~repro.resilience.recovery.RunFailure`.
+    """
+
+    def __init__(self, original: RecoverableError) -> None:
+        super().__init__(str(original), partition=getattr(original, "partition", None))
+        self.original = original
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """Structured provenance of one supervised recovery action."""
+
+    kind: str  #: worker_respawn | protocol_retry | quarantine
+    partition: int
+    timestep: int
+    superstep: int  #: round superstep (AT_BEGIN / AT_EOT sentinels for those rounds)
+    attempt: int
+    seconds: float
+    incarnation: int
+    #: Journaled rounds silently replayed onto the respawned host.
+    replayed_rounds: int
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "partition": self.partition,
+            "timestep": self.timestep,
+            "superstep": self.superstep,
+            "attempt": self.attempt,
+            "seconds": round(self.seconds, 6),
+            "incarnation": self.incarnation,
+            "replayed_rounds": self.replayed_rounds,
+            "detail": self.detail,
+        }
+
+
+class HostSupervisor:
+    """Issues protocol rounds and recovers failed hosts one at a time.
+
+    Parameters
+    ----------
+    cluster:
+        A cluster speaking the surgical protocol: ``run_round`` (outcome
+        list), ``respawn_worker`` / ``restore_one`` / ``step_one`` /
+        ``quarantine`` per partition, plus ``drain_protocol_incidents``.
+    policy:
+        The bounded-retry :class:`RecoveryPolicy` (attempt budget shared
+        per round across failures, like the cohort path's per-incident
+        budget).
+    journal:
+        The driver-side :class:`FrameJournal` WAL.  The engine truncates
+        it at every durable checkpoint; the supervisor appends each round
+        pre-execution and replays ``entries[:-1]`` on a respawned host.
+    manager:
+        Checkpoint manager for partial restores (``None`` → genesis
+        replay: a freshly respawned host *is* the start-of-run state).
+    metrics / live / tracer / failure_log:
+        The run's accounting surfaces; recoveries record into all of
+        them exactly once, mirroring the cohort path.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        policy: RecoveryPolicy,
+        journal: FrameJournal,
+        *,
+        manager: CheckpointManager | None = None,
+        metrics: Any = None,
+        failure_log: list[FailureRecord] | None = None,
+        tracer: Any = None,
+        live: Any = None,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self.journal = journal
+        self.manager = manager
+        self.metrics = metrics
+        self.failure_log = failure_log if failure_log is not None else []
+        self.tracer = tracer
+        self.live = live
+        #: Every recovery action taken, in order (AppResult provenance).
+        self.actions: list[RecoveryAction] = []
+        #: Messages addressed to quarantined partitions that were dropped.
+        self.dropped_messages = 0
+
+    # -- wiring -----------------------------------------------------------------------
+
+    @property
+    def quarantined(self) -> frozenset[int]:
+        """Partitions currently quarantined (degraded) on the cluster."""
+        return frozenset(self.cluster.quarantined)
+
+    def rebind(self, metrics: Any) -> None:
+        """Point recovery accounting at a new collector (cohort fallback)."""
+        self.metrics = metrics
+
+    # -- the supervised round ---------------------------------------------------------
+
+    def round(
+        self, op: str, timestep: int, superstep: int, payloads: list[Any] | None
+    ) -> list[HostStepResult]:
+        """Journal, execute, and fully recover one protocol round.
+
+        Returns one :class:`HostStepResult` per partition — survivors'
+        results from the first execution, recovered partitions' from the
+        re-issued round, quarantined partitions' synthesized empty/halted.
+        Raises :class:`RecoveryExhausted` when a partition runs out of
+        retries and quarantine is off; deterministic application errors
+        propagate untouched.
+        """
+        cluster = self.cluster
+        quarantined = cluster.quarantined
+        if quarantined and payloads is not None and op in ("superstep", "merge"):
+            # Deliveries addressed to a dead partition are dropped (and
+            # counted): the degraded-result contract, not silent loss.
+            payloads = list(payloads)
+            for q in quarantined:
+                dropped = sum(len(f) for f in payloads[q])
+                if dropped:
+                    self.dropped_messages += dropped
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "frames_dropped",
+                            timestep=timestep,
+                            superstep=superstep,
+                            partition=q,
+                            messages=dropped,
+                        )
+                payloads[q] = []
+        self.journal.append(op, timestep, superstep, payloads)
+        outcomes = cluster.run_round(op, timestep, superstep, payloads)
+        self._drain_protocol_incidents(timestep, superstep)
+        attempt = 0  # shared across this round's failures, like cohort incidents
+        results: list[HostStepResult] = [None] * cluster.num_partitions  # type: ignore[list-item]
+        for p, out in enumerate(outcomes):
+            if isinstance(out, RecoverableError):
+                attempt, results[p] = self._recover_one(p, out, timestep, superstep, attempt)
+            else:
+                results[p] = out
+        return results
+
+    def _drain_protocol_incidents(self, timestep: int, superstep: int) -> None:
+        """Fold wire-level incidents the retry protocol already cured."""
+        for kind, p, seconds in self.cluster.drain_protocol_incidents():
+            self.failure_log.append(
+                FailureRecord(
+                    kind=kind,
+                    timestep=timestep,
+                    superstep=superstep,
+                    partition=p,
+                    attempt=1,
+                    error=f"idempotent protocol resend cured a {kind}",
+                    action="retry",
+                )
+            )
+            if self.metrics is not None:
+                self.metrics.record_recovery(timestep, seconds)
+            if self.live is not None:
+                self.live.observe_recovery(timestep, seconds)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "protocol_retry",
+                    timestep=timestep,
+                    superstep=superstep,
+                    partition=p,
+                    seconds=seconds,
+                    error=kind,
+                )
+            self.actions.append(
+                RecoveryAction(
+                    "protocol_retry",
+                    p,
+                    timestep,
+                    superstep,
+                    1,
+                    seconds,
+                    self.cluster.incarnations[p],
+                    0,
+                    detail=kind,
+                )
+            )
+
+    # -- surgical recovery ------------------------------------------------------------
+
+    def _recover_one(
+        self, p: int, exc: RecoverableError, timestep: int, superstep: int, attempt: int
+    ) -> tuple[int, HostStepResult]:
+        """Recover partition ``p``'s in-flight round; loops on re-failure."""
+        policy = self.policy
+        cluster = self.cluster
+        while True:
+            attempt += 1
+            kind = type(exc).__name__
+            if self.tracer is not None:
+                self.tracer.event(
+                    "worker_lost",
+                    error=kind,
+                    timestep=timestep,
+                    superstep=superstep,
+                    partition=p,
+                    attempt=attempt,
+                )
+            exhausted = attempt > policy.max_retries
+            action = "retry"
+            if exhausted:
+                action = "quarantine" if policy.quarantine else policy.on_exhausted
+            self.failure_log.append(
+                FailureRecord(
+                    kind=kind,
+                    timestep=timestep,
+                    superstep=superstep,
+                    partition=p,
+                    attempt=attempt,
+                    error=str(exc),
+                    action=action,
+                )
+            )
+            if exhausted:
+                if policy.quarantine:
+                    return attempt, self._quarantine(p, exc, timestep, superstep, attempt)
+                raise RecoveryExhausted(exc) from exc
+            backoff = policy.backoff_for(attempt)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "retry", timestep=timestep, partition=p, attempt=attempt, backoff_s=backoff
+                )
+            if backoff > 0:
+                time.sleep(backoff)
+            started = time.perf_counter()
+            entries = self.journal.entries_for(p)
+            # The tail entry is the in-flight round itself (journaled
+            # pre-execution); everything before it is committed work the
+            # respawned host silently replays.
+            try:
+                incarnation = cluster.respawn_worker(p)
+                blob = None
+                reload_t: int | None = None
+                if self.manager is not None and self.manager.latest_name() is not None:
+                    loaded = self.manager.load(partitions=(p,))
+                    blob = loaded.parts[p]
+                    if loaded.superstep is not None:
+                        reload_t = loaded.timestep
+                if blob is not None:
+                    cluster.restore_one(p, blob, reload_timestep=reload_t)
+                # else: the fresh host *is* the genesis state; the journal
+                # holds every round since (it is never truncated before the
+                # first checkpoint).
+                for entry in entries[:-1]:
+                    cluster.step_one(
+                        p, entry.op, entry.timestep, entry.superstep, entry.payload, replay=True
+                    )
+            except RecoverableError as again:
+                exc = again
+                continue
+            seconds = time.perf_counter() - started
+            if self.metrics is not None:
+                self.metrics.record_recovery(timestep, seconds)
+            if self.live is not None:
+                self.live.observe_recovery(timestep, seconds)
+                self.live.observe_respawn(
+                    timestep, superstep, p, seconds, incarnation=incarnation, detail=kind
+                )
+            survivors = cluster.num_partitions - len(cluster.quarantined) - 1
+            replayed = len(entries) - 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    "worker_respawn",
+                    timestep=timestep,
+                    superstep=superstep,
+                    partition=p,
+                    attempt=attempt,
+                    seconds=seconds,
+                    incarnation=incarnation,
+                    replayed_rounds=replayed,
+                    survivors=survivors,
+                )
+            self.actions.append(
+                RecoveryAction(
+                    "worker_respawn",
+                    p,
+                    timestep,
+                    superstep,
+                    attempt,
+                    seconds,
+                    incarnation,
+                    replayed,
+                    detail=kind,
+                )
+            )
+            current = entries[-1]
+            try:
+                return attempt, cluster.step_one(
+                    p, current.op, current.timestep, current.superstep, current.payload
+                )
+            except RecoverableError as again:
+                exc = again
+                continue
+
+    def _quarantine(
+        self, p: int, exc: RecoverableError, timestep: int, superstep: int, attempt: int
+    ) -> HostStepResult:
+        """Give up on ``p`` but keep the run alive: degraded, not dead."""
+        cluster = self.cluster
+        cluster.quarantine(p)
+        if self.tracer is not None:
+            self.tracer.event(
+                "worker_quarantined",
+                timestep=timestep,
+                superstep=superstep,
+                partition=p,
+                attempt=attempt,
+                error=type(exc).__name__,
+            )
+        self.actions.append(
+            RecoveryAction(
+                "quarantine",
+                p,
+                timestep,
+                superstep,
+                attempt,
+                0.0,
+                cluster.incarnations[p],
+                0,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        )
+        return HostStepResult.empty(p)

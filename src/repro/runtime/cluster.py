@@ -32,8 +32,8 @@ from ..core.messages import Message, MessageFrame
 from ..graph.collection import TimeSeriesGraphCollection
 from ..observability import Tracer, partition_pid
 from ..partition.base import PartitionedGraph
-from ..resilience.faults import AT_BEGIN, AT_EOT, FaultPlan
-from ..resilience.recovery import InjectedFault, WorkerCrash
+from ..resilience.faults import AT_BEGIN, AT_EOT, NETWORK_FAULT_KINDS, FaultPlan
+from ..resilience.recovery import InjectedFault, RecoverableError, WorkerCrash
 from .cost import CostModel
 from .host import CollectionInstanceSource, ComputeHost, HostStepResult, InstanceSource, RunMeta
 
@@ -88,9 +88,14 @@ class Cluster:
     #: sets this after construction when the run is traced; ``None`` keeps
     #: the dispatch path untouched.
     driver_tracer: Tracer | None = None
-    #: Worker incarnation: bumped by every :meth:`respawn_all`.  The fault
+    #: Cohort incarnation: bumped by every :meth:`respawn_all`.  The fault
     #: plan uses it to keep scripted faults from re-firing after recovery.
     incarnation: int = 0
+    #: Per-partition incarnations — :meth:`respawn_worker` bumps exactly
+    #: one; :meth:`respawn_all` resets them all to the cohort counter.
+    incarnations: list[int] = []
+    #: Partitions torn down by :meth:`quarantine` (degraded runs).
+    quarantined: set[int] = frozenset()  # type: ignore[assignment]
 
     def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
         raise NotImplementedError
@@ -156,6 +161,77 @@ class Cluster:
     def respawn_all(self) -> None:
         """Replace every host/worker with a fresh (state-empty) incarnation."""
         raise NotImplementedError
+
+    # -- surgical protocol -------------------------------------------------------------
+    #
+    # The HostSupervisor speaks these instead of the raise-on-first-failure
+    # methods above: rounds return per-partition *outcomes* so surviving
+    # hosts finish their work and hold at the barrier while one failed
+    # partition is respawned, restored, and replayed individually.
+
+    def run_round(
+        self, op: str, timestep: int, superstep: int, payloads: Sequence | None
+    ) -> list[HostStepResult | RecoverableError]:
+        """Execute one protocol round, capturing per-partition failures.
+
+        ``op`` is ``begin`` (payloads = GC pauses), ``superstep`` /
+        ``merge`` (payloads = per-partition deliveries), or ``eot``
+        (payloads ignored).  Each element of the returned list is the
+        partition's :class:`HostStepResult`, the :class:`RecoverableError`
+        it failed with, or a synthesized empty result when quarantined.
+        Deterministic application errors propagate immediately.
+        """
+        raise NotImplementedError
+
+    def step_one(
+        self,
+        partition: int,
+        op: str,
+        timestep: int,
+        superstep: int,
+        payload,
+        *,
+        replay: bool = False,
+    ) -> HostStepResult:
+        """Execute one round on one partition (raises on failure).
+
+        ``replay=True`` marks journal replay on a recovered host: fault
+        checks are skipped and instance loads leave no fresh evidence.
+        """
+        raise NotImplementedError
+
+    def respawn_worker(self, partition: int) -> int:
+        """Replace one host/worker with a fresh (state-empty) incarnation.
+
+        Returns the partition's new incarnation number.
+        """
+        raise NotImplementedError
+
+    def restore_one(
+        self, partition: int, snapshot: dict, reload_timestep: int | None = None
+    ) -> None:
+        """Install one partition's checkpoint blob (surgical restore).
+
+        Unlike :meth:`restore`, committed load evidence and in-flight
+        prefetches are kept — the partition replays *forward* to the
+        current round rather than rewinding the run.
+        """
+        raise NotImplementedError
+
+    def quarantine(self, partition: int) -> None:
+        """Tear down one partition permanently: rounds synthesize empty
+        results for it and the supervisor drops its inbound deliveries."""
+        raise NotImplementedError
+
+    def drain_protocol_incidents(self) -> list[tuple[str, int, float]]:
+        """Wire-level incidents the retry protocol cured since the last
+        drain, as ``(kind, partition, seconds)``.  Only the process
+        cluster's sequence-numbered pipes produce these."""
+        return []
+
+    def protocol_stats(self) -> dict:
+        """Driver↔worker protocol counters (resends, dedup drops, ...)."""
+        return {}
 
     def shutdown(self) -> None:  # pragma: no cover - trivial default
         """Release resources (thread pools, worker processes)."""
@@ -224,6 +300,8 @@ class LocalCluster(Cluster):
         self._live = live
         self.fault_plan = fault_plan
         self.incarnation = 0
+        self.incarnations = [0] * pg.num_partitions
+        self.quarantined: set[int] = set()
         self.hosts = build_hosts(
             pg, computation, meta, self._sources, cost_model,
             use_combiners=use_combiners, tracing=tracing, live=live,
@@ -248,24 +326,27 @@ class LocalCluster(Cluster):
         if plan is None:
             return
         p = host.partition.partition_id
-        if superstep == AT_BEGIN and plan.fire(
-            timestep, AT_BEGIN, p, self.incarnation, kinds=("fail_load",)
-        ):
+        inc = self.incarnations[p]
+        if superstep == AT_BEGIN and plan.fire(timestep, AT_BEGIN, p, inc, kinds=("fail_load",)):
             raise InjectedFault(
                 f"injected slice-load failure at timestep {timestep} partition {p}",
                 partition=p,
             )
-        spec = plan.fire(
-            timestep, superstep, p, self.incarnation, kinds=("kill", "corrupt", "drop")
-        )
+        spec = plan.fire(timestep, superstep, p, inc, kinds=("kill", "corrupt", "drop"))
         if spec is not None:
             raise WorkerCrash(
                 f"injected {spec.kind} fault at timestep {timestep} "
                 f"superstep {superstep} partition {p}",
                 partition=p,
             )
-        spec = plan.fire(timestep, superstep, p, self.incarnation, kinds=("delay",))
+        spec = plan.fire(timestep, superstep, p, inc, kinds=("delay",))
         if spec is not None:
+            time.sleep(plan.delay_for(spec))
+        spec = plan.fire(timestep, superstep, p, inc, kinds=NETWORK_FAULT_KINDS)
+        if spec is not None and spec.kind == "slow_host":
+            # The only network fault with in-process semantics; the rest
+            # model pipe misbehavior and are deterministic no-ops here (the
+            # spec is still spent, keeping plans executor-portable).
             time.sleep(plan.delay_for(spec))
 
     def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
@@ -301,22 +382,116 @@ class LocalCluster(Cluster):
         return self._map(call)
 
     def resident_bytes(self) -> list[int]:
-        return [h.resident_bytes() for h in self.hosts]
+        return [
+            0 if p in self.quarantined else h.resident_bytes() for p, h in enumerate(self.hosts)
+        ]
 
     def prefetch(self, timestep: int) -> None:
-        for h in self.hosts:
-            h.prefetch(timestep)
+        for p, h in enumerate(self.hosts):
+            if p not in self.quarantined:
+                h.prefetch(timestep)
 
     def final_states(self) -> dict[int, dict]:
         states: dict[int, dict] = {}
-        for h in self.hosts:
-            states.update(h.final_states())
+        for p, h in enumerate(self.hosts):
+            if p not in self.quarantined:
+                states.update(h.final_states())
         return states
+
+    # -- surgical protocol -------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        host: ComputeHost,
+        op: str,
+        timestep: int,
+        superstep: int,
+        payload,
+        replay: bool = False,
+    ) -> HostStepResult:
+        """One host's share of one protocol round (replays skip faults)."""
+        if not replay:
+            self._check_faults(timestep, superstep, host)
+        if op == "begin":
+            return host.begin_timestep(timestep, payload, replay=replay)
+        if op == "superstep":
+            return host.run_superstep(timestep, superstep, payload)
+        if op == "eot":
+            return host.end_of_timestep(timestep)
+        if op == "merge":
+            return host.run_merge_superstep(superstep, payload)
+        raise ValueError(f"unknown protocol op {op!r}")
+
+    def run_round(
+        self, op: str, timestep: int, superstep: int, payloads: Sequence | None
+    ) -> list[HostStepResult | RecoverableError]:
+        def call(h: ComputeHost) -> HostStepResult | RecoverableError:
+            p = h.partition.partition_id
+            if p in self.quarantined:
+                return HostStepResult.empty(p)
+            payload = payloads[p] if payloads is not None else None
+            try:
+                return self._dispatch(h, op, timestep, superstep, payload)
+            except RecoverableError as exc:
+                return exc
+
+        return self._map(call)
+
+    def step_one(
+        self,
+        partition: int,
+        op: str,
+        timestep: int,
+        superstep: int,
+        payload,
+        *,
+        replay: bool = False,
+    ) -> HostStepResult:
+        return self._dispatch(self.hosts[partition], op, timestep, superstep, payload, replay)
+
+    def respawn_worker(self, partition: int) -> int:
+        """Rebuild one host from scratch (a simulated single-VM restart)."""
+        self.incarnations[partition] += 1
+        self.hosts[partition] = self._build_host(partition)
+        return self.incarnations[partition]
+
+    def _build_host(self, partition: int) -> ComputeHost:
+        from ..partition.base import Partition
+
+        # Share the cohort's routing array: peers keep addressing the
+        # respawned host, and (static-assignment) routing stays identical.
+        sg_part = self.hosts[partition].subgraph_partition
+        return ComputeHost(
+            Partition(partition, list(self._pg.partitions[partition].subgraphs)),
+            self._computation,
+            self._meta,
+            self._sources[partition],
+            sg_part,
+            self._cost_model,
+            use_combiners=self._use_combiners,
+            tracer=Tracer(partition_pid(partition), f"partition {partition}")
+            if self._tracing
+            else None,
+            publish_stats=self._live,
+        )
+
+    def restore_one(
+        self, partition: int, snapshot: dict, reload_timestep: int | None = None
+    ) -> None:
+        self.hosts[partition].restore_state(
+            snapshot, reload_timestep, next_timestep=None, invalidate=False
+        )
+
+    def quarantine(self, partition: int) -> None:
+        self.quarantined.add(partition)
 
     # -- resilience protocol ---------------------------------------------------------
 
     def snapshot(self) -> list[dict]:
-        return [h.snapshot_state() for h in self.hosts]
+        return [
+            None if p in self.quarantined else h.snapshot_state()
+            for p, h in enumerate(self.hosts)
+        ]
 
     def restore(
         self,
@@ -346,9 +521,12 @@ class LocalCluster(Cluster):
         A crashed host may hold half-mutated state (its ``compute`` raised
         mid-iteration) and its peers may have run ahead of the failed
         barrier; recovery discards the whole cohort and restores from the
-        checkpoint, exactly like the process cluster's full respawn.
+        checkpoint, exactly like the process cluster's full respawn.  Any
+        quarantine is lifted: the fresh cohort is whole again.
         """
-        self.incarnation += 1
+        self.incarnation = max([self.incarnation] + self.incarnations) + 1
+        self.incarnations = [self.incarnation] * self.num_partitions
+        self.quarantined.clear()
         self.hosts = build_hosts(
             self._pg, self._computation, self._meta, self._sources, self._cost_model,
             use_combiners=self._use_combiners, tracing=self._tracing, live=self._live,

@@ -128,6 +128,15 @@ class HostStepResult:
     #: algorithm path, so results stay bit-identical with live on vs off.
     stats: dict | None = None
 
+    @classmethod
+    def empty(cls, partition: int) -> "HostStepResult":
+        """A synthesized no-op round result for a quarantined partition.
+
+        Halted, no sends, no pending messages — the quiescence rule treats
+        the degraded partition as permanently done.
+        """
+        return cls(partition)
+
 
 @dataclass(frozen=True)
 class RunMeta:
@@ -400,21 +409,34 @@ class ComputeHost:
 
     # -- protocol ----------------------------------------------------------------------
 
-    def begin_timestep(self, timestep: int, gc_pause_s: float = 0.0) -> HostStepResult:
+    def begin_timestep(
+        self, timestep: int, gc_pause_s: float = 0.0, *, replay: bool = False
+    ) -> HostStepResult:
         """Load the instance for ``timestep``; reset per-timestep halt flags.
 
         Temporal messages short-circuited during the previous timestep become
         the seed of this timestep's superstep-0 local inbox.
+
+        ``replay`` marks a journal replay on a surgically recovered host:
+        the instance load goes through ``reload_instance`` (no fresh load
+        evidence — the original round already recorded it) and hidden-load
+        seconds are left undrained for the next *committed* begin to report.
         """
         tr = self.tracer
         result = HostStepResult(self.partition.partition_id)
-        with tr.span("load", t=timestep) if tr is not None else NULL_SPAN:
-            start = time.perf_counter()
-            self._instance = self.source.instance(timestep)
-            result.load_s = time.perf_counter() - start
-        drain = getattr(self.source, "drain_hidden_load", None)
-        if callable(drain):
-            result.load_hidden_s = drain()
+        if replay:
+            reload = getattr(self.source, "reload_instance", None)
+            self._instance = (
+                reload(timestep) if callable(reload) else self.source.instance(timestep)
+            )
+        else:
+            with tr.span("load", t=timestep) if tr is not None else NULL_SPAN:
+                start = time.perf_counter()
+                self._instance = self.source.instance(timestep)
+                result.load_s = time.perf_counter() - start
+            drain = getattr(self.source, "drain_hidden_load", None)
+            if callable(drain):
+                result.load_hidden_s = drain()
         result.gc_pause_s = gc_pause_s
         self._halted = {sg.subgraph_id: False for sg in self.partition.subgraphs}
         self._local_inbox = self._temporal_inbox
@@ -622,6 +644,8 @@ class ComputeHost:
         snapshot: dict,
         reload_timestep: int | None = None,
         next_timestep: int | None = None,
+        *,
+        invalidate: bool = True,
     ) -> None:
         """Install a :meth:`snapshot_state` blob (checkpoint rollback/resume).
 
@@ -638,6 +662,11 @@ class ComputeHost:
         committed begin-phase load), mirroring how ``trace_replay`` purges
         rolled-back spans.  In-flight prefetches are invalidated first so
         a discarded attempt's I/O never leaks into the restored accounting.
+
+        ``invalidate=False`` is the *surgical* restore: only this host
+        rewinds and then replays forward to the current round, so committed
+        load evidence stays valid and in-flight prefetches (which target
+        rounds the replay will reach) are kept.
         """
         own = sorted(sg.subgraph_id for sg in self.partition.subgraphs)
         if snapshot.get("subgraphs") != own:
@@ -653,9 +682,10 @@ class ComputeHost:
             sgid: list(msgs) for sgid, msgs in snapshot["temporal_inbox"].items()
         }
         self._local_inbox = {sgid: list(msgs) for sgid, msgs in snapshot["local_inbox"].items()}
-        invalidate = getattr(self.source, "invalidate_prefetch", None)
-        if callable(invalidate):
-            invalidate()
+        if invalidate:
+            cancel = getattr(self.source, "invalidate_prefetch", None)
+            if callable(cancel):
+                cancel()
         if next_timestep is not None:
             purge = getattr(self.source, "purge_load_events", None)
             if callable(purge):

@@ -15,6 +15,21 @@ of being copied into it — the bulk-transfer idiom from the mpi4py guides.
 Computations, instance sources and message payloads must be picklable
 (module-level classes and numpy arrays).
 
+Wire protocol
+-------------
+Every command is an envelope ``(seq, op, replay, *args)`` and every reply
+``(seq, incarnation, payload)``.  Sequence numbers are per-partition and
+assigned by the driver; each worker remembers the last sequence it executed
+and its reply, so a **resent command is answered from the reply cache
+without re-executing** — the idempotent-resend property that lets the
+driver cure wire-level faults (a dropped, duplicated, reordered, or
+corrupted reply frame) by simply sending the same command again.  On the
+receive side the driver skips replies whose sequence is stale (counted as
+``duplicate_replies_dropped``) and accepts exactly the one it is waiting
+for, so delivery into the engine is exactly-once even when the wire is not.
+``replay`` marks journal replay on a surgically recovered worker: fault
+checks are skipped and instance loads leave no fresh evidence.
+
 Failure semantics
 -----------------
 A worker can genuinely die (crash, injected ``kill``), wedge (injected
@@ -26,7 +41,9 @@ The driver classifies what it observes into the resilience taxonomy:
 * :class:`GatherTimeout` — the worker is alive but did not reply within
   ``gather_timeout_s``.  Raised only when a timeout is configured; without
   one a wedged worker blocks the barrier forever (the pre-resilience
-  behavior, preserved by default).
+  behavior, preserved by default).  With a ``retry_policy`` the driver
+  first resends the command (bounded attempts with backoff, a fresh
+  timeout window each) before declaring the round failed.
 * :class:`RecoverableWorkerError` — the worker itself reported an error it
   marked *recoverable* (an injected infrastructure fault such as a failed
   slice load).  Its process and pipe are still healthy.
@@ -185,20 +202,30 @@ def _worker_main(
 ) -> None:
     """Worker loop: owns one host, serves engine commands until ``stop``.
 
-    Failures while executing a command are shipped back as
-    ``("error", traceback_text, recoverable)`` — ``recoverable`` is True
-    when the exception carries the :class:`RecoverableError` marker (an
-    injected infrastructure fault), False for deterministic application
+    Commands arrive as ``(seq, op, replay, *args)`` envelopes; replies go
+    back as ``(seq, incarnation, payload)``.  The worker executes strictly
+    increasing sequence numbers: a command whose ``seq`` equals the last
+    executed one is a driver resend and is answered from the one-deep reply
+    cache *without re-executing* — that idempotence is what makes the
+    driver's retry protocol safe.  Anything older is discarded.
+
+    Failures while executing a command ship back a
+    ``("error", traceback_text, recoverable)`` payload — ``recoverable`` is
+    True when the exception carries the :class:`RecoverableError` marker
+    (an injected infrastructure fault), False for deterministic application
     errors — so the driver can re-raise with context instead of dying on a
-    broken pipe.  (Pre-resilience workers sent 2-tuples; the driver accepts
-    both.)
+    broken pipe.
 
     When ``fault_plan`` is set, each command's TI-BSP coordinate is checked
-    against the plan under this worker's ``incarnation``: ``kill`` exits the
-    process immediately (``os._exit``), ``fail_load`` raises
-    :class:`InjectedFault` (a recoverable error reply), ``delay`` sleeps
-    before replying, ``drop`` swallows the reply, and ``corrupt`` sends
-    garbage wire bytes instead of the reply.
+    against the plan under this worker's ``incarnation`` (skipped for
+    ``replay`` commands — a journal replay must not re-trip scripted
+    faults).  ``kill`` exits the process immediately (``os._exit``),
+    ``fail_load`` raises :class:`InjectedFault` (a recoverable error
+    reply), and the rest act on the reply *after* the round computed and
+    its envelope was cached: ``delay``/``slow_host`` sleep first,
+    ``drop``/``drop_frame`` swallow it, ``corrupt``/``corrupt_frame`` send
+    garbage wire bytes instead, ``dup_frame`` sends it twice, and
+    ``reorder`` re-sends the previous round's envelope ahead of it.
 
     When ``tracing`` is set the host gets its own tracer; spans recorded in
     the worker ride back to the driver as ``HostStepResult.telemetry`` on
@@ -223,28 +250,38 @@ def _worker_main(
         tracer=Tracer(partition_pid(pid), f"partition {pid}") if tracing else None,
         publish_stats=live,
     )
+    last_seq = -1
+    cached = None  # envelope of the last executed command (resend answers)
+    previous = None  # envelope before that (the ``reorder`` fault's stale frame)
     try:
         while True:
             cmd = _recv_oob(conn)
-            op = cmd[0]
+            seq, op, replay = int(cmd[0]), cmd[1], bool(cmd[2])
+            args = cmd[3:]
             if op == "stop":
-                _send_oob(conn, None)
+                _send_oob(conn, (seq, incarnation, None))
                 break
+            if seq <= last_seq:
+                # Driver resend of already-executed work: answer from the
+                # cache, never re-execute (idempotent resend).
+                if seq == last_seq and cached is not None:
+                    _send_oob(conn, cached)
+                continue
             # Map the command to its TI-BSP fault coordinate (merge runs
             # after all timesteps; the plan addresses it as timestep -1).
             if op == "begin":
-                coords = (cmd[1], AT_BEGIN)
+                coords = (args[0], AT_BEGIN)
             elif op == "superstep":
-                coords = (cmd[1], cmd[2])
+                coords = (args[0], args[1])
             elif op == "eot":
-                coords = (cmd[1], AT_EOT)
+                coords = (args[0], AT_EOT)
             elif op == "merge":
-                coords = (-1, cmd[1])
+                coords = (-1, args[0])
             else:
                 coords = None
             post_fault = None
             try:
-                if fault_plan is not None and coords is not None:
+                if fault_plan is not None and coords is not None and not replay:
                     spec = fault_plan.fire(coords[0], coords[1], pid, incarnation)
                     if spec is not None:
                         if spec.kind == "kill":
@@ -256,42 +293,59 @@ def _worker_main(
                                 f"partition {pid}",
                                 partition=pid,
                             )
-                        else:  # delay / drop / corrupt act on the reply
+                        else:  # wire faults act on the reply, post-compute
                             post_fault = spec
                 if op == "begin":
-                    reply = host.begin_timestep(cmd[1], cmd[2])
+                    payload = host.begin_timestep(args[0], args[1], replay=replay)
                 elif op == "superstep":
-                    reply = host.run_superstep(cmd[1], cmd[2], cmd[3])
+                    payload = host.run_superstep(args[0], args[1], args[2])
                 elif op == "eot":
-                    reply = host.end_of_timestep(cmd[1])
+                    payload = host.end_of_timestep(args[0])
                 elif op == "merge":
-                    reply = host.run_merge_superstep(cmd[1], cmd[2])
+                    payload = host.run_merge_superstep(args[0], args[1])
                 elif op == "resident":
-                    reply = host.resident_bytes()
+                    payload = host.resident_bytes()
                 elif op == "prefetch":
-                    reply = host.prefetch(cmd[1])
+                    payload = host.prefetch(args[0])
                 elif op == "states":
-                    reply = host.final_states()
+                    payload = host.final_states()
                 elif op == "snapshot":
-                    reply = host.snapshot_state()
+                    payload = host.snapshot_state()
                 elif op == "restore":
-                    host.restore_state(cmd[1], cmd[2], cmd[3] if len(cmd) > 3 else None)
-                    reply = True
+                    host.restore_state(
+                        args[0],
+                        args[1],
+                        args[2] if len(args) > 2 else None,
+                        invalidate=bool(args[3]) if len(args) > 3 else True,
+                    )
+                    payload = True
                 else:  # pragma: no cover - defensive
                     raise RuntimeError(f"unknown worker command {op!r}")
             except Exception as exc:
                 recoverable = isinstance(exc, RecoverableError)
-                _send_oob(conn, ("error", traceback.format_exc(), recoverable))
-            else:
-                if post_fault is None:
-                    _send_oob(conn, reply)
-                elif post_fault.kind == "delay":
-                    time.sleep(fault_plan.delay_for(post_fault))
-                    _send_oob(conn, reply)
-                elif post_fault.kind == "drop":
-                    pass  # swallow the reply; the driver's gather times out
-                elif post_fault.kind == "corrupt":
-                    conn.send_bytes(_CORRUPT_WIRE_BYTES)
+                payload = ("error", traceback.format_exc(), recoverable)
+                post_fault = None  # error replies ship plainly
+            envelope = (seq, incarnation, payload)
+            # Cache before any wire misbehavior: a resend must find the
+            # computed reply even when this send drops or corrupts.
+            previous, cached = cached, envelope
+            last_seq = seq
+            if post_fault is None:
+                _send_oob(conn, envelope)
+            elif post_fault.kind in ("delay", "slow_host"):
+                time.sleep(fault_plan.delay_for(post_fault))
+                _send_oob(conn, envelope)
+            elif post_fault.kind in ("drop", "drop_frame"):
+                pass  # swallow the reply; the driver's gather times out
+            elif post_fault.kind in ("corrupt", "corrupt_frame"):
+                conn.send_bytes(_CORRUPT_WIRE_BYTES)
+            elif post_fault.kind == "dup_frame":
+                _send_oob(conn, envelope)
+                _send_oob(conn, envelope)
+            elif post_fault.kind == "reorder":
+                if previous is not None:
+                    _send_oob(conn, previous)
+                _send_oob(conn, envelope)
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - driver died
         pass
     finally:
@@ -322,6 +376,15 @@ class ProcessCluster(Cluster):
     (spent-fault bookkeeping stays per-process; the incarnation guard is
     what keeps faults from re-firing after a respawn).
 
+    ``retry_policy`` (a :class:`~repro.resilience.recovery.RecoveryPolicy`)
+    arms the **protocol retry loop**: a gather timeout or corrupt reply
+    from a still-alive worker is retried by resending the same
+    sequence-numbered command (the worker answers from its reply cache)
+    with the policy's backoff, up to ``max_retries`` times, before the
+    failure surfaces.  Cured incidents are recorded and drained via
+    :meth:`drain_protocol_incidents`.  ``None`` (the default, and the
+    cohort-recovery configuration) preserves raise-on-first-failure.
+
     Use as a context manager (``with ProcessCluster(...) as cluster:``) to
     guarantee workers are reaped even when the driver raises mid-run.
     """
@@ -340,6 +403,7 @@ class ProcessCluster(Cluster):
         live: bool = False,
         gather_timeout_s: float | None = None,
         fault_plan: FaultPlan | None = None,
+        retry_policy: Any = None,
     ) -> None:
         if len(sources) != pg.num_partitions:
             raise ValueError("need exactly one instance source per partition")
@@ -358,11 +422,55 @@ class ProcessCluster(Cluster):
         self._ctx = mp.get_context(mp_context) if isinstance(mp_context, str) else mp_context
         self.gather_timeout_s = gather_timeout_s
         self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         self.incarnation = 0
         self.num_partitions = pg.num_partitions
+        self.incarnations = [0] * pg.num_partitions
+        self.quarantined: set[int] = set()
+        #: Next command sequence number, per partition (reset on respawn).
+        self._seqs = [0] * pg.num_partitions
+        #: Last posted command per partition — what a protocol retry resends.
+        self._inflight: list[Any] = [None] * pg.num_partitions
+        self._stats = {
+            "commands_sent": 0,
+            "resends": 0,
+            "protocol_retries": 0,
+            "duplicate_replies_dropped": 0,
+        }
+        self._incidents: list[tuple[str, int, float]] = []
         self._conns: list[Any] = []
         self._procs: list[Any] = []
         self._spawn_workers()
+
+    def _spawn_one(self, p: int) -> tuple[Any, Any]:
+        """Start partition ``p``'s worker at its current incarnation."""
+        parent, child = self._ctx.Pipe()
+        try:
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    child,
+                    self._pg.partitions[p],
+                    self._computation,
+                    self._meta,
+                    self._sources[p],
+                    self._sg_part,
+                    self._cost_model,
+                    self._use_combiners,
+                    self._tracing,
+                    self._live,
+                    self.fault_plan,
+                    self.incarnations[p],
+                ),
+                daemon=True,
+            )
+            proc.start()
+        except BaseException:
+            parent.close()
+            child.close()
+            raise
+        child.close()
+        return parent, proc
 
     def _spawn_workers(self) -> None:
         """Start one worker per partition at the current incarnation.
@@ -374,59 +482,76 @@ class ProcessCluster(Cluster):
         assert not self._conns and not self._procs
         try:
             for p in range(self.num_partitions):
-                parent, child = self._ctx.Pipe()
-                try:
-                    proc = self._ctx.Process(
-                        target=_worker_main,
-                        args=(
-                            child,
-                            self._pg.partitions[p],
-                            self._computation,
-                            self._meta,
-                            self._sources[p],
-                            self._sg_part,
-                            self._cost_model,
-                            self._use_combiners,
-                            self._tracing,
-                            self._live,
-                            self.fault_plan,
-                            self.incarnation,
-                        ),
-                        daemon=True,
-                    )
-                    proc.start()
-                except BaseException:
-                    parent.close()
-                    child.close()
-                    raise
-                child.close()
+                parent, proc = self._spawn_one(p)
                 self._conns.append(parent)
                 self._procs.append(proc)
         except BaseException:
             self._teardown(force=True)
             raise
 
-    # -- scatter/gather ---------------------------------------------------------------
+    # -- sequenced scatter/gather -----------------------------------------------------
 
-    def _scatter(self, make_cmd) -> None:
-        for p, conn in enumerate(self._conns):
-            try:
-                _send_oob(conn, make_cmd(p))
-            except (BrokenPipeError, ConnectionError, OSError) as exc:
+    def _post(self, p: int, op: str, replay: bool, args: tuple) -> None:
+        """Send one sequence-numbered command to partition ``p``'s worker."""
+        seq = self._seqs[p]
+        self._seqs[p] += 1
+        cmd = (seq, op, replay, *args)
+        self._inflight[p] = cmd
+        self._stats["commands_sent"] += 1
+        try:
+            _send_oob(self._conns[p], cmd)
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            raise WorkerLost(
+                f"partition {p} worker is gone (send failed: {exc!r})", partition=p
+            ) from exc
+
+    def _recv_reply(self, p: int, want_seq: int, deadline: float | None) -> Any:
+        """Receive exactly reply ``want_seq`` from ``p``, deduplicating.
+
+        Stale frames — duplicates from a ``dup_frame`` fault, re-deliveries
+        from ``reorder``, cached answers to a resend that crossed the real
+        reply in flight, or replies from a torn-down incarnation — are
+        counted and skipped, so the engine observes exactly-once delivery.
+        """
+        conn = self._conns[p]
+        while True:
+            reply = _recv_oob(conn, deadline=deadline, what=f"partition {p} reply")
+            if not (isinstance(reply, tuple) and len(reply) == 3):
+                raise WorkerError(
+                    f"partition {p} sent an unframed reply ({type(reply).__name__})"
+                )
+            seq, inc, payload = reply
+            if seq < want_seq or inc < self.incarnations[p]:
+                self._stats["duplicate_replies_dropped"] += 1
+                continue
+            if seq > want_seq:
                 raise WorkerLost(
-                    f"partition {p} worker is gone (send failed: {exc!r})", partition=p
-                ) from exc
+                    f"partition {p} reply stream desynced (got seq {seq}, want {want_seq})",
+                    partition=p,
+                )
+            return payload
 
-    def _gather(self) -> list[Any]:
-        deadline = (
-            None
-            if self.gather_timeout_s is None
-            else time.monotonic() + self.gather_timeout_s
-        )
-        replies = []
-        for p, conn in enumerate(self._conns):
+    def _collect(self, p: int) -> Any:
+        """Gather partition ``p``'s in-flight reply, curing wire faults.
+
+        Without a ``retry_policy``, first failure raises (legacy cohort
+        semantics).  With one: a gather timeout or corrupt reply from a
+        still-alive worker triggers an idempotent resend of the same
+        command — a fresh timeout window and the policy's backoff per
+        attempt — until the reply lands or the budget is spent.  A dead
+        worker always surfaces immediately as :class:`WorkerLost`.
+        """
+        policy = self.retry_policy
+        attempts = 0
+        incident_kind: str | None = None
+        incident_start = 0.0
+        want_seq = self._seqs[p] - 1
+        while True:
+            deadline = (
+                None if self.gather_timeout_s is None else time.monotonic() + self.gather_timeout_s
+            )
             try:
-                replies.append(_recv_oob(conn, deadline=deadline, what=f"partition {p} reply"))
+                payload = self._recv_reply(p, want_seq, deadline)
             except GatherTimeout as exc:
                 if not self._procs[p].is_alive():  # pragma: no cover - EOF races ahead
                     raise WorkerLost(
@@ -434,10 +559,12 @@ class ProcessCluster(Cluster):
                         f"{self._procs[p].exitcode})",
                         partition=p,
                     ) from exc
-                raise GatherTimeout(
+                err: WorkerError = GatherTimeout(
                     f"partition {p} did not reply within {self.gather_timeout_s:g}s",
                     partition=p,
-                ) from exc
+                )
+                err.__cause__ = exc
+                kind = "GatherTimeout"
             except (EOFError, ConnectionError, OSError) as exc:
                 raise WorkerLost(
                     f"partition {p} worker died mid-round ({exc!r})", partition=p
@@ -445,69 +572,222 @@ class ProcessCluster(Cluster):
             except WorkerLost:
                 raise
             except WorkerError as exc:
-                # Corrupt reply stream: the pipe can no longer be trusted,
-                # so the worker is as good as lost.
+                # Corrupt reply frame.  Pipes are message-oriented, so the
+                # stream stays frame-aligned past the bad message: with a
+                # retry policy a resend can still fetch the cached reply.
+                if not self._procs[p].is_alive():
+                    raise WorkerLost(
+                        f"partition {p} reply stream is corrupt: {exc}", partition=p
+                    ) from exc
+                err = WorkerLost(f"partition {p} reply stream is corrupt: {exc}", partition=p)
+                err.__cause__ = exc
+                kind = "WorkerError"
+            else:
+                if attempts:
+                    self._stats["protocol_retries"] += 1
+                    self._incidents.append(
+                        (incident_kind or "GatherTimeout", p, time.monotonic() - incident_start)
+                    )
+                return payload
+            if policy is None or attempts >= policy.max_retries:
+                raise err
+            if incident_kind is None:
+                incident_kind = kind
+                incident_start = time.monotonic()
+            attempts += 1
+            self._stats["resends"] += 1
+            backoff = policy.backoff_for(attempts)
+            if backoff > 0:
+                time.sleep(backoff)
+            try:
+                _send_oob(self._conns[p], self._inflight[p])
+            except (BrokenPipeError, ConnectionError, OSError) as exc:
                 raise WorkerLost(
-                    f"partition {p} reply stream is corrupt: {exc}", partition=p
+                    f"partition {p} worker is gone (resend failed: {exc!r})", partition=p
                 ) from exc
-        return replies
 
-    def _broadcast(self, make_cmd) -> list[HostStepResult]:
+    def _unwrap(self, p: int, payload: Any) -> Any:
+        """Re-raise worker-reported errors with driver-side context."""
+        if isinstance(payload, tuple) and len(payload) >= 2 and payload[0] == "error":
+            message = f"partition {p} worker failed:\n{payload[1]}"
+            if len(payload) >= 3 and payload[2]:
+                raise RecoverableWorkerError(message, partition=p)
+            raise WorkerError(message)
+        return payload
+
+    def _exchange_all(
+        self,
+        op: str,
+        make_args,
+        *,
+        capture: bool = False,
+        quarantine_fill=None,
+    ) -> list[Any]:
+        """One scatter/gather round across every non-quarantined worker.
+
+        ``capture=True`` (the supervisor's ``run_round``) records each
+        partition's :class:`RecoverableError` in its outcome slot instead
+        of raising, so survivors finish their round; deterministic
+        application errors always raise.  ``quarantine_fill`` synthesizes
+        quarantined partitions' outcomes.
+        """
         tr = self.driver_tracer
+        outcomes: list[Any] = [None] * self.num_partitions
+        pending: list[int] = []
+
+        def scatter() -> None:
+            for p in range(self.num_partitions):
+                if p in self.quarantined:
+                    if quarantine_fill is not None:
+                        outcomes[p] = quarantine_fill(p)
+                    continue
+                try:
+                    self._post(p, op, False, make_args(p))
+                except WorkerLost as exc:
+                    if not capture:
+                        raise
+                    outcomes[p] = exc
+                    continue
+                pending.append(p)
+
+        def gather() -> None:
+            for p in pending:
+                try:
+                    outcomes[p] = self._unwrap(p, self._collect(p))
+                except RecoverableError as exc:
+                    if not capture:
+                        raise
+                    outcomes[p] = exc
+
         if tr is None:
-            self._scatter(make_cmd)
-            replies = self._gather()
+            scatter()
+            gather()
         else:
             # Driver-side view of the scatter/gather round: the ship span
             # covers pickling + pipe writes, the barrier span the gather
             # (the BSP synchronisation point).
             with tr.span("ship"):
-                self._scatter(make_cmd)
+                scatter()
             with tr.span("barrier"):
-                replies = self._gather()
-        for p, reply in enumerate(replies):
-            if isinstance(reply, tuple) and len(reply) >= 2 and reply[0] == "error":
-                message = f"partition {p} worker failed:\n{reply[1]}"
-                if len(reply) >= 3 and reply[2]:
-                    raise RecoverableWorkerError(message, partition=p)
-                raise WorkerError(message)
-        return replies
+                gather()
+        return outcomes
+
+    @staticmethod
+    def _round_args(op: str, timestep: int, superstep: int, payloads):
+        """Per-partition worker args for one engine protocol round."""
+        if op == "begin":
+            return lambda p: (timestep, payloads[p])
+        if op == "superstep":
+            return lambda p: (timestep, superstep, payloads[p])
+        if op == "eot":
+            return lambda p: (timestep,)
+        if op == "merge":
+            return lambda p: (superstep, payloads[p])
+        raise ValueError(f"unknown protocol op {op!r}")
 
     def begin_timestep(self, timestep: int, gc_pauses: Sequence[float]) -> list[HostStepResult]:
-        return self._broadcast(lambda p: ("begin", timestep, gc_pauses[p]))
+        return self._exchange_all("begin", lambda p: (timestep, gc_pauses[p]))
 
     def run_superstep(
         self, timestep: int, superstep: int, deliveries: Sequence[Deliveries]
     ) -> list[HostStepResult]:
-        return self._broadcast(lambda p: ("superstep", timestep, superstep, deliveries[p]))
+        return self._exchange_all("superstep", lambda p: (timestep, superstep, deliveries[p]))
 
     def end_of_timestep(self, timestep: int) -> list[HostStepResult]:
-        return self._broadcast(lambda p: ("eot", timestep))
+        return self._exchange_all("eot", lambda p: (timestep,))
 
     def run_merge_superstep(
         self, superstep: int, deliveries: Sequence[Deliveries]
     ) -> list[HostStepResult]:
-        return self._broadcast(lambda p: ("merge", superstep, deliveries[p]))
+        return self._exchange_all("merge", lambda p: (superstep, deliveries[p]))
 
     def resident_bytes(self) -> list[int]:
-        return self._broadcast(lambda p: ("resident",))
+        return self._exchange_all("resident", lambda p: (), quarantine_fill=lambda p: 0)
 
     def prefetch(self, timestep: int) -> None:
         # One scatter/gather round: workers schedule the background load and
         # reply immediately (the read itself runs on each worker's prefetch
         # thread, overlapping the following supersteps' compute).
-        self._broadcast(lambda p: ("prefetch", timestep))
+        self._exchange_all("prefetch", lambda p: (timestep,), quarantine_fill=lambda p: False)
 
     def final_states(self) -> dict[int, dict]:
         states: dict[int, dict] = {}
-        for part in self._broadcast(lambda p: ("states",)):
+        for part in self._exchange_all("states", lambda p: (), quarantine_fill=lambda p: {}):
             states.update(part)
         return states
+
+    # -- surgical protocol ------------------------------------------------------------
+
+    def run_round(
+        self, op: str, timestep: int, superstep: int, payloads: Sequence | None
+    ) -> list[Any]:
+        return self._exchange_all(
+            op,
+            self._round_args(op, timestep, superstep, payloads),
+            capture=True,
+            quarantine_fill=HostStepResult.empty,
+        )
+
+    def step_one(
+        self,
+        partition: int,
+        op: str,
+        timestep: int,
+        superstep: int,
+        payload,
+        *,
+        replay: bool = False,
+    ) -> HostStepResult:
+        if op == "begin":
+            args: tuple = (timestep, payload)
+        elif op == "superstep":
+            args = (timestep, superstep, payload)
+        elif op == "eot":
+            args = (timestep,)
+        elif op == "merge":
+            args = (superstep, payload)
+        else:
+            raise ValueError(f"unknown protocol op {op!r}")
+        self._post(partition, op, replay, args)
+        return self._unwrap(partition, self._collect(partition))
+
+    def respawn_worker(self, partition: int) -> int:
+        """Replace one dead/wedged worker with a fresh incarnation.
+
+        Its pipe (and any garbage queued on it) is discarded wholesale, so
+        the new worker starts with a clean, trusted stream; sequence
+        numbers restart at 0 for the new pipe.
+        """
+        self._teardown_one(partition)
+        self.incarnations[partition] += 1
+        self._seqs[partition] = 0
+        self._inflight[partition] = None
+        conn, proc = self._spawn_one(partition)
+        self._conns[partition] = conn
+        self._procs[partition] = proc
+        return self.incarnations[partition]
+
+    def restore_one(
+        self, partition: int, snapshot: dict, reload_timestep: int | None = None
+    ) -> None:
+        self._post(partition, "restore", False, (snapshot, reload_timestep, None, False))
+        self._unwrap(partition, self._collect(partition))
+
+    def quarantine(self, partition: int) -> None:
+        self.quarantined.add(partition)
+        self._teardown_one(partition)
+
+    def drain_protocol_incidents(self) -> list[tuple[str, int, float]]:
+        incidents, self._incidents = self._incidents, []
+        return incidents
+
+    def protocol_stats(self) -> dict:
+        return dict(self._stats)
 
     # -- resilience protocol ---------------------------------------------------------
 
     def snapshot(self) -> list[dict]:
-        return self._broadcast(lambda p: ("snapshot",))
+        return self._exchange_all("snapshot", lambda p: (), quarantine_fill=lambda p: None)
 
     def restore(
         self,
@@ -517,20 +797,27 @@ class ProcessCluster(Cluster):
     ) -> None:
         if len(snapshots) != self.num_partitions:
             raise ValueError("need exactly one snapshot per partition")
-        self._broadcast(lambda p: ("restore", snapshots[p], reload_timestep, next_timestep))
+        self._exchange_all(
+            "restore", lambda p: (snapshots[p], reload_timestep, next_timestep, True)
+        )
 
     def respawn_all(self) -> None:
         """Kill the whole worker cohort and start a fresh incarnation.
 
         After a failure mid-round, surviving workers' pipes may hold unread
         replies (or garbage) and their hosts may have run past the failed
-        barrier — per-worker surgery cannot restore a consistent cut.  This
-        is the Pregel-lineage answer: drop everyone, bump the incarnation
-        (so scripted faults do not re-fire), and let the engine restore all
-        partitions from the latest checkpoint.
+        barrier — full-cohort recovery cannot trust any of it.  This is the
+        Pregel-lineage answer: drop everyone, bump the incarnation (so
+        scripted faults do not re-fire), and let the engine restore all
+        partitions from the latest checkpoint.  Any quarantine is lifted —
+        the fresh cohort is whole again.
         """
         self._teardown(force=True)
-        self.incarnation += 1
+        self.incarnation = max([self.incarnation] + self.incarnations) + 1
+        self.incarnations = [self.incarnation] * self.num_partitions
+        self.quarantined.clear()
+        self._seqs = [0] * self.num_partitions
+        self._inflight = [None] * self.num_partitions
         self._spawn_workers()
 
     # -- lifecycle --------------------------------------------------------------------
@@ -546,14 +833,19 @@ class ProcessCluster(Cluster):
         """
         conns, procs = self._conns, self._procs
         self._conns, self._procs = [], []
+        # Quarantined partitions hold None placeholders (already reaped).
+        conns = [c for c in conns if c is not None]
+        procs = [pr for pr in procs if pr is not None]
         if not force:
             for conn in conns:
                 try:
-                    _send_oob(conn, ("stop",))
+                    # Workers honor "stop" regardless of sequence number.
+                    _send_oob(conn, (1 << 30, "stop", False))
                 except (BrokenPipeError, ConnectionError, OSError):
                     pass
             for conn in conns:
                 try:
+                    # Loose ack read: stale cached replies may precede it.
                     _recv_oob(conn, deadline=time.monotonic() + 1.0, what="stop ack")
                 except Exception:
                     pass
@@ -578,6 +870,25 @@ class ProcessCluster(Cluster):
                 if proc.is_alive():  # pragma: no cover - terminate refused
                     proc.kill()
                     proc.join(timeout=1.0)
+
+    def _teardown_one(self, partition: int) -> None:
+        """Reap one worker (respawn or quarantine), leaving a None slot."""
+        conn = self._conns[partition]
+        proc = self._procs[partition]
+        self._conns[partition] = None
+        self._procs[partition] = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - terminate refused
+                proc.kill()
+                proc.join(timeout=1.0)
 
     def shutdown(self) -> None:
         self._teardown()

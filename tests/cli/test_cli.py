@@ -90,6 +90,64 @@ class TestNewSubcommands:
         ]) == 0
 
 
+class TestResilienceFlags:
+    """Resilience knobs that cannot act must fail loudly, not silently no-op."""
+
+    BASE = ["run", "tdsp", "--scale", "300", "--instances", "4", "--partitions", "2"]
+
+    def test_fault_seed_without_inject_faults_errors(self, capsys):
+        assert main(self.BASE + ["--fault-seed", "7"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--inject-faults" in err
+
+    def test_gather_timeout_off_process_errors(self, capsys):
+        assert main(self.BASE + ["--gather-timeout", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "process" in err
+
+    def test_recovery_flags_without_fault_source_warn(self, capsys):
+        # Not fatal — but the user is told the policy can never act.
+        assert main(self.BASE + ["--max-retries", "3"]) == 0
+        assert "WARNING" in capsys.readouterr().err
+
+    def test_fault_seed_with_inject_faults_accepted(self, tmp_path, capsys):
+        assert main(self.BASE + [
+            "--inject-faults", "kill@t1:p0", "--fault-seed", "7",
+            "--checkpoint-every", "1", "--checkpoint-dir", str(tmp_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "error:" not in captured.err
+        assert "recovered from" in captured.out
+        assert "recovery provenance: 1 surgical respawn(s)" in captured.out
+
+    def test_failure_log_carries_recovery_provenance(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "failures.json"
+        assert main(self.BASE + [
+            "--inject-faults", "kill@t1:p0",
+            "--checkpoint-every", "1", "--checkpoint-dir", str(tmp_path / "ck"),
+            "--failure-log", str(log),
+        ]) == 0
+        payload = json.loads(log.read_text())
+        assert payload["failure"] is None
+        assert payload["failure_log"] and payload["failure_log"][0]["action"] == "retry"
+        assert payload["degraded_partitions"] == []
+        kinds = [a["kind"] for a in payload["recovery_actions"]]
+        assert kinds == ["worker_respawn"]
+        assert payload["recovery_actions"][0]["incarnation"] == 1
+        assert isinstance(payload["protocol_stats"], dict)
+
+    def test_quarantine_run_reports_degraded(self, tmp_path, capsys):
+        faults = "kill@t1:p0,kill@t1:p0:i1,kill@t1:p0:i2,kill@t1:p0:i3"
+        assert main(self.BASE + [
+            "--inject-faults", faults, "--max-retries", "2", "--quarantine",
+            "--checkpoint-every", "1", "--checkpoint-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "QUARANTINED PARTITIONS: [0]" in out
+
+
 class TestTraceSubcommand:
     def test_trace_writes_three_artifacts(self, tmp_path, capsys):
         import json

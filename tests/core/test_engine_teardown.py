@@ -1,0 +1,140 @@
+"""Every engine exit path reaps its background threads.
+
+Regression tests for the teardown bugfix: the live plane's heartbeat
+watchdog and GoFS prefetch workers are daemon threads created during
+``TIBSPEngine.run``; an exit path that skips the ``finally`` teardown
+(cluster-spawn failure, resume-signature mismatch, a Ctrl-C, a fatal
+``RunFailureError``) used to leak them past the run.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import EngineConfig, Pattern, TimeSeriesComputation, run_application
+from repro.generators import road_latency_collection, road_network
+from repro.observability import LiveConfig
+from repro.partition import partition_graph
+from repro.resilience import (
+    CheckpointConfig,
+    FaultPlan,
+    RecoveryPolicy,
+    RunFailureError,
+)
+from repro.storage import GoFS
+
+NUM_PARTITIONS = 2
+
+#: Names of every background thread the engine may start during a run.
+ENGINE_THREAD_PREFIXES = ("tibsp-live-heartbeat", "gofs-prefetch")
+
+
+class Accumulate(TimeSeriesComputation):
+    pattern = Pattern.SEQUENTIALLY_DEPENDENT
+
+    def compute(self, ctx):
+        if ctx.superstep == 0:
+            prev = sum(m.payload for m in ctx.messages) if ctx.messages else 0
+            ctx.state["acc"] = prev + ctx.subgraph.num_vertices
+        ctx.vote_to_halt()
+
+    def end_of_timestep(self, ctx):
+        ctx.send_to_next_timestep(ctx.state["acc"])
+        ctx.output(ctx.state["acc"])
+
+
+class InterruptAtT1(Accumulate):
+    """Simulates the user hitting Ctrl-C mid-run."""
+
+    def compute(self, ctx):
+        if ctx.timestep == 1:
+            raise KeyboardInterrupt
+        super().compute(ctx)
+
+
+def _leaked_engine_threads(timeout_s=5.0):
+    """Engine-owned threads still alive after a grace period (they wind
+    down asynchronously; only ones that *stay* alive are leaks)."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        leaked = [
+            th for th in threading.enumerate()
+            if th.is_alive() and th.name.startswith(ENGINE_THREAD_PREFIXES)
+        ]
+        if not leaked or time.monotonic() > deadline:
+            return leaked
+        time.sleep(0.02)
+
+
+@pytest.fixture
+def case():
+    tpl = road_network(200, seed=5)
+    coll = road_latency_collection(tpl, 3, seed=5)
+    pg = partition_graph(tpl, NUM_PARTITIONS)
+    return coll, pg
+
+
+def _live():
+    # interval 0 disables periodic snapshots; the tiny heartbeat guarantees
+    # the watchdog thread actually exists for the duration of the run.
+    return LiveConfig(interval_s=0.0, heartbeat_s=0.05)
+
+
+def test_no_leak_on_cluster_spawn_failure(case):
+    """The live plane starts before the cluster; a spawn failure must
+    still stop its heartbeat."""
+    coll, pg = case
+    with pytest.raises(ValueError, match="instance sources"):
+        run_application(
+            Accumulate(), pg, coll,
+            config=EngineConfig(executor="process", live=_live()),
+        )
+    assert _leaked_engine_threads() == []
+
+
+def test_no_leak_on_keyboard_interrupt(case):
+    coll, pg = case
+    with pytest.raises(KeyboardInterrupt):
+        run_application(
+            InterruptAtT1(), pg, coll,
+            config=EngineConfig(live=_live()),
+        )
+    assert _leaked_engine_threads() == []
+
+
+def test_no_leak_on_resume_signature_mismatch(case, tmp_path):
+    coll, pg = case
+    ck = CheckpointConfig(dir=tmp_path, every=1)
+    run_application(Accumulate(), pg, coll, config=EngineConfig(checkpoint=ck))
+
+    class OtherPattern(Accumulate):
+        pattern = Pattern.EVENTUALLY_DEPENDENT
+
+    with pytest.raises(ValueError, match="does not match this run"):
+        run_application(
+            OtherPattern(), pg, coll,
+            config=EngineConfig(checkpoint=ck, live=_live()),
+            resume_from=True,
+        )
+    assert _leaked_engine_threads() == []
+
+
+def test_no_leak_on_run_failure(case, tmp_path):
+    """A fatal RunFailureError reaps the heartbeat *and* the GoFS
+    prefetch pools the sources spun up."""
+    coll, pg = case
+    root = tmp_path / "gofs"
+    GoFS.write_collection(root, pg, coll, packing=2, binning=3)
+    sources = GoFS.partition_views(root, prefetch=True, cache_packs=2)
+    with pytest.raises(RunFailureError):
+        run_application(
+            Accumulate(), pg, coll, sources=sources,
+            config=EngineConfig(
+                live=_live(),
+                checkpoint=CheckpointConfig(dir=tmp_path / "ck", every=1),
+                faults=FaultPlan.parse("kill@t1:p0", seed=3),
+                recovery=RecoveryPolicy(backoff_s=0.0, max_retries=0),
+            ),
+        )
+    assert _leaked_engine_threads() == []

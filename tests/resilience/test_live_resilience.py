@@ -91,16 +91,16 @@ class TestLiveThroughRecovery:
             ),
         )
         assert result.metrics.retries >= 1
-        # The mirror resynced to the restored collector and tracked the
-        # re-execution: still byte-for-byte equal at the end.
+        # The mirror tracked the surgical repair exactly as the run's own
+        # collector did: still byte-for-byte equal at the end.
         assert result.live.summary() == result.metrics.summary()
         kinds = [e.kind for e in result.health_events]
-        assert "rollback" in kinds
+        assert "respawn" in kinds
         # Health findings became structured early warnings for the policy.
         assert [w.kind for w in result.early_warnings] == kinds
-        rollback = next(w for w in result.early_warnings if w.kind == "rollback")
-        assert rollback.threshold_s is None
-        assert rollback.as_dict()["kind"] == "rollback"
+        respawn = next(w for w in result.early_warnings if w.kind == "respawn")
+        assert respawn.threshold_s is None
+        assert respawn.as_dict()["kind"] == "respawn"
 
     def test_stall_threshold_from_recovery_policy(self, case):
         _tpl, coll, pg = case

@@ -110,8 +110,9 @@ class TestFaultMatrixInProcess:
             executor=executor,
             checkpoint=CheckpointConfig(dir=tmp_path, every=1, superstep_every=2),
             # The second spec targets incarnation 1: the first recovery
-            # respawns the cohort, and i0 faults never refire after that.
-            faults=FaultPlan.parse("kill@t2:s2:p1,kill@t3:eot:p0:i1", seed=5),
+            # respawns p1's worker surgically (only *its* incarnation is
+            # bumped), and i0 faults never refire after that.
+            faults=FaultPlan.parse("kill@t2:s2:p1,kill@t3:eot:p1:i1", seed=5),
             recovery=RecoveryPolicy(backoff_s=0.0),
         )
         result = run_application(comp, pg, coll, config=cfg)

@@ -1,0 +1,243 @@
+"""Surgical recovery: one worker respawns while the cohort holds at the barrier."""
+
+import pytest
+
+from repro.core import EngineConfig, run_application
+from repro.resilience import (
+    CheckpointConfig,
+    FaultPlan,
+    FrameJournal,
+    RecoveryAction,
+    RecoveryPolicy,
+)
+from repro.runtime import CollectionInstanceSource
+
+from .conftest import NUM_PARTITIONS, AccumulateSum, RingRelay
+
+pytestmark = pytest.mark.resilience
+
+EXECUTORS = ["serial", "thread", "process"]
+
+
+def _sources(coll):
+    return [CollectionInstanceSource(coll) for _ in range(NUM_PARTITIONS)]
+
+
+def _config(executor, ckpt_dir, faults, *, tracing=False, **recovery_kwargs):
+    recovery_kwargs.setdefault("mode", "surgical")
+    return EngineConfig(
+        executor=executor,
+        tracing=tracing,
+        checkpoint=CheckpointConfig(dir=ckpt_dir, every=1),
+        faults=FaultPlan.parse(faults, seed=3) if isinstance(faults, str) else faults,
+        recovery=RecoveryPolicy(backoff_s=0.0, **recovery_kwargs),
+    )
+
+
+def _identical(a, b):
+    assert a.outputs == b.outputs
+    assert a.merge_outputs == b.merge_outputs
+    assert a.states == b.states
+
+
+class TestSurgicalSingleKill:
+    """ISSUE 8 acceptance: a seeded single-host kill respawns exactly one
+    worker — the survivors hold at the barrier, nothing else rolls back."""
+
+    @pytest.fixture(scope="class")
+    def baselines(self, case):
+        _tpl, coll, pg = case
+        return {
+            ex: run_application(
+                AccumulateSum(), pg, coll, sources=_sources(coll),
+                config=EngineConfig(executor=ex),
+            )
+            for ex in EXECUTORS
+        }
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_exactly_one_respawn(self, case, tmp_path, baselines, executor):
+        _tpl, coll, pg = case
+        result = run_application(
+            AccumulateSum(), pg, coll, sources=_sources(coll),
+            config=_config(executor, tmp_path, "kill@t2:p1", tracing=True),
+        )
+        _identical(result, baselines[executor])
+        assert result.failure is None
+        assert result.degraded_partitions == []
+
+        # Provenance: exactly one surgical respawn, for the killed partition,
+        # at the first post-genesis incarnation.
+        respawns = [a for a in result.recovery_actions if a.kind == "worker_respawn"]
+        assert len(respawns) == 1
+        action = respawns[0]
+        assert action.partition == 1
+        assert action.timestep == 2
+        assert action.incarnation == 1
+        assert action.attempt == 1
+        assert action.seconds > 0
+        assert action.as_dict()["kind"] == "worker_respawn"
+
+        # Trace: one worker_respawn event, N-1 survivors held at the barrier.
+        events = [
+            e for e in result.trace.event_records() if e["kind"] == "worker_respawn"
+        ]
+        assert len(events) == 1
+        assert events[0]["survivors"] == NUM_PARTITIONS - 1
+        assert events[0]["partition"] == 1
+        assert events[0]["incarnation"] == 1
+
+        if executor == "process":
+            # The hardened wire protocol kept count of its traffic.
+            assert result.protocol_stats["commands_sent"] > 0
+            assert result.protocol_stats["resends"] == 0
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_bit_identical_across_executors(self, case, tmp_path, baselines, executor):
+        """The same fault plan recovers byte-identical on every executor,
+        and all executors agree with each other (baselines already do)."""
+        _tpl, coll, pg = case
+        num_sg = len(pg.subgraphs)
+        base = run_application(
+            RingRelay(num_sg), pg, coll, sources=_sources(coll),
+            config=EngineConfig(executor=executor),
+        )
+        result = run_application(
+            RingRelay(num_sg), pg, coll, sources=_sources(coll),
+            config=_config(executor, tmp_path, "kill@t1:s1:p0"),
+        )
+        _identical(result, base)
+        assert [a.kind for a in result.recovery_actions] == ["worker_respawn"]
+        assert result.recovery_actions[0].partition == 0
+
+    def test_replay_counts_reflect_journal(self, case, tmp_path):
+        """A kill at the end-of-timestep round replays the rounds journaled
+        since the last checkpoint (begin + supersteps of that timestep)."""
+        _tpl, coll, pg = case
+        result = run_application(
+            AccumulateSum(), pg, coll, sources=_sources(coll),
+            config=_config("serial", tmp_path, "kill@t2:eot:p0"),
+        )
+        assert result.failure is None
+        action = result.recovery_actions[0]
+        # Checkpoint every=1 truncates at each boundary: the journal holds
+        # t2's begin + its single superstep before the eot round fails.
+        assert action.replayed_rounds == 2
+
+
+class TestQuarantine:
+    """Graceful exhaustion: the run completes degraded instead of dying."""
+
+    def test_persistent_kill_quarantines(self, case, tmp_path):
+        _tpl, coll, pg = case
+        faults = "kill@t1:p0,kill@t1:p0:i1,kill@t1:p0:i2,kill@t1:p0:i3"
+        result = run_application(
+            AccumulateSum(), pg, coll, sources=_sources(coll),
+            config=_config(
+                "serial", tmp_path, faults, tracing=True,
+                max_retries=2, quarantine=True,
+            ),
+        )
+        # The run completed; partition 0 is gone, partition 1's work stands.
+        assert result.failure is None
+        assert result.degraded_partitions == [0]
+        kinds = [a.kind for a in result.recovery_actions]
+        assert kinds.count("quarantine") == 1
+        assert result.recovery_actions[-1].kind == "quarantine"
+        # The retry budget was burned first: retry, retry, quarantine.
+        assert [r.action for r in result.failure_log] == [
+            "retry", "retry", "quarantine"
+        ]
+        event_kinds = {e["kind"] for e in result.trace.event_records()}
+        assert "worker_quarantined" in event_kinds
+
+    def test_deliveries_to_quarantined_are_dropped_and_counted(self, case, tmp_path):
+        """Cross-partition frames addressed to a dead partition are dropped
+        at the driver and counted, not silently lost.  (AccumulateSum's
+        temporal sends are host-local and never reach the driver, so this
+        needs RingRelay's cross-partition ring.)"""
+        _tpl, coll, pg = case
+        faults = "kill@t1:p0,kill@t1:p0:i1,kill@t1:p0:i2,kill@t1:p0:i3"
+        result = run_application(
+            RingRelay(len(pg.subgraphs)), pg, coll, sources=_sources(coll),
+            config=_config(
+                "serial", tmp_path, faults, tracing=True,
+                max_retries=2, quarantine=True,
+            ),
+        )
+        assert result.failure is None
+        assert result.degraded_partitions == [0]
+        assert result.protocol_stats["dropped_to_quarantined"] > 0
+        dropped = [
+            e for e in result.trace.event_records() if e["kind"] == "frames_dropped"
+        ]
+        assert dropped and all(e["partition"] == 0 for e in dropped)
+        assert sum(e["messages"] for e in dropped) == (
+            result.protocol_stats["dropped_to_quarantined"]
+        )
+
+    def test_quarantine_off_raises(self, case, tmp_path):
+        from repro.resilience import RunFailureError
+
+        _tpl, coll, pg = case
+        faults = "kill@t1:p0,kill@t1:p0:i1,kill@t1:p0:i2,kill@t1:p0:i3"
+        with pytest.raises(RunFailureError, match="WorkerCrash"):
+            run_application(
+                AccumulateSum(), pg, coll, sources=_sources(coll),
+                config=_config("serial", tmp_path, faults, max_retries=2),
+            )
+
+
+class TestFrameJournal:
+    def test_append_and_entries(self):
+        j = FrameJournal(2)
+        j.append("begin", 0, -101, [0.0, 0.1])
+        j.append("superstep", 0, 0, [["f0"], ["f1"]])
+        j.append("eot", 0, -102, None)
+        assert len(j) == 3
+        assert j.rounds_journaled == 3
+        entries = j.entries_for(1)
+        assert [e.op for e in entries] == ["begin", "superstep", "eot"]
+        assert entries[0].payload == 0.1
+        assert entries[1].payload == ["f1"]
+        assert entries[2].payload is None
+        # entries_for returns a copy: mutating it leaves the WAL intact.
+        entries.pop()
+        assert len(j.entries_for(1)) == 3
+
+    def test_truncate_resets_replay_base(self):
+        j = FrameJournal(2)
+        j.append("begin", 0, -101, None)
+        j.append("superstep", 0, 0, [[], []])
+        j.truncate()
+        assert len(j) == 0
+        assert j.entries_for(0) == []
+        # Provenance counter survives truncation.
+        assert j.rounds_journaled == 2
+        j.append("begin", 1, -101, None)
+        assert len(j) == 1
+        assert j.rounds_journaled == 3
+
+    def test_clear_is_truncate(self):
+        j = FrameJournal(1)
+        j.append("merge", -1, 0, [[]])
+        j.clear()
+        assert len(j) == 0
+
+
+def test_recovery_action_as_dict_round_trips():
+    a = RecoveryAction(
+        "worker_respawn", 1, 2, 0, 1, 0.1234567, 1, 3, detail="WorkerCrash"
+    )
+    d = a.as_dict()
+    assert d == {
+        "kind": "worker_respawn",
+        "partition": 1,
+        "timestep": 2,
+        "superstep": 0,
+        "attempt": 1,
+        "seconds": 0.123457,
+        "incarnation": 1,
+        "replayed_rounds": 3,
+        "detail": "WorkerCrash",
+    }

@@ -111,7 +111,9 @@ class TestTracedRecovery:
     def test_recovery_events_present(self, case, tmp_path):
         result = self._traced(case, tmp_path, "kill@t2:p1")
         kinds = [e["kind"] for e in result.trace.event_records()]
-        for kind in ("checkpoint_write", "worker_lost", "retry", "restore"):
+        # Surgical mode (the default) repairs in place: the recovery is a
+        # worker_respawn, not a cohort-rollback restore.
+        for kind in ("checkpoint_write", "worker_lost", "retry", "worker_respawn"):
             assert kind in kinds, f"missing {kind} event"
         lost = next(e for e in result.trace.event_records() if e["kind"] == "worker_lost")
         assert lost["timestep"] == 2 and lost["attempt"] == 1
