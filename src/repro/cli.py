@@ -5,6 +5,7 @@ Subcommands::
     tibsp datasets   — Table 1: generated dataset statistics
     tibsp edgecuts   — Table 2: edge-cut % for 3/6/9 partitions
     tibsp run        — run one algorithm on one dataset configuration
+    tibsp worker     — serve one partition's worker over TCP (socket executor)
     tibsp trace      — run one algorithm traced; write Perfetto trace + event log
     tibsp top        — live TTY dashboard over a running --live-export directory
     tibsp fig5b     — the Giraph-vs-GoFFish comparison
@@ -162,10 +163,16 @@ def _check_resilience_flags(args: argparse.Namespace) -> list[str]:
             "--fault-seed seeds the fault plan's RNG and does nothing "
             "without --inject-faults"
         )
-    if args.gather_timeout is not None and args.executor != "process":
+    if args.gather_timeout is not None and args.executor not in ("process", "socket"):
         problems.append(
-            "--gather-timeout bounds driver-side pipe reads, which only the "
-            "process executor performs; add --executor process"
+            "--gather-timeout bounds driver-side pipe/socket reads, which only "
+            "the process and socket executors perform; add --executor process "
+            "or --executor socket"
+        )
+    if args.hosts is not None and args.executor != "socket":
+        problems.append(
+            "--hosts addresses external tibsp workers, which only the socket "
+            "executor connects to; add --executor socket"
         )
     wants_recovery = (
         args.max_retries is not None
@@ -173,7 +180,7 @@ def _check_resilience_flags(args: argparse.Namespace) -> list[str]:
         or args.quarantine
         or args.recovery_mode is not None
     )
-    if wants_recovery and not args.inject_faults and args.executor != "process":
+    if wants_recovery and not args.inject_faults and args.executor not in ("process", "socket"):
         # In-process executors without injected faults have no recoverable
         # failure source: the policy would never act.  Loud, not fatal.
         print(
@@ -265,6 +272,7 @@ def _run(args: argparse.Namespace) -> int:
         gc_model=GCModel() if args.gc else GCModel.disabled(),
         rebalancer=GreedyRebalancer() if args.rebalance else None,
         live=_live_config(args),
+        hosts=tuple(h.strip() for h in args.hosts.split(",")) if args.hosts else None,
         **_resilience_config(args),
     )
     if (args.prefetch or args.cache_bytes is not None) and args.gofs is None:
@@ -287,7 +295,7 @@ def _run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    elif args.executor == "process":
+    elif args.executor in ("process", "socket"):
         sources = [CollectionInstanceSource(collection) for _ in range(pg.num_partitions)]
     try:
         result = run_application(
@@ -344,6 +352,30 @@ def _run(args: argparse.Namespace) -> int:
     if args.export:
         path = write_result_json(args.export, result, provenance=_provenance(args))
         print(f"run summary written to {path}")
+    return 0
+
+
+def _worker(args: argparse.Namespace) -> int:
+    """Serve one partition's worker over TCP (socket-executor agent).
+
+    Blocks serving driver sessions until interrupted.  The bound address is
+    announced on stdout (flushed) so orchestration scripts can scrape it —
+    pass port 0 to let the OS pick a free one.
+    """
+    from .runtime import serve_worker
+
+    def announce(bound: tuple[str, int]) -> None:
+        print(f"tibsp worker listening on {bound[0]}:{bound[1]}", flush=True)
+
+    try:
+        serve_worker(
+            args.listen,
+            once=args.once,
+            exit_on_kill=args.exit_on_kill,
+            announce=announce,
+        )
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -449,8 +481,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--source", type=int, default=0)
     p.add_argument("--gc", action="store_true", help="enable the GC pause model")
     p.add_argument(
-        "--executor", choices=["serial", "thread", "process"], default="serial",
-        help="cluster backend (process = one worker process per partition)",
+        "--executor", choices=["serial", "thread", "process", "socket"], default="serial",
+        help="cluster backend (process = one worker process per partition; "
+        "socket = workers reached over TCP, auto-spawned locally unless "
+        "--hosts is given)",
+    )
+    p.add_argument(
+        "--hosts", metavar="HOST:PORT,...", default=None,
+        help="comma-separated addresses of pre-started 'tibsp worker' agents, "
+        "one per partition (socket executor; omit to auto-spawn locally)",
     )
     p.add_argument(
         "--rebalance", action="store_true", help="enable greedy dynamic rebalancing"
@@ -516,8 +555,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     res.add_argument(
         "--gather-timeout", type=float, default=None, metavar="S",
-        help="bound each driver-side pipe read (process executor only; "
-        "default: none, or 10s when faults are injected)",
+        help="bound each driver-side pipe/socket read (process and socket "
+        "executors; default: none, or 10s when faults are injected)",
     )
     res.add_argument(
         "--failure-log", metavar="PATH", help="write the failure log as JSON"
@@ -539,6 +578,26 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds between live snapshots (default 0.5)",
     )
     p.set_defaults(func=_run)
+
+    p = sub.add_parser(
+        "worker", help="serve one partition's worker over TCP (socket executor)"
+    )
+    p.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="address to listen on (default 127.0.0.1:0 = any free port, "
+        "announced on stdout)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="serve a single driver session then exit (default: loop forever, "
+        "so driver respawns can reconnect)",
+    )
+    p.add_argument(
+        "--exit-on-kill", action="store_true",
+        help="let an injected kill fault terminate this agent process instead "
+        "of just severing the session",
+    )
+    p.set_defaults(func=_worker)
 
     p = sub.add_parser(
         "trace", help="traced run: Perfetto trace + event log + manifest"

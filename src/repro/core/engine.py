@@ -95,6 +95,7 @@ from ..runtime.gc_model import GCModel
 from ..runtime.host import HostStepResult, InstanceSource, RunMeta
 from ..runtime.metrics import PHASE_COMPUTE, PHASE_MERGE, MetricsCollector, StepRecord
 from ..runtime.process_cluster import ProcessCluster
+from ..runtime.socket_cluster import SocketCluster
 from .computation import TimeSeriesComputation
 from .messages import Message, MessageFrame, MessageKind, frames_from_deliveries, route_frames
 from .patterns import Pattern
@@ -172,10 +173,15 @@ class EngineConfig:
         bounding rollback retries.  ``None`` (with ``faults`` also None)
         keeps the pre-resilience behavior: failures propagate immediately.
     gather_timeout_s:
-        Bound on every driver-side pipe read per scatter/gather round
-        (process executor).  ``None`` (default) preserves the original
-        block-forever behavior, except that fault injection substitutes a
-        10 s default so dropped replies surface as ``GatherTimeout``.
+        Bound on every driver-side pipe/socket read per scatter/gather
+        round (process and socket executors).  ``None`` (default)
+        preserves the original block-forever behavior, except that fault
+        injection substitutes a 10 s default so dropped replies surface as
+        ``GatherTimeout``.
+    hosts:
+        Worker addresses (``"host:port"`` strings) for the socket
+        executor, one per partition.  ``None`` (default) auto-spawns local
+        agents on ephemeral ports — no orchestration needed.
     """
 
     executor: str = "serial"
@@ -191,6 +197,7 @@ class EngineConfig:
     faults: FaultPlan | None = None
     recovery: RecoveryPolicy | None = None
     gather_timeout_s: float | None = None
+    hosts: tuple[str, ...] | None = None
 
 
 class TIBSPEngine:
@@ -240,17 +247,22 @@ class TIBSPEngine:
         policy: RecoveryPolicy | None = None,
     ) -> Cluster:
         cfg = self.config
-        if cfg.executor == "process":
+        if cfg.executor in ("process", "socket"):
             if self.sources is None:
                 raise ValueError(
-                    "the process executor needs per-partition instance sources "
-                    "(lazy/generator or GoFS-backed) so workers can load data "
-                    "in their own address space"
+                    f"the {cfg.executor} executor needs per-partition instance "
+                    "sources (lazy/generator or GoFS-backed) so workers can "
+                    "load data in their own address space"
                 )
             gather_timeout = cfg.gather_timeout_s
             if gather_timeout is None and cfg.faults is not None:
                 gather_timeout = _DEFAULT_FAULT_GATHER_TIMEOUT_S
-            return ProcessCluster(
+            cluster_cls: type[ProcessCluster] = ProcessCluster
+            extra: dict = {}
+            if cfg.executor == "socket":
+                cluster_cls = SocketCluster
+                extra["hosts"] = cfg.hosts
+            return cluster_cls(
                 self.pg,
                 computation,
                 meta,
@@ -264,6 +276,7 @@ class TIBSPEngine:
                 # Surgical mode hardens the wire protocol: bounded idempotent
                 # resends cure drops/corruption/timeouts below recovery.
                 retry_policy=policy if policy is not None and policy.mode == "surgical" else None,
+                **extra,
             )
         return LocalCluster(
             self.pg,

@@ -27,6 +27,7 @@ from .process_cluster import (
     WorkerError,
     WorkerLost,
 )
+from .socket_cluster import SocketCluster, parse_hosts, serve_worker
 from .elastic import ElasticOutcome, ElasticPolicy, activity_grid, simulate_elastic
 from .rebalance import GreedyRebalancer, Migration, RebalancePolicy, apply_migrations
 
@@ -49,6 +50,9 @@ __all__ = [
     "RecoverableWorkerError",
     "WorkerError",
     "WorkerLost",
+    "SocketCluster",
+    "parse_hosts",
+    "serve_worker",
     "ElasticOutcome",
     "ElasticPolicy",
     "activity_grid",

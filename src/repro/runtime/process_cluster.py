@@ -130,11 +130,29 @@ def _send_oob(conn, obj: Any) -> None:
 
 
 def _wait_readable(conn, deadline: float | None, what: str) -> None:
+    """Block until ``conn`` is readable or ``deadline`` passes.
+
+    The two timeout shapes are reported distinctly so failure logs can
+    attribute slow workers correctly: a deadline that was already spent
+    before this read (earlier reads in the same round consumed the whole
+    window) versus a worker that produced nothing during the poll itself.
+    """
     if deadline is None:
         return
     remaining = deadline - time.monotonic()
-    if remaining <= 0 or not conn.poll(remaining):
-        raise GatherTimeout(f"timed out waiting for {what}")
+    if remaining <= 0:
+        # The round's window was spent by earlier reads; a zero-timeout
+        # poll still drains replies that already arrived.
+        if conn.poll(0):
+            return
+        raise GatherTimeout(
+            f"timed out waiting for {what}: deadline already expired "
+            f"{-remaining:.3f}s before poll"
+        )
+    if not conn.poll(remaining):
+        raise GatherTimeout(
+            f"timed out waiting for {what}: no data within {remaining:.3f}s poll window"
+        )
 
 
 def _recv_oob(conn, *, deadline: float | None = None, what: str = "message") -> Any:
@@ -186,8 +204,7 @@ def _recv_oob(conn, *, deadline: float | None = None, what: str = "message") -> 
         ) from exc
 
 
-def _worker_main(
-    conn,
+def _build_worker_host(
     partition,
     computation,
     meta,
@@ -197,49 +214,12 @@ def _worker_main(
     use_combiners,
     tracing,
     live,
-    fault_plan,
-    incarnation,
-) -> None:
-    """Worker loop: owns one host, serves engine commands until ``stop``.
-
-    Commands arrive as ``(seq, op, replay, *args)`` envelopes; replies go
-    back as ``(seq, incarnation, payload)``.  The worker executes strictly
-    increasing sequence numbers: a command whose ``seq`` equals the last
-    executed one is a driver resend and is answered from the one-deep reply
-    cache *without re-executing* — that idempotence is what makes the
-    driver's retry protocol safe.  Anything older is discarded.
-
-    Failures while executing a command ship back a
-    ``("error", traceback_text, recoverable)`` payload — ``recoverable`` is
-    True when the exception carries the :class:`RecoverableError` marker
-    (an injected infrastructure fault), False for deterministic application
-    errors — so the driver can re-raise with context instead of dying on a
-    broken pipe.
-
-    When ``fault_plan`` is set, each command's TI-BSP coordinate is checked
-    against the plan under this worker's ``incarnation`` (skipped for
-    ``replay`` commands — a journal replay must not re-trip scripted
-    faults).  ``kill`` exits the process immediately (``os._exit``),
-    ``fail_load`` raises :class:`InjectedFault` (a recoverable error
-    reply), and the rest act on the reply *after* the round computed and
-    its envelope was cached: ``delay``/``slow_host`` sleep first,
-    ``drop``/``drop_frame`` swallow it, ``corrupt``/``corrupt_frame`` send
-    garbage wire bytes instead, ``dup_frame`` sends it twice, and
-    ``reorder`` re-sends the previous round's envelope ahead of it.
-
-    When ``tracing`` is set the host gets its own tracer; spans recorded in
-    the worker ride back to the driver as ``HostStepResult.telemetry`` on
-    ordinary replies.  ``time.perf_counter_ns`` is CLOCK_MONOTONIC — one
-    system-wide timebase shared with the (forked) driver — so worker span
-    timestamps need no clock translation.
-    """
-    import os
-    import traceback
-
+) -> ComputeHost:
+    """Construct the one :class:`ComputeHost` a worker serves commands for."""
     from ..observability import Tracer, partition_pid
 
     pid = partition.partition_id
-    host = ComputeHost(
+    return ComputeHost(
         partition,
         computation,
         meta,
@@ -250,6 +230,29 @@ def _worker_main(
         tracer=Tracer(partition_pid(pid), f"partition {pid}") if tracing else None,
         publish_stats=live,
     )
+
+
+def _serve_commands(conn, host, fault_plan, incarnation, *, exit_on_kill: bool = True) -> str:
+    """Serve engine commands on ``conn`` until ``stop``, ``kill``, or EOF.
+
+    This is the transport-agnostic worker loop shared by the pipe-backed
+    :class:`ProcessCluster` workers and the TCP-backed
+    :mod:`~repro.runtime.socket_cluster` agents — ``conn`` only needs the
+    ``multiprocessing.Connection`` API surface (``send_bytes``,
+    ``recv_bytes``, ``recv_bytes_into``, ``poll``, ``close``).
+
+    ``exit_on_kill`` selects what an injected ``kill`` fault means: in a
+    dedicated worker process the process itself dies (``os._exit``, exit
+    code 17 — the driver observes a genuinely dead worker); a long-lived
+    ``tibsp worker`` agent instead severs just this session's connection
+    and returns ``"killed"`` so the agent survives to accept the respawned
+    session.  Returns ``"stopped"`` on a polite stop, ``"killed"`` on a
+    non-exiting kill, ``"eof"`` when the driver went away.
+    """
+    import os
+    import traceback
+
+    pid = host.partition.partition_id
     last_seq = -1
     cached = None  # envelope of the last executed command (resend answers)
     previous = None  # envelope before that (the ``reorder`` fault's stale frame)
@@ -260,7 +263,7 @@ def _worker_main(
             args = cmd[3:]
             if op == "stop":
                 _send_oob(conn, (seq, incarnation, None))
-                break
+                return "stopped"
             if seq <= last_seq:
                 # Driver resend of already-executed work: answer from the
                 # cache, never re-execute (idempotent resend).
@@ -286,7 +289,9 @@ def _worker_main(
                     if spec is not None:
                         if spec.kind == "kill":
                             conn.close()
-                            os._exit(17)
+                            if exit_on_kill:
+                                os._exit(17)
+                            return "killed"
                         elif spec.kind == "fail_load":
                             raise InjectedFault(
                                 f"injected slice-load failure at timestep {coords[0]} "
@@ -346,7 +351,64 @@ def _worker_main(
                 if previous is not None:
                     _send_oob(conn, previous)
                 _send_oob(conn, envelope)
-    except (EOFError, KeyboardInterrupt):  # pragma: no cover - driver died
+    except (EOFError, ConnectionError, OSError):  # driver died / connection severed
+        return "eof"
+
+
+def _worker_main(
+    conn,
+    partition,
+    computation,
+    meta,
+    source,
+    sg_part,
+    cost_model,
+    use_combiners,
+    tracing,
+    live,
+    fault_plan,
+    incarnation,
+) -> None:
+    """Worker loop: owns one host, serves engine commands until ``stop``.
+
+    Commands arrive as ``(seq, op, replay, *args)`` envelopes; replies go
+    back as ``(seq, incarnation, payload)``.  The worker executes strictly
+    increasing sequence numbers: a command whose ``seq`` equals the last
+    executed one is a driver resend and is answered from the one-deep reply
+    cache *without re-executing* — that idempotence is what makes the
+    driver's retry protocol safe.  Anything older is discarded.
+
+    Failures while executing a command ship back a
+    ``("error", traceback_text, recoverable)`` payload — ``recoverable`` is
+    True when the exception carries the :class:`RecoverableError` marker
+    (an injected infrastructure fault), False for deterministic application
+    errors — so the driver can re-raise with context instead of dying on a
+    broken pipe.
+
+    When ``fault_plan`` is set, each command's TI-BSP coordinate is checked
+    against the plan under this worker's ``incarnation`` (skipped for
+    ``replay`` commands — a journal replay must not re-trip scripted
+    faults).  ``kill`` exits the process immediately (``os._exit``),
+    ``fail_load`` raises :class:`InjectedFault` (a recoverable error
+    reply), and the rest act on the reply *after* the round computed and
+    its envelope was cached: ``delay``/``slow_host`` sleep first,
+    ``drop``/``drop_frame`` swallow it, ``corrupt``/``corrupt_frame`` send
+    garbage wire bytes instead, ``dup_frame`` sends it twice, and
+    ``reorder`` re-sends the previous round's envelope ahead of it.
+
+    When ``tracing`` is set the host gets its own tracer; spans recorded in
+    the worker ride back to the driver as ``HostStepResult.telemetry`` on
+    ordinary replies.  ``time.perf_counter_ns`` is CLOCK_MONOTONIC — one
+    system-wide timebase shared with the (forked) driver — so worker span
+    timestamps need no clock translation.
+    """
+    host = _build_worker_host(
+        partition, computation, meta, source, sg_part, cost_model,
+        use_combiners, tracing, live,
+    )
+    try:
+        _serve_commands(conn, host, fault_plan, incarnation, exit_on_kill=True)
+    except KeyboardInterrupt:  # pragma: no cover - driver died
         pass
     finally:
         close = getattr(source, "close", None)
@@ -531,8 +593,14 @@ class ProcessCluster(Cluster):
                 )
             return payload
 
-    def _collect(self, p: int) -> Any:
+    def _collect(self, p: int, deadline: float | None = None) -> Any:
         """Gather partition ``p``'s in-flight reply, curing wire faults.
+
+        ``deadline`` is the *round* deadline: :meth:`_exchange_all` starts
+        one clock before gathering any partition, so a round's worst-case
+        wait is ``gather_timeout_s`` total, not ``N_partitions ×
+        gather_timeout_s``.  When ``None`` (single-partition paths such as
+        :meth:`step_one`), this attempt opens its own window.
 
         Without a ``retry_policy``, first failure raises (legacy cohort
         semantics).  With one: a gather timeout or corrupt reply from a
@@ -547,9 +615,14 @@ class ProcessCluster(Cluster):
         incident_start = 0.0
         want_seq = self._seqs[p] - 1
         while True:
-            deadline = (
-                None if self.gather_timeout_s is None else time.monotonic() + self.gather_timeout_s
-            )
+            if attempts or deadline is None:
+                # Retries (and callers that passed no round deadline) get a
+                # fresh per-attempt window.
+                deadline = (
+                    None
+                    if self.gather_timeout_s is None
+                    else time.monotonic() + self.gather_timeout_s
+                )
             try:
                 payload = self._recv_reply(p, want_seq, deadline)
             except GatherTimeout as exc:
@@ -651,9 +724,17 @@ class ProcessCluster(Cluster):
                 pending.append(p)
 
         def gather() -> None:
+            # One clock start for the whole round: partitions compute
+            # concurrently, so the round's first-attempt wait is bounded by
+            # a single gather_timeout_s, not N_partitions × timeout.
+            deadline = (
+                None
+                if self.gather_timeout_s is None
+                else time.monotonic() + self.gather_timeout_s
+            )
             for p in pending:
                 try:
-                    outcomes[p] = self._unwrap(p, self._collect(p))
+                    outcomes[p] = self._unwrap(p, self._collect(p, deadline))
                 except RecoverableError as exc:
                     if not capture:
                         raise
@@ -834,21 +915,32 @@ class ProcessCluster(Cluster):
         conns, procs = self._conns, self._procs
         self._conns, self._procs = [], []
         # Quarantined partitions hold None placeholders (already reaped).
-        conns = [c for c in conns if c is not None]
+        indexed_conns = [(p, c) for p, c in enumerate(conns) if c is not None]
+        conns = [c for _, c in indexed_conns]
         procs = [pr for pr in procs if pr is not None]
         if not force:
-            for conn in conns:
+            for _, conn in indexed_conns:
                 try:
                     # Workers honor "stop" regardless of sequence number.
                     _send_oob(conn, (1 << 30, "stop", False))
                 except (BrokenPipeError, ConnectionError, OSError):
                     pass
-            for conn in conns:
+            for p, conn in indexed_conns:
                 try:
                     # Loose ack read: stale cached replies may precede it.
                     _recv_oob(conn, deadline=time.monotonic() + 1.0, what="stop ack")
-                except Exception:
-                    pass
+                except (WorkerError, EOFError, ConnectionError, OSError) as exc:
+                    # Expected during shutdown (worker already gone, timed
+                    # out, or a stale corrupt frame) — but surface it in the
+                    # event stream instead of losing it entirely.
+                    tr = self.driver_tracer
+                    if tr is not None:
+                        tr.event(
+                            "teardown_error",
+                            partition=p,
+                            where="stop_ack",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
         for conn in conns:
             try:
                 conn.close()

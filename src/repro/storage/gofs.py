@@ -532,12 +532,22 @@ class GoFSPartitionView:
         leak into the restored accounting.  The cache itself is kept: pack
         data is immutable, identical whichever attempt read it.
         """
-        for fut in self._inflight.values():
+        for pack, fut in self._inflight.items():
             if not fut.cancel():
                 try:
                     fut.result()
-                except Exception:
-                    pass
+                except (OSError, ValueError, KeyError) as exc:
+                    # A failed background read is expected here (the slice
+                    # may be mid-rewrite during recovery) — discard the
+                    # result but surface the error in the event stream.
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "teardown_error",
+                            partition=self.partition_id,
+                            where="prefetch_invalidate",
+                            pack=pack,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
         self._inflight.clear()
         self._prefetched_ready.clear()
         self._pending_hidden = 0.0

@@ -89,6 +89,74 @@ class TestNewSubcommands:
             "--partitions", "2", "--executor", "thread",
         ]) == 0
 
+    def test_run_socket_executor(self, capsys):
+        """Auto-spawn mode: no --hosts, workers forked on localhost TCP."""
+        assert main([
+            "run", "tdsp", "--scale", "300", "--instances", "4",
+            "--partitions", "2", "--executor", "socket",
+        ]) == 0
+
+
+class TestWorkerSubcommand:
+    def test_worker_serves_one_session(self, capsys):
+        """``tibsp worker --once`` binds, announces, serves a run, exits."""
+        import re
+        import threading
+
+        from repro.core import EngineConfig, run_application
+        from repro.generators import road_latency_collection, road_network
+        from repro.partition import partition_graph
+        from repro.runtime import CollectionInstanceSource, serve_worker
+
+        # One worker via the CLI entrypoint path, one via the library, so
+        # the test covers both the argparse wiring and a 2-partition run.
+        addrs: list[str] = []
+        done = threading.Event()
+
+        def cli_worker():
+            main(["worker", "--listen", "127.0.0.1:0", "--once"])
+            done.set()
+
+        t1 = threading.Thread(target=cli_worker, daemon=True)
+        t1.start()
+        deadline_announce = threading.Event()
+
+        def announce(bound):
+            addrs.append(f"{bound[0]}:{bound[1]}")
+            deadline_announce.set()
+
+        t2 = threading.Thread(
+            target=serve_worker, args=(("127.0.0.1", 0),),
+            kwargs={"once": True, "announce": announce}, daemon=True,
+        )
+        t2.start()
+        assert deadline_announce.wait(10)
+        # The CLI worker prints its bound address to stdout; poll for it.
+        import time as _time
+
+        cli_addr = None
+        for _ in range(100):
+            m = re.search(
+                r"tibsp worker listening on (\S+)", capsys.readouterr().out
+            )
+            if m:
+                cli_addr = m.group(1)
+                break
+            _time.sleep(0.05)
+        assert cli_addr, "worker CLI never announced its address"
+
+        from repro.algorithms.tdsp import TDSPComputation
+        tpl = road_network(300, seed=4)
+        coll = road_latency_collection(tpl, 4, seed=4)
+        pg = partition_graph(tpl, 2)
+        sources = [CollectionInstanceSource(coll) for _ in range(2)]
+        result = run_application(
+            TDSPComputation(0), pg, coll, sources=sources,
+            config=EngineConfig(executor="socket", hosts=(cli_addr, addrs[0])),
+        )
+        assert result.failure is None
+        assert done.wait(10), "--once worker did not exit after the session"
+
 
 class TestResilienceFlags:
     """Resilience knobs that cannot act must fail loudly, not silently no-op."""
@@ -104,6 +172,11 @@ class TestResilienceFlags:
         assert main(self.BASE + ["--gather-timeout", "5"]) == 2
         err = capsys.readouterr().err
         assert "error:" in err and "process" in err
+
+    def test_hosts_without_socket_executor_errors(self, capsys):
+        assert main(self.BASE + ["--hosts", "127.0.0.1:9000,127.0.0.1:9001"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--executor socket" in err
 
     def test_recovery_flags_without_fault_source_warn(self, capsys):
         # Not fatal — but the user is told the policy can never act.

@@ -24,7 +24,7 @@ pytestmark = pytest.mark.resilience
 #: so the schedule stays executor-portable).
 CHAOS_PLAN = "kill@t1:s0:p1,drop_frame@t2:p0,slow_host@t3:p1:d0.02"
 
-EXECUTORS = ["serial", "thread", "process"]
+EXECUTORS = ["serial", "thread", "process", "socket"]
 
 
 def _sources(coll):
@@ -40,7 +40,7 @@ def _identical(a, b):
 def _chaos_config(executor, ckpt_dir, stream_dir):
     return EngineConfig(
         executor=executor,
-        gather_timeout_s=0.5 if executor == "process" else None,
+        gather_timeout_s=0.5 if executor in ("process", "socket") else None,
         tracing=TraceConfig(stream_dir=str(stream_dir)),
         checkpoint=CheckpointConfig(dir=ckpt_dir, every=1),
         faults=FaultPlan.parse(CHAOS_PLAN, seed=13),
@@ -70,7 +70,7 @@ class TestChaosSoak:
         # never escalated to one.
         respawns = [a for a in result.recovery_actions if a.kind == "worker_respawn"]
         assert len(respawns) == 1 and respawns[0].partition == 1
-        if executor == "process":
+        if executor in ("process", "socket"):
             assert result.protocol_stats["resends"] >= 1  # the dropped frame
             assert any(
                 a.kind == "protocol_retry" for a in result.recovery_actions

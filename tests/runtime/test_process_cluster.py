@@ -1,6 +1,7 @@
 """Tests for the process-per-partition cluster (pipes, errors, lifecycle)."""
 
 import multiprocessing as mp
+import time
 
 import numpy as np
 import pytest
@@ -8,8 +9,9 @@ import pytest
 from repro.core import EngineConfig, Pattern, TimeSeriesComputation, run_application
 from repro.generators import road_latency_collection, road_network
 from repro.partition import partition_graph
+from repro.resilience import FaultPlan
 from repro.runtime import CollectionInstanceSource, ProcessCluster, RunMeta
-from repro.runtime.process_cluster import WorkerError
+from repro.runtime.process_cluster import GatherTimeout, WorkerError
 
 
 class EmitSum(TimeSeriesComputation):
@@ -116,6 +118,39 @@ class TestConstructorFailure:
         assert len(ctx.started) == 1
         ctx.started[0].join(timeout=5)
         assert not ctx.started[0].is_alive()
+
+
+class TestGatherDeadlineIsPerRound:
+    def test_round_shares_one_deadline(self, case):
+        """ISSUE 9 regression: a gather round times out after one
+        ``gather_timeout_s`` total, not one per partition.
+
+        p0 replies late (0.5 s) but within the 0.8 s round budget; p1's
+        reply is swallowed.  Under the old per-partition clocks p1's
+        window only opened after p0's reply, pushing the failure past
+        1.3 s; with a round deadline it fires at ~0.8 s.
+        """
+        tpl, coll, pg, sources = case
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, 4, coll.delta, coll.t0)
+        cluster = ProcessCluster(
+            pg, EmitSum(), meta, sources,
+            gather_timeout_s=0.8,
+            fault_plan=FaultPlan.parse(
+                "delay@t0:begin:p0:d0.5,drop@t0:begin:p1", seed=1
+            ),
+        )
+        try:
+            start = time.monotonic()
+            with pytest.raises(GatherTimeout):
+                cluster.begin_timestep(0, [0.0, 0.0])
+            elapsed = time.monotonic() - start
+        finally:
+            cluster.shutdown()
+        assert elapsed >= 0.55, f"timed out before the round budget ({elapsed:.2f}s)"
+        assert elapsed < 1.15, (
+            f"round took {elapsed:.2f}s — looks like per-partition deadlines "
+            "(worst case N x gather_timeout_s) regressed"
+        )
 
 
 class TestErrorPropagation:

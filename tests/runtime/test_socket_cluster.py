@@ -1,0 +1,185 @@
+"""Tests for the TCP socket cluster (auto-spawn, external workers, recovery).
+
+ISSUE 9 tentpole: each ComputeHost runs as an independent process behind a
+TCP connection — either auto-spawned on localhost or an externally launched
+``tibsp worker`` — speaking the same seq/incarnation envelope protocol as
+the pipe transport, so surgical recovery works across a real network hop.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import EngineConfig, Pattern, run_application
+from repro.resilience import CheckpointConfig, FaultPlan, RecoveryPolicy
+from repro.runtime import (
+    CollectionInstanceSource,
+    RunMeta,
+    SocketCluster,
+    parse_hosts,
+    serve_worker,
+)
+
+from .test_process_cluster import EmitSum, case  # noqa: F401  (fixture reuse)
+
+
+@pytest.fixture
+def external_workers():
+    """Two persistent worker agents on OS-assigned localhost ports.
+
+    Mimics operator-launched ``tibsp worker`` processes: each agent keeps
+    accepting sessions after a kill severs one, which is what lets the
+    driver respawn into the *same* address at a higher incarnation.
+    """
+    bound = []
+    ready = threading.Event()
+
+    def announce(addr):
+        bound.append(f"{addr[0]}:{addr[1]}")
+        if len(bound) == 2:
+            ready.set()
+
+    threads = [
+        threading.Thread(
+            target=serve_worker,
+            args=(("127.0.0.1", 0),),
+            kwargs={"announce": announce},
+            daemon=True,
+        )
+        for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    assert ready.wait(timeout=10), "workers never bound"
+    yield tuple(bound)
+    # Daemon threads; the accept loop dies with the test process.
+
+
+class TestParseHosts:
+    def test_parses_comma_list(self):
+        assert parse_hosts("127.0.0.1:9000, 10.0.0.2:9001") == [
+            ("127.0.0.1", 9000),
+            ("10.0.0.2", 9001),
+        ]
+
+    def test_accepts_sequence(self):
+        assert parse_hosts(["h1:1", "h2:2"]) == [("h1", 1), ("h2", 2)]
+
+    def test_missing_port(self):
+        with pytest.raises(ValueError, match="is not host:port"):
+            parse_hosts("localhost")
+
+    def test_non_integer_port(self):
+        with pytest.raises(ValueError, match="non-integer port"):
+            parse_hosts("localhost:http")
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="no worker addresses"):
+            parse_hosts(" , ")
+
+
+class TestAutoSpawn:
+    def test_end_to_end_matches_serial(self, case):
+        tpl, coll, pg, sources = case
+        serial = run_application(EmitSum(), pg, coll)
+        sock = run_application(
+            EmitSum(), pg, coll, sources=sources,
+            config=EngineConfig(executor="socket"),
+        )
+        assert serial.outputs == sock.outputs
+        assert set(sock.states) == set(serial.states)
+
+    def test_shutdown_idempotent(self, case):
+        tpl, coll, pg, sources = case
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, 4, coll.delta, coll.t0)
+        cluster = SocketCluster(pg, EmitSum(), meta, sources)
+        cluster.shutdown()
+        cluster.shutdown()  # second call is a no-op
+        assert cluster._procs == []
+
+    def test_hosts_count_must_match_partitions(self, case):
+        tpl, coll, pg, sources = case
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, 4, coll.delta, coll.t0)
+        with pytest.raises(ValueError, match="2 partitions"):
+            SocketCluster(
+                pg, EmitSum(), meta, sources, hosts="127.0.0.1:9000"
+            )
+
+    def test_connect_timeout_validated(self, case):
+        tpl, coll, pg, sources = case
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, 4, coll.delta, coll.t0)
+        with pytest.raises(ValueError, match="connect_timeout_s"):
+            SocketCluster(
+                pg, EmitSum(), meta, sources, connect_timeout_s=0.0
+            )
+
+    def test_surgical_recovery_over_sockets(self, case, tmp_path):
+        """kill + drop_frame cured over TCP, bit-identical to fault-free."""
+        tpl, coll, pg, sources = case
+        baseline = run_application(
+            EmitSum(), pg, coll,
+            sources=[CollectionInstanceSource(coll) for _ in range(2)],
+            config=EngineConfig(executor="socket"),
+        )
+        result = run_application(
+            EmitSum(), pg, coll, sources=sources,
+            config=EngineConfig(
+                executor="socket",
+                gather_timeout_s=0.5,
+                checkpoint=CheckpointConfig(dir=tmp_path / "ck", every=1),
+                faults=FaultPlan.parse("kill@t1:s0:p1,drop_frame@t2:p0", seed=13),
+                recovery=RecoveryPolicy(backoff_s=0.0),
+            ),
+        )
+        assert result.failure is None
+        assert result.outputs == baseline.outputs
+        assert result.states == baseline.states
+        respawns = [
+            a for a in result.recovery_actions if a.kind == "worker_respawn"
+        ]
+        assert [(a.partition, a.incarnation) for a in respawns] == [(1, 1)]
+        assert result.protocol_stats["resends"] >= 1
+
+
+class TestExternalWorkers:
+    def test_run_against_external_workers(self, case, external_workers):
+        tpl, coll, pg, sources = case
+        serial = run_application(EmitSum(), pg, coll)
+        sock = run_application(
+            EmitSum(), pg, coll, sources=sources,
+            config=EngineConfig(executor="socket", hosts=external_workers),
+        )
+        assert serial.outputs == sock.outputs
+
+    def test_kill_respawns_into_same_address(self, case, external_workers, tmp_path):
+        """A kill severs one session; the agent accepts the respawn."""
+        tpl, coll, pg, sources = case
+        result = run_application(
+            EmitSum(), pg, coll, sources=sources,
+            config=EngineConfig(
+                executor="socket",
+                hosts=external_workers,
+                gather_timeout_s=0.5,
+                checkpoint=CheckpointConfig(dir=tmp_path / "ck", every=1),
+                faults=FaultPlan.parse("kill@t1:s0:p1", seed=7),
+                recovery=RecoveryPolicy(backoff_s=0.0),
+            ),
+        )
+        assert result.failure is None
+        respawns = [
+            a for a in result.recovery_actions if a.kind == "worker_respawn"
+        ]
+        assert [(a.partition, a.incarnation) for a in respawns] == [(1, 1)]
+
+    def test_unreachable_host_fails_fast(self, case):
+        from repro.runtime import WorkerLost
+
+        tpl, coll, pg, sources = case
+        meta = RunMeta(Pattern.SEQUENTIALLY_DEPENDENT, 4, coll.delta, coll.t0)
+        # Port 1 on localhost: nothing listens, connect is refused instantly.
+        with pytest.raises(WorkerLost, match="unreachable"):
+            SocketCluster(
+                pg, EmitSum(), meta, sources,
+                hosts="127.0.0.1:1,127.0.0.1:1",
+                connect_timeout_s=0.3,
+            )

@@ -394,6 +394,38 @@ class TestPrefetch:
         view.instance(4)  # demand load records fresh evidence only
         assert [t for t, _s in view.load_events] == [4]
 
+    def test_invalidate_surfaces_failed_background_read(self, store):
+        """ISSUE 9: a failed in-flight read is discarded but not silenced —
+        the teardown emits a ``teardown_error`` event instead of ``pass``."""
+        import concurrent.futures
+
+        root, *_ = store
+        view = GoFS.partition_view(root, 0, prefetch=True)
+
+        def boom(pack):
+            raise OSError("slice mid-rewrite")
+
+        view._read_pack = boom
+        view.prefetch(4)
+        concurrent.futures.wait(list(view._inflight.values()))
+
+        events = []
+
+        class _Tracer:
+            def event(self, kind, **fields):
+                events.append((kind, fields))
+
+            def count(self, name, n=1):
+                pass
+
+        view.tracer = _Tracer()
+        view.invalidate_prefetch()
+        assert view._inflight == {}
+        assert [k for k, _f in events] == ["teardown_error"]
+        fields = events[0][1]
+        assert fields["where"] == "prefetch_invalidate"
+        assert "OSError" in fields["error"]
+
     def test_reload_instance_records_nothing(self, store):
         root, _tpl, coll, *_ = store
         view = GoFS.partition_view(root, 0, prefetch=True)

@@ -104,7 +104,7 @@ class TestStorageAndExecutorInvariance:
         )
         root = tmp_path_factory.mktemp(f"fuzz{seed}")
         GoFS.write_collection(root, pg, coll, packing=3, binning=2)
-        for executor in ("serial", "thread", "process"):
+        for executor in ("serial", "thread", "process", "socket"):
             res = run_application(
                 TDSPComputation(0),
                 pg,
