@@ -1,0 +1,110 @@
+"""Ingest bench: end-to-end dataset build + partition walls, both paths.
+
+Measures, per scale, the cache-cold ingest wall (generate CARN+WIKI with
+their collections, then partition both templates at k=9):
+
+* the **vectorized** path (default since the ingest-plane rework),
+* the **legacy** path (``use_vectorized=False`` end to end: scalar PA pool,
+  scalar SIR loop, sequential matching scan, matmul contraction,
+  full-snapshot FM — the pre-vectorization pipeline, kept callable for this
+  comparison) at 20k/200k,
+* cache cold (build + store) vs warm (load) through a :class:`DatasetCache`.
+
+The 2M run reproduces the paper's dataset regime (CARN 1.1M / WIKI 2.39M
+vertices) on the vectorized path only — the legacy path is impractical
+there, which is the point of the rework.  Skip it with
+``REPRO_BENCH_INGEST_FULL=0``.
+
+Unlike the figure benches this one *always* appends its envelope to
+``benchmarks/history/ingest.jsonl``: the recorded walls and speedups are
+the PR-over-PR ingest trajectory, not a side artifact.
+"""
+
+import os
+import time
+
+from repro.generators import DatasetCache, paper_datasets
+from repro.partition import MetisLikePartitioner, partition_graph
+
+from conftest import INSTANCES, SEED, bench_envelope, bench_history, emit
+
+K = 9
+SCALES = (20_000, 200_000)
+FULL_SCALE = 2_000_000
+RUN_FULL = os.environ.get("REPRO_BENCH_INGEST_FULL", "1") == "1"
+
+
+def _cold_ingest(scale: int, *, use_vectorized: bool = True, cache=None) -> dict:
+    """One end-to-end ingest: build the paper datasets, partition both."""
+    t0 = time.perf_counter()
+    data = paper_datasets(
+        scale, INSTANCES, seed=SEED, use_vectorized=use_vectorized, cache=cache
+    )
+    generate = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for name in ("CARN", "WIKI"):
+        partition_graph(
+            data[name]["template"],
+            K,
+            MetisLikePartitioner(seed=SEED, use_vectorized=use_vectorized),
+            cache=cache,
+        )
+    partition = time.perf_counter() - t0
+    return {
+        "generate_s": round(generate, 4),
+        "partition_s": round(partition, 4),
+        "total_s": round(generate + partition, 4),
+    }
+
+
+def test_ingest_walls(tmp_path):
+    results: dict = {"k": K, "instances": INSTANCES, "scales": {}}
+    lines = [
+        f"Ingest walls (generate + partition CARN+WIKI, k={K}, "
+        f"{INSTANCES} instances)",
+        f"{'scale':>9}  {'vec total':>9}  {'legacy':>9}  {'speedup':>7}  "
+        f"{'warm':>7}  {'cache x':>7}",
+    ]
+    for scale in SCALES:
+        vec = _cold_ingest(scale)
+        legacy = _cold_ingest(scale, use_vectorized=False)
+        cache = DatasetCache(tmp_path / str(scale))
+        cold = _cold_ingest(scale, cache=cache)
+        warm = _cold_ingest(scale, cache=cache)
+        legacy_speedup = legacy["total_s"] / vec["total_s"]
+        cache_speedup = cold["total_s"] / warm["total_s"]
+        results["scales"][str(scale)] = {
+            "vectorized": vec,
+            "legacy": legacy,
+            "cache_cold": cold,
+            "cache_warm": warm,
+            "legacy_speedup": round(legacy_speedup, 2),
+            "cache_speedup": round(cache_speedup, 2),
+        }
+        lines.append(
+            f"{scale:>9}  {vec['total_s']:>8.2f}s  {legacy['total_s']:>8.2f}s  "
+            f"{legacy_speedup:>6.1f}x  {warm['total_s']:>6.2f}s  "
+            f"{cache_speedup:>6.1f}x"
+        )
+        assert legacy_speedup > 1.0
+        assert warm["total_s"] < cold["total_s"]
+
+    if RUN_FULL:
+        full = _cold_ingest(FULL_SCALE)
+        cache = DatasetCache(tmp_path / str(FULL_SCALE))
+        cold = _cold_ingest(FULL_SCALE, cache=cache)
+        warm = _cold_ingest(FULL_SCALE, cache=cache)
+        results["scales"][str(FULL_SCALE)] = {
+            "vectorized": full,
+            "cache_cold": cold,
+            "cache_warm": warm,
+            "cache_speedup": round(cold["total_s"] / warm["total_s"], 2),
+        }
+        lines.append(
+            f"{FULL_SCALE:>9}  {full['total_s']:>8.2f}s  {'-':>9}  {'-':>7}  "
+            f"{warm['total_s']:>6.2f}s  "
+            f"{cold['total_s'] / warm['total_s']:>6.1f}x"
+        )
+
+    emit("ingest", "\n".join(lines))
+    bench_history("ingest", bench_envelope("ingest", results))

@@ -6,6 +6,7 @@ from .critical_path import (
     format_critical_path_report,
 )
 from .export import result_summary, write_csv, write_result_json, write_series_csv
+from .ingest import crosscheck_ingest, ingest_phase_seconds, replay_ingest_breakdown
 from .report import render_bar_chart, render_series, render_table
 from .timeline import frontier_matrix, frontier_totals, timestep_times
 from .trace_replay import (
@@ -21,6 +22,9 @@ __all__ = [
     "crosscheck_critical_path",
     "format_critical_path_report",
     "crosscheck_trace",
+    "crosscheck_ingest",
+    "ingest_phase_seconds",
+    "replay_ingest_breakdown",
     "purge_rolled_back_events",
     "replay_partition_breakdown",
     "replay_timestep_walls",

@@ -1,0 +1,90 @@
+"""Ingest-cost breakdown: replay ``dataset_build``/``partition``/cache events.
+
+The ingest plane (dataset generation, partitioning, dataset cache) traces
+itself through the same :class:`~repro.observability.tracer.Tracer` the
+engine uses: spans for the wall-clock envelope, instant events carrying
+measured ``seconds`` for each phase inside it.  This module re-derives the
+ingest cost breakdown from the events alone and cross-checks it against the
+span totals, the same trust-but-verify pattern as
+:func:`~repro.analysis.trace_replay.crosscheck_trace` — a phase that forgot
+to emit its event shows up as a span/event mismatch, not as silently
+missing cost.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+from ..observability.tracer import TracePacket
+
+__all__ = ["replay_ingest_breakdown", "crosscheck_ingest"]
+
+#: Event kind -> breakdown category.
+_CATEGORY = {
+    "dataset_build": "generate",
+    "partition": "partition",
+    "cache_hit": "cache",
+    "cache_miss": "cache",
+}
+
+
+def replay_ingest_breakdown(events: Iterable[Mapping]) -> dict[str, float]:
+    """Sum event ``seconds`` into ``{"generate", "partition", "cache"}``.
+
+    Every ingest event carries the measured seconds of the work it reports:
+    ``dataset_build`` events one generation phase each, ``partition`` events
+    one partitioning call each, ``cache_hit``/``cache_miss`` events the
+    cache read / write cost.  Categories missing from the stream are
+    reported as 0.0 so callers can subtract without key checks.
+    """
+    out: dict[str, float] = {"generate": 0.0, "partition": 0.0, "cache": 0.0}
+    for e in events:
+        category = _CATEGORY.get(e.get("kind", ""))
+        if category is not None:
+            out[category] += float(e["seconds"])
+    return out
+
+
+def ingest_phase_seconds(events: Iterable[Mapping]) -> dict[str, float]:
+    """Finer-grained view: ``phase -> seconds`` for ``dataset_build`` events."""
+    phases: dict[str, float] = defaultdict(float)
+    for e in events:
+        if e.get("kind") == "dataset_build":
+            phases[e.get("phase", "?")] += float(e["seconds"])
+    return dict(phases)
+
+
+def crosscheck_ingest(
+    packet: TracePacket,
+    *,
+    rel_tol: float = 0.05,
+    abs_tol: float = 0.05,
+) -> list[str]:
+    """Compare event-derived ingest costs against the recorded span walls.
+
+    For each traced category, the sum of the category's event ``seconds``
+    must match the total duration of the covering spans within tolerance
+    (the spans additionally contain only loop/bookkeeping overhead).
+    Returns human-readable mismatch descriptions; empty means the event
+    stream accounts for the ingest wall the spans measured.
+
+    Cache traffic is event-only (loads/stores happen outside any build
+    span), so it is replayed but has no span to check against.
+    """
+    problems: list[str] = []
+    breakdown = replay_ingest_breakdown(packet.events)
+    span_totals: dict[str, float] = defaultdict(float)
+    for span in packet.spans:
+        if span.name in ("dataset_build", "partition"):
+            span_totals[span.name] += span.dur_ns / 1e9
+    for span_name, category in (("dataset_build", "generate"), ("partition", "partition")):
+        want = span_totals[span_name]
+        got = breakdown[category]
+        if not want and not got:
+            continue
+        if abs(got - want) > rel_tol * max(abs(want), abs(got)) + abs_tol:
+            problems.append(
+                f"{category}: events total {got:.4f}s != span total {want:.4f}s"
+            )
+    return problems

@@ -71,6 +71,23 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=int, default=20_000, help="template vertex count")
     p.add_argument("--seed", type=int, default=0, help="generator seed")
     p.add_argument("--instances", type=int, default=50, help="number of graph instances")
+    p.add_argument(
+        "--dataset-cache",
+        metavar="DIR",
+        default=None,
+        help="content-keyed dataset/partition cache directory (reruns at the "
+        "same parameters load instead of regenerating)",
+    )
+
+
+def _dataset_cache(args: argparse.Namespace):
+    """The DatasetCache named by ``--dataset-cache``, or None."""
+    path = getattr(args, "dataset_cache", None)
+    if path is None:
+        return None
+    from .generators import DatasetCache
+
+    return DatasetCache(path)
 
 
 def _datasets(args: argparse.Namespace) -> int:
@@ -81,10 +98,11 @@ def _datasets(args: argparse.Namespace) -> int:
 
 
 def _edgecuts(args: argparse.Namespace) -> int:
+    cache = _dataset_cache(args)
     rows = []
     for tpl in (road_network(args.scale, seed=args.seed), smallworld_network(args.scale, seed=args.seed)):
         for k in (3, 6, 9):
-            pg = partition_graph(tpl, k, MetisLikePartitioner(seed=args.seed))
+            pg = partition_graph(tpl, k, MetisLikePartitioner(seed=args.seed), cache=cache)
             rows.append(compute_stats(pg).as_row())
     print(render_table(rows, title="Edge cut % across partitions (Table 2 analogue)"))
     return 0
@@ -109,13 +127,18 @@ def _evolving_collection(args: argparse.Namespace):
 
 def _problem_setup(args: argparse.Namespace):
     """Dataset + partitioning + computation shared by ``run`` and ``trace``."""
+    cache = _dataset_cache(args)
     if args.algorithm in ("reach", "evolve"):
         template, collection = _evolving_collection(args)
     else:
-        data = paper_datasets(args.scale, args.instances, seed=args.seed)[args.graph]
+        data = paper_datasets(args.scale, args.instances, seed=args.seed, cache=cache)[
+            args.graph
+        ]
         template = data["template"]
         collection = data["road" if args.algorithm in ("tdsp", "stats") else "tweets"]
-    pg = partition_graph(template, args.partitions, MetisLikePartitioner(seed=args.seed))
+    pg = partition_graph(
+        template, args.partitions, MetisLikePartitioner(seed=args.seed), cache=cache
+    )
     return template, collection, pg, _make_computation(args, template, collection, pg)
 
 
@@ -438,19 +461,31 @@ def _top(args: argparse.Namespace) -> int:
 
 
 def _fig5b(args: argparse.Namespace) -> int:
-    data = paper_datasets(args.scale, args.instances, seed=args.seed)
+    cache = _dataset_cache(args)
+    data = paper_datasets(args.scale, args.instances, seed=args.seed, cache=cache)
     rows = []
     for name in ("CARN", "WIKI"):
-        pg = partition_graph(data[name]["template"], args.partitions, MetisLikePartitioner(seed=args.seed))
+        pg = partition_graph(
+            data[name]["template"],
+            args.partitions,
+            MetisLikePartitioner(seed=args.seed),
+            cache=cache,
+        )
         rows.append(fig5b_comparison(pg, data[name]["road"]).as_row())
     print(render_table(rows, title="Giraph vs GoFFish (Fig 5b analogue)"))
     return 0
 
 
 def _store(args: argparse.Namespace) -> int:
-    data = paper_datasets(args.scale, args.instances, seed=args.seed)[args.graph]
+    cache = _dataset_cache(args)
+    data = paper_datasets(args.scale, args.instances, seed=args.seed, cache=cache)[args.graph]
     kind = "road" if args.workload == "road" else "tweets"
-    pg = partition_graph(data["template"], args.partitions, MetisLikePartitioner(seed=args.seed))
+    pg = partition_graph(
+        data["template"],
+        args.partitions,
+        MetisLikePartitioner(seed=args.seed),
+        cache=cache,
+    )
     manifest = GoFS.write_collection(args.root, pg, data[kind])
     print(f"wrote GoFS store to {args.root}: {manifest['num_timesteps']} instances, "
           f"{manifest['num_partitions']} partitions, packing={manifest['packing']}, "

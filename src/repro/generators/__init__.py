@@ -10,6 +10,7 @@ process-cluster workers synthesize their instances locally.
 
 from ..graph.collection import TimeSeriesGraphCollection
 from ..graph.template import GraphTemplate
+from .cache import DatasetCache, INGEST_CODE_VERSION, content_key
 from .evolving import PeriodicExistencePopulator
 from .hashtags import BackgroundHashtagPopulator, TrafficPopulator
 from .latency import UniformLatencyPopulator, road_latency_collection
@@ -20,6 +21,9 @@ from .smallworld import preferential_attachment_edges, smallworld_network
 from .snap import load_snap_edgelist
 
 __all__ = [
+    "DatasetCache",
+    "INGEST_CODE_VERSION",
+    "content_key",
     "PeriodicExistencePopulator",
     "BackgroundHashtagPopulator",
     "TrafficPopulator",
@@ -48,6 +52,9 @@ def paper_datasets(
     delta: float = 5.0,
     carn_hit_probability: float = 0.5,
     wiki_hit_probability: float = 0.1,
+    use_vectorized: bool = True,
+    cache: "DatasetCache | None" = None,
+    tracer=None,
 ) -> dict[str, dict[str, object]]:
     """Build the paper's four dataset configurations at a given scale.
 
@@ -60,25 +67,70 @@ def paper_datasets(
     get stable propagation across 50 timesteps* on multi-million-vertex
     graphs.  At our default 20 k-vertex scale those values die out, so the
     defaults here (50 % / 10 %) are re-tuned by the same criterion — see
-    EXPERIMENTS.md.
+    EXPERIMENTS.md (and docs/scaling.md for the 400 k+ regime).
+
+    ``use_vectorized=False`` selects the legacy scalar generator loops
+    (different RNG draw order, same distributions).  ``cache`` short-circuits
+    the whole build through a :class:`DatasetCache` entry keyed on every
+    parameter above; ``tracer`` records ``dataset_build`` spans/events for
+    the ingest-cost breakdown (see :func:`repro.analysis.replay_ingest_breakdown`).
     """
-    carn = road_network(scale, seed=seed)
-    wiki = smallworld_network(scale, seed=seed)
-    out: dict[str, dict[str, object]] = {}
-    for tpl, hit in ((carn, carn_hit_probability), (wiki, wiki_hit_probability)):
-        out[tpl.name] = {
-            "template": tpl,
-            "road": road_latency_collection(tpl, num_instances, delta=delta, seed=seed),
-            # seeds_per_meme=20 spreads the epidemic across all partitions at
-            # bench scale (Fig 7c needs every partition to see colorings, as
-            # the paper's 2.4M-vertex WIKI did with few seeds).
-            "tweets": tweet_collection(
-                tpl,
-                num_instances,
-                hit_probability=hit,
-                seeds_per_meme=20,
-                delta=delta,
-                seed=seed,
-            ),
-        }
-    return out
+    import time
+
+    from ..observability.tracer import NULL_SPAN
+
+    params = {
+        "scale": int(scale),
+        "num_instances": int(num_instances),
+        "seed": int(seed),
+        "delta": float(delta),
+        "carn_hit_probability": float(carn_hit_probability),
+        "wiki_hit_probability": float(wiki_hit_probability),
+        "use_vectorized": bool(use_vectorized),
+    }
+
+    def build() -> dict[str, dict[str, object]]:
+        out: dict[str, dict[str, object]] = {}
+        span = tracer.span("dataset_build", **params) if tracer is not None else NULL_SPAN
+        with span:
+            t0 = time.perf_counter()
+            carn = road_network(scale, seed=seed)
+            wiki = smallworld_network(scale, seed=seed, use_vectorized=use_vectorized)
+            if tracer is not None:
+                tracer.event(
+                    "dataset_build",
+                    phase="templates",
+                    seconds=time.perf_counter() - t0,
+                )
+            for tpl, hit in ((carn, carn_hit_probability), (wiki, wiki_hit_probability)):
+                t0 = time.perf_counter()
+                out[tpl.name] = {
+                    "template": tpl,
+                    "road": road_latency_collection(
+                        tpl, num_instances, delta=delta, seed=seed
+                    ),
+                    # seeds_per_meme=20 spreads the epidemic across all
+                    # partitions at bench scale (Fig 7c needs every partition
+                    # to see colorings, as the paper's 2.4M-vertex WIKI did
+                    # with few seeds).
+                    "tweets": tweet_collection(
+                        tpl,
+                        num_instances,
+                        hit_probability=hit,
+                        seeds_per_meme=20,
+                        delta=delta,
+                        seed=seed,
+                        use_vectorized=use_vectorized,
+                    ),
+                }
+                if tracer is not None:
+                    tracer.event(
+                        "dataset_build",
+                        phase=f"collections_{tpl.name}",
+                        seconds=time.perf_counter() - t0,
+                    )
+        return out
+
+    if cache is not None:
+        return cache.get_or_build("datasets", params, build, tracer=tracer)
+    return build()

@@ -48,10 +48,20 @@ class BackgroundHashtagPopulator:
         n = instance.template.num_vertices
         tweets = instance.vertex_values.column(self.attr)
         counts = rng.poisson(self.rate, n)
-        for v in np.nonzero(counts)[0]:
-            extra = tuple(rng.choice(self.hashtags, size=counts[v]))
+        chatty = np.nonzero(counts)[0]
+        if not len(chatty):
+            return
+        # One batched draw for every background hashtag (i.i.d. with
+        # replacement, like the per-vertex draws), split per vertex.
+        chatty_counts = counts[chatty]
+        draws = self.hashtags[rng.integers(len(self.hashtags), size=int(chatty_counts.sum()))]
+        draws_list = draws.tolist()
+        stops = np.cumsum(chatty_counts).tolist()
+        lo = 0
+        for v, hi in zip(chatty.tolist(), stops):
             base = tweets[v] if tweets[v] is not None else ()
-            tweets[v] = tuple(base) + extra
+            tweets[v] = tuple(base) + tuple(draws_list[lo:hi])
+            lo = hi
 
 
 class TrafficPopulator:

@@ -15,6 +15,15 @@ memes the vertex carries during ``[t, t+1)``.
 The full epidemic schedule is simulated once at construction (arrays of
 infection/recovery timesteps per meme), so instance population is a cheap,
 deterministic lookup — lazily regenerable on any host or process.
+
+The default simulation is **frontier-at-once**: each timestep gathers every
+infectious vertex's out-adjacency slots in one fancy-index over the
+template CSR, draws all infection trials in a single ``rng.random``, and
+commits the newly infected set with one ``unique``.  A vertex is infected
+at ``t`` iff at least one of its infectious in-neighbors' independent
+trials succeeds — exactly the per-edge Bernoulli process the legacy scalar
+loop (``use_vectorized=False``) runs one edge at a time, so the two paths
+are distribution-identical while drawing different variate sequences.
 """
 
 from __future__ import annotations
@@ -29,24 +38,16 @@ from .populate import make_collection
 __all__ = ["SIRTweetPopulator", "simulate_sir", "tweet_collection"]
 
 
-def simulate_sir(
+def _simulate_sir_legacy(
     template: GraphTemplate,
     *,
     hit_probability: float,
     num_timesteps: int,
     seeds: np.ndarray,
-    infectious_period: int = 3,
+    infectious_period: int,
     rng: np.random.Generator,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Simulate one meme's SIR epidemic.
-
-    Returns ``(infected_at, recovered_at)`` arrays: vertex ``v`` is
-    infectious (tweets the meme) during ``infected_at[v] ≤ t <
-    recovered_at[v]``; never-infected vertices have ``infected_at = -1``.
-    Propagation follows out-edges (a tweet reaches the poster's audience).
-    """
-    if not 0.0 <= hit_probability <= 1.0:
-        raise ValueError("hit_probability must be in [0, 1]")
+    """Per-vertex/per-edge scalar epidemic loop (the pre-vectorization path)."""
     n = template.num_vertices
     infected_at = np.full(n, -1, dtype=np.int64)
     recovered_at = np.full(n, -1, dtype=np.int64)
@@ -72,6 +73,85 @@ def simulate_sir(
     return infected_at, recovered_at
 
 
+def _simulate_sir_vectorized(
+    template: GraphTemplate,
+    *,
+    hit_probability: float,
+    num_timesteps: int,
+    seeds: np.ndarray,
+    infectious_period: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Frontier-at-once epidemic over the template CSR."""
+    n = template.num_vertices
+    indptr, indices, _edges = template.adjacency
+    infected_at = np.full(n, -1, dtype=np.int64)
+    recovered_at = np.full(n, -1, dtype=np.int64)
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    infected_at[seeds] = 0
+    recovered_at[seeds] = infectious_period
+    frontier = seeds
+    for t in range(1, num_timesteps):
+        # Vertices infectious during [t-1, t): infected and not yet recovered.
+        frontier = frontier[recovered_at[frontier] > t - 1]
+        if not len(frontier):
+            break
+        # All out-adjacency slots of the frontier, in one gather.
+        starts, stops = indptr[frontier], indptr[frontier + 1]
+        counts = stops - starts
+        total = int(counts.sum())
+        if total:
+            slots = np.repeat(starts - np.cumsum(counts) + counts, counts) + np.arange(
+                total, dtype=np.int64
+            )
+            targets = indices[slots]
+            # One Bernoulli trial per (infectious vertex, out-edge) pair —
+            # identical to the scalar loop's per-edge draws; a susceptible
+            # vertex is infected iff at least one trial on an in-slot hits.
+            hits = targets[rng.random(total) < hit_probability]
+            fresh = np.unique(hits[infected_at[hits] == -1])
+            if len(fresh):
+                infected_at[fresh] = t
+                recovered_at[fresh] = t + infectious_period
+                frontier = np.concatenate([frontier, fresh])
+    return infected_at, recovered_at
+
+
+def simulate_sir(
+    template: GraphTemplate,
+    *,
+    hit_probability: float,
+    num_timesteps: int,
+    seeds: np.ndarray,
+    infectious_period: int = 3,
+    rng: np.random.Generator,
+    use_vectorized: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Simulate one meme's SIR epidemic.
+
+    Returns ``(infected_at, recovered_at)`` arrays: vertex ``v`` is
+    infectious (tweets the meme) during ``infected_at[v] ≤ t <
+    recovered_at[v]``; never-infected vertices have ``infected_at = -1``.
+    Propagation follows out-edges (a tweet reaches the poster's audience).
+
+    ``use_vectorized=False`` selects the legacy scalar loop; both paths run
+    the same per-edge Bernoulli process but consume different variate
+    sequences, so outcomes agree in distribution, not bit-for-bit.
+    """
+    if not 0.0 <= hit_probability <= 1.0:
+        raise ValueError("hit_probability must be in [0, 1]")
+    kwargs = dict(
+        hit_probability=hit_probability,
+        num_timesteps=num_timesteps,
+        seeds=seeds,
+        infectious_period=infectious_period,
+        rng=rng,
+    )
+    if use_vectorized:
+        return _simulate_sir_vectorized(template, **kwargs)
+    return _simulate_sir_legacy(template, **kwargs)
+
+
 class SIRTweetPopulator:
     """Fill the ``tweets`` vertex column from precomputed SIR schedules.
 
@@ -92,6 +172,8 @@ class SIRTweetPopulator:
         Timesteps a vertex stays infectious (and keeps tweeting the meme).
     seed:
         RNG seed for seeds and propagation.
+    use_vectorized:
+        Frontier-at-once simulation (default) vs the legacy scalar loop.
     """
 
     def __init__(
@@ -105,6 +187,7 @@ class SIRTweetPopulator:
         infectious_period: int = 3,
         seed: int = 0,
         attr: str = "tweets",
+        use_vectorized: bool = True,
     ) -> None:
         self.memes = list(memes)
         self.attr = attr
@@ -122,6 +205,7 @@ class SIRTweetPopulator:
                 seeds=seeds,
                 infectious_period=infectious_period,
                 rng=rng,
+                use_vectorized=use_vectorized,
             )
             self.infected_at[i] = inf
             self.recovered_at[i] = rec
@@ -136,10 +220,25 @@ class SIRTweetPopulator:
         n = instance.template.num_vertices
         tweets = np.empty(n, dtype=object)
         tweets[:] = [()] * n  # the empty tuple is a singleton; cells are replaced below
+        # Gather (vertex, meme) pairs for every active meme, group by vertex
+        # with one sort, and build tuples only for the vertices that tweet.
+        active_vs = []
+        active_ms = []
         for i, meme in enumerate(self.memes):
-            active = np.nonzero(self.active_mask(i, timestep))[0]
-            for v in active:
-                tweets[v] = tweets[v] + (meme,)
+            vs = np.nonzero(self.active_mask(i, timestep))[0]
+            if len(vs):
+                active_vs.append(vs)
+                active_ms.append(np.full(len(vs), meme, dtype=np.int64))
+        if active_vs:
+            vs = np.concatenate(active_vs)
+            ms = np.concatenate(active_ms)
+            order = np.argsort(vs, kind="stable")  # stable: memes stay in list order
+            vs, ms = vs[order], ms[order]
+            starts = [0, *(np.nonzero(np.diff(vs))[0] + 1).tolist(), len(vs)]
+            ms_list = ms.tolist()
+            vs_list = vs.tolist()
+            for lo, hi in zip(starts, starts[1:]):
+                tweets[vs_list[lo]] = tuple(ms_list[lo:hi])
         instance.vertex_values.set_column(self.attr, tweets)
 
 
@@ -153,6 +252,7 @@ def tweet_collection(
     infectious_period: int = 3,
     delta: float = 5.0,
     seed: int = 0,
+    use_vectorized: bool = True,
 ) -> TimeSeriesGraphCollection:
     """The paper's tweet workload for Meme Tracking and Hashtag Aggregation."""
     populator = SIRTweetPopulator(
@@ -163,5 +263,6 @@ def tweet_collection(
         seeds_per_meme=seeds_per_meme,
         infectious_period=infectious_period,
         seed=seed,
+        use_vectorized=use_vectorized,
     )
     return make_collection(template, num_instances, populator, delta=delta)

@@ -3,12 +3,30 @@
 The paper's Wikipedia Talk Network (2.39 M vertices, 5.02 M directed edges,
 diameter 9) is a classic small-world/power-law graph.  We synthesize the
 same regime with Barabási–Albert preferential attachment (implemented with
-the repeated-endpoints trick, O(m) per node), optionally orienting edges to
-make a directed graph with a heavy-tailed in-degree distribution.
+the repeated-endpoints trick), optionally orienting edges to make a directed
+graph with a heavy-tailed in-degree distribution.
 
 The key properties the paper's analysis depends on — diameter of a few hops
 and an edge-cut percentage that grows steeply with the partition count —
 follow from the attachment process, not from the exact exponent.
+
+Two implementations of the attachment process coexist:
+
+* the **vectorized** default processes new vertices in geometrically growing
+  chunks: the repeated-endpoints pool is frozen at each chunk start, every
+  chunk vertex's ``m`` targets are drawn in one batched ``rng.integers``
+  with whole-row redraws for rows containing duplicates, and the pool is
+  extended once per chunk.  Chunks are capped at 1/8 of the already-built
+  graph so the degree bias a vertex samples from is at most ~12 % stale —
+  the degree-distribution tail is indistinguishable from the sequential
+  process (see tests/generators/test_vectorized_equivalence.py);
+* the **legacy** scalar loop (``use_vectorized=False``) grows the pool one
+  vertex at a time exactly as before, kept callable as the
+  distribution-equivalence baseline.
+
+The two paths draw different random variates, so they produce different
+(equally valid) graphs from the same seed; each path is individually
+deterministic in (seed, parameters) across runs and platforms.
 """
 
 from __future__ import annotations
@@ -21,17 +39,10 @@ from ..graph.template import GraphTemplate
 __all__ = ["smallworld_network", "preferential_attachment_edges"]
 
 
-def preferential_attachment_edges(
-    num_vertices: int, edges_per_vertex: int, rng: np.random.Generator
+def _pa_edges_legacy(
+    num_vertices: int, m: int, rng: np.random.Generator
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Barabási–Albert edge list: each new vertex attaches to ``m`` targets.
-
-    Targets are sampled from the repeated-endpoints pool (degree-biased
-    sampling), deduplicated per new vertex.
-    """
-    m = edges_per_vertex
-    if num_vertices <= m:
-        raise ValueError("num_vertices must exceed edges_per_vertex")
+    """Sequential repeated-endpoints BA loop (the pre-vectorization path)."""
     src: list[int] = []
     dst: list[int] = []
     # Start from a small clique so early vertices have degree.
@@ -57,6 +68,87 @@ def preferential_attachment_edges(
     return np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
 
 
+def _pa_edges_vectorized(
+    num_vertices: int, m: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Chunked repeated-endpoints BA: batched draws, vectorized dedup."""
+    start = m + 1
+    num_new = num_vertices - start
+    clique_edges = start * m // 2
+    total_edges = clique_edges + num_new * m
+
+    src = np.empty(total_edges, dtype=np.int64)
+    dst = np.empty(total_edges, dtype=np.int64)
+    # The pool holds each edge's two endpoints (degree-biased sampling).
+    pool = np.empty(2 * total_edges, dtype=np.int64)
+
+    # Seed clique, identical to the legacy path's.
+    ci, cj = np.triu_indices(start, k=1)
+    src[:clique_edges], dst[:clique_edges] = cj, ci
+    pool[: 2 * clique_edges : 2] = cj
+    pool[1 : 2 * clique_edges : 2] = ci
+
+    edge_at = clique_edges
+    pool_at = 2 * clique_edges
+    v = start
+    while v < num_vertices:
+        # Freeze the pool for a chunk of at most 1/8 of the built graph:
+        # staleness of the degree bias stays bounded while chunk sizes grow
+        # geometrically, so the whole build is O(log n) batched rounds.
+        chunk = min(num_vertices - v, max(1, v // 8))
+        frozen = pool[:pool_at]
+        targets = frozen[rng.integers(pool_at, size=(chunk, m))]
+        if m > 1:
+            # Whole-row redraw for rows with duplicate targets.  Chunk
+            # vertices are absent from the frozen pool, so self-attachments
+            # cannot occur and duplicates are the only rejection cause.
+            bad = np.nonzero(_rows_with_duplicates(targets))[0]
+            while len(bad):
+                targets[bad] = frozen[rng.integers(pool_at, size=(len(bad), m))]
+                bad = bad[_rows_with_duplicates(targets[bad])]
+        new_src = np.repeat(np.arange(v, v + chunk, dtype=np.int64), m)
+        new_dst = targets.ravel()
+        src[edge_at : edge_at + chunk * m] = new_src
+        dst[edge_at : edge_at + chunk * m] = new_dst
+        pool[pool_at : pool_at + 2 * chunk * m : 2] = new_src
+        pool[pool_at + 1 : pool_at + 2 * chunk * m : 2] = new_dst
+        edge_at += chunk * m
+        pool_at += 2 * chunk * m
+        v += chunk
+    return src, dst
+
+
+def _rows_with_duplicates(targets: np.ndarray) -> np.ndarray:
+    """Boolean mask of rows of a small-width int matrix containing repeats."""
+    s = np.sort(targets, axis=1)
+    return (s[:, 1:] == s[:, :-1]).any(axis=1)
+
+
+def preferential_attachment_edges(
+    num_vertices: int,
+    edges_per_vertex: int,
+    rng: np.random.Generator,
+    *,
+    use_vectorized: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Barabási–Albert edge list: each new vertex attaches to ``m`` targets.
+
+    Targets are sampled from the repeated-endpoints pool (degree-biased
+    sampling), deduplicated per new vertex.  ``use_vectorized=False`` selects
+    the legacy scalar loop (different RNG draw order, same distribution) —
+    kept as the baseline for the distribution-equivalence suite and the
+    ingest bench.
+    """
+    m = edges_per_vertex
+    if num_vertices <= m:
+        raise ValueError("num_vertices must exceed edges_per_vertex")
+    if m < 1:
+        raise ValueError("edges_per_vertex must be positive")
+    if use_vectorized:
+        return _pa_edges_vectorized(num_vertices, m, rng)
+    return _pa_edges_legacy(num_vertices, m, rng)
+
+
 def smallworld_network(
     num_vertices: int = 20_000,
     *,
@@ -67,6 +159,7 @@ def smallworld_network(
     vertex_schema: AttributeSchema | None = None,
     edge_schema: AttributeSchema | None = None,
     name: str = "WIKI",
+    use_vectorized: bool = True,
 ) -> GraphTemplate:
     """Generate a WIKI-like template.
 
@@ -80,9 +173,15 @@ def smallworld_network(
         Directed output (as WIKI is); each BA edge is oriented from the
         newer vertex to the older ("reply to an established user"), and a
         ``reciprocal_fraction`` of edges get a reverse twin.
+    use_vectorized:
+        Chunked array implementation (default) vs the legacy scalar loop.
+        The paths draw different variates from the same seed; both are
+        individually deterministic and produce the same degree regime.
     """
     rng = np.random.default_rng(seed)
-    src, dst = preferential_attachment_edges(num_vertices, edges_per_vertex, rng)
+    src, dst = preferential_attachment_edges(
+        num_vertices, edges_per_vertex, rng, use_vectorized=use_vectorized
+    )
     if directed and reciprocal_fraction > 0:
         back = rng.random(len(src)) < reciprocal_fraction
         src, dst = np.concatenate([src, dst[back]]), np.concatenate([dst, src[back]])

@@ -36,16 +36,72 @@ __all__ = [
 ]
 
 
+def _template_digest(template: GraphTemplate) -> str:
+    """Content hash of a template's topology (for partition cache keys)."""
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(f"{template.num_vertices}:{int(template.directed)}".encode())
+    h.update(np.ascontiguousarray(template.edge_src, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(template.edge_dst, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
 def partition_graph(
     template: GraphTemplate,
     num_partitions: int,
     partitioner: Partitioner | None = None,
+    *,
+    cache=None,
+    tracer=None,
 ) -> PartitionedGraph:
     """One-call convenience: assign vertices and decompose into subgraphs.
 
     Uses :class:`MetisLikePartitioner` when no partitioner is given, matching
-    the paper's METIS setup.
+    the paper's METIS setup.  ``cache`` (a
+    :class:`~repro.generators.cache.DatasetCache`) memoizes the decomposed
+    :class:`PartitionedGraph` keyed on the template's topology digest, the
+    partition count, and the partitioner's configuration — a hit skips both
+    the assignment and the subgraph discovery; ``tracer`` records
+    ``partition`` spans/events for the ingest-cost breakdown.
     """
+    import time
+
+    from ..observability.tracer import NULL_SPAN
+
     partitioner = partitioner or MetisLikePartitioner()
-    assignment = partitioner.assign(template, num_partitions)
-    return decompose(template, np.asarray(assignment), num_partitions)
+
+    def compute() -> PartitionedGraph:
+        span = (
+            tracer.span(
+                "partition", template=template.name, num_partitions=int(num_partitions)
+            )
+            if tracer is not None
+            else NULL_SPAN
+        )
+        with span:
+            t0 = time.perf_counter()
+            assignment = np.asarray(partitioner.assign(template, num_partitions))
+            pg = decompose(template, assignment, num_partitions)
+            if tracer is not None:
+                tracer.event(
+                    "partition",
+                    template=template.name,
+                    num_partitions=int(num_partitions),
+                    seconds=time.perf_counter() - t0,
+                )
+        return pg
+
+    if cache is not None:
+        params = {
+            "template": _template_digest(template),
+            "num_partitions": int(num_partitions),
+            "partitioner": type(partitioner).__name__,
+            "config": {
+                k: v
+                for k, v in sorted(vars(partitioner).items())
+                if isinstance(v, (int, float, bool, str))
+            },
+        }
+        return cache.get_or_build("partition", params, compute, tracer=tracer)
+    return compute()

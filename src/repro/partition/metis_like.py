@@ -9,7 +9,21 @@ same multilevel scheme from scratch:
 2. **Initial partitioning** — balanced BFS region growing on the coarsest
    graph, followed by aggressive FM refinement;
 3. **Uncoarsening** — labels are projected back level by level, with boundary
-   FM refinement (see :mod:`repro.partition.refine`) at each level.
+   FM refinement (see :mod:`repro.partition.refine`) at each level;
+4. **Subgraph consolidation** — a final pass that folds small fragment
+   subgraphs into the partition they are most connected to, balancing
+   *subgraph* count and size across partitions (Choudhury et al.,
+   arXiv:1508.04265: the subgraph, not the vertex, is TI-BSP's unit of
+   work).  Moving a whole subgraph never increases the edge cut, because a
+   subgraph has no local edges to the rest of its own partition.
+
+Matching is vectorized by default: every vertex proposes to its
+heaviest unmatched neighbor (ties broken by a random priority permutation)
+and mutual proposals are committed, repeated until the alive slot set is
+empty — the classic handshake matching, O(|E|) array work per round and
+O(log n) rounds.  ``use_vectorized=False`` keeps the sequential
+permutation-order scan (restructured so already-matched vertices are
+skipped via a frontier mask instead of re-entering the neighbor scan).
 
 This reproduces Table 2's qualitative behaviour: near-zero cuts on road
 networks, large and k-increasing cuts on small-world graphs.
@@ -26,6 +40,16 @@ from ..graph.template import GraphTemplate
 from .refine import edge_cut_weight, refine
 
 __all__ = ["MetisLikePartitioner", "coarsen_graph", "heavy_edge_matching"]
+
+# Coarsest graphs up to this size get BFS region-growing initial partitions
+# (a scalar loop, but high quality on graphs with region structure); larger
+# stalled coarsest graphs start from a balanced random assignment instead.
+_BFS_INIT_LIMIT = 8192
+
+# Stop coarsening when a contraction keeps more than this fraction of the
+# edge set: the graph is densifying (small-world regime) and further levels
+# repeat the same O(|E|) work without exposing structure.
+_NNZ_STALL_RATIO = 0.85
 
 
 @dataclass(eq=False)
@@ -51,45 +75,118 @@ def _symmetric_weighted_adjacency(template: GraphTemplate) -> sp.csr_matrix:
     return adj
 
 
-def heavy_edge_matching(adj: sp.csr_matrix, rng: np.random.Generator) -> np.ndarray:
-    """Match each vertex with its heaviest unmatched neighbor.
+def _hem_legacy(adj: sp.csr_matrix, rng: np.random.Generator) -> np.ndarray:
+    """Sequential permutation-order matching scan.
 
-    Returns ``coarse_map``: fine vertex → coarse vertex id (dense).  Unmatched
-    vertices map to singleton coarse vertices.
+    Vertices matched earlier in the permutation are skipped via a frontier
+    mask over each upcoming block, so late permutation entries no longer pay
+    a Python-level iteration (let alone a neighbor scan) per dead vertex.
     """
     n = adj.shape[0]
     match = np.full(n, -1, dtype=np.int64)
     order = rng.permutation(n)
     indptr, indices, data = adj.indptr, adj.indices, adj.data
-    for u in order:
-        if match[u] != -1:
-            continue
-        lo, hi = indptr[u], indptr[u + 1]
-        best, best_w = -1, -1.0
-        for j in range(lo, hi):
-            v = indices[j]
-            if match[v] == -1 and v != u and data[j] > best_w:
-                best, best_w = v, data[j]
-        if best != -1:
-            match[u] = best
-            match[best] = u
-        else:
-            match[u] = u  # singleton
-    # Assign coarse ids: one per matched pair / singleton, in vertex order.
-    coarse_map = np.full(n, -1, dtype=np.int64)
-    next_id = 0
-    for u in range(n):
-        if coarse_map[u] == -1:
-            coarse_map[u] = next_id
-            coarse_map[match[u]] = next_id
-            next_id += 1
-    return coarse_map
+    block_size = 1024
+    for pos in range(0, n, block_size):
+        # Frontier mask: drop vertices matched by earlier blocks wholesale.
+        block = order[pos : pos + block_size]
+        for u in block[match[block] == -1]:
+            if match[u] != -1:
+                continue  # matched within this block
+            lo, hi = indptr[u], indptr[u + 1]
+            best, best_w = -1, -1.0
+            for j in range(lo, hi):
+                v = indices[j]
+                if match[v] == -1 and v != u and data[j] > best_w:
+                    best, best_w = v, data[j]
+            if best != -1:
+                match[u] = best
+                match[best] = u
+            else:
+                match[u] = u  # singleton
+    match[match == -1] = np.nonzero(match == -1)[0]
+    return _coarse_ids(match)
 
 
-def coarsen_graph(
+def _hem_vectorized(adj: sp.csr_matrix, rng: np.random.Generator) -> np.ndarray:
+    """Handshake matching: batched propose / mutual-commit rounds.
+
+    Each round, every alive vertex proposes to its heaviest alive neighbor
+    (ties broken by a random priority permutation, which keeps rounds
+    O(log n) even on paths and grids where index-order ties would serialize
+    the matching); mutual proposals are matched, then slots touching matched
+    vertices are compressed away.  Deterministic in the rng state.
+    """
+    n = adj.shape[0]
+    match = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    priority = rng.permutation(n)
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    cur_src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    cur_dst = indices
+    cur_w = data
+    while len(cur_src):
+        # Segment boundaries of the (row-sorted) alive slot arrays.
+        head = np.empty(len(cur_src), dtype=bool)
+        head[0] = True
+        np.not_equal(cur_src[1:], cur_src[:-1], out=head[1:])
+        starts = np.flatnonzero(head)
+        seg = np.cumsum(head) - 1
+        # Heaviest alive neighbor per row, ties to the highest priority.
+        row_max = np.maximum.reduceat(cur_w, starts)
+        on_max = cur_w == row_max[seg]
+        pri = np.where(on_max, priority[cur_dst], -1)
+        best_pri = np.maximum.reduceat(pri, starts)
+        sel = pri == best_pri[seg]  # exactly one slot per row (unique priorities)
+        proposer = cur_src[sel]
+        proposed = cur_dst[sel]
+        # Commit mutual proposals.
+        partner = np.full(n, -1, dtype=np.int64)
+        partner[proposer] = proposed
+        mutual = (partner[proposed] == proposer) & (proposer < proposed)
+        mu, mv = proposer[mutual], proposed[mutual]
+        if not len(mu):
+            break  # cannot happen with unique priorities; safety stop
+        match[mu] = mv
+        match[mv] = mu
+        alive = (match[cur_src] == -1) & (match[cur_dst] == -1)
+        cur_src, cur_dst, cur_w = cur_src[alive], cur_dst[alive], cur_w[alive]
+    unmatched = np.nonzero(match == -1)[0]
+    match[unmatched] = unmatched  # singletons
+    return _coarse_ids(match)
+
+
+def _coarse_ids(match: np.ndarray) -> np.ndarray:
+    """Assign coarse ids per matched pair / singleton, in fine-vertex order."""
+    n = len(match)
+    vertices = np.arange(n, dtype=np.int64)
+    rep = np.minimum(vertices, match)
+    # Representatives are their own rep; numbering them by vertex order is a
+    # cumulative count, no sort needed.
+    ids = np.cumsum(rep == vertices) - 1
+    return ids[rep]
+
+
+def heavy_edge_matching(
+    adj: sp.csr_matrix, rng: np.random.Generator, *, use_vectorized: bool = True
+) -> np.ndarray:
+    """Match each vertex with its heaviest unmatched neighbor.
+
+    Returns ``coarse_map``: fine vertex → coarse vertex id (dense).  Unmatched
+    vertices map to singleton coarse vertices.  The vectorized handshake
+    rounds and the legacy sequential scan produce different (equally valid)
+    matchings from the same rng; each is deterministic in its inputs.
+    """
+    if use_vectorized:
+        return _hem_vectorized(adj, rng)
+    return _hem_legacy(adj, rng)
+
+
+def _coarsen_legacy(
     adj: sp.csr_matrix, vertex_weights: np.ndarray, coarse_map: np.ndarray
 ) -> tuple[sp.csr_matrix, np.ndarray]:
-    """Contract a graph along ``coarse_map`` (sums edge and vertex weights)."""
+    """Pre-vectorization contraction: projection matmul + ``setdiag`` pass."""
     n = adj.shape[0]
     nc = int(coarse_map.max()) + 1 if n else 0
     proj = sp.coo_matrix(
@@ -100,6 +197,39 @@ def coarsen_graph(
     coarse.eliminate_zeros()
     cw = np.zeros(nc, dtype=np.float64)
     np.add.at(cw, coarse_map, vertex_weights)
+    return coarse, cw
+
+
+def coarsen_graph(
+    adj: sp.csr_matrix,
+    vertex_weights: np.ndarray,
+    coarse_map: np.ndarray,
+    *,
+    use_vectorized: bool = True,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Contract a graph along ``coarse_map`` (sums edge and vertex weights).
+
+    Direct segment-reduction contraction: map every stored slot to a coarse
+    ``(row, col)`` key, drop the diagonal, and sum duplicate keys with one
+    ``unique`` + ``bincount`` — no sparse matmul, no ``setdiag`` pass.
+    ``use_vectorized=False`` selects the legacy matmul contraction.
+    """
+    if not use_vectorized:
+        return _coarsen_legacy(adj, vertex_weights, coarse_map)
+    n = adj.shape[0]
+    nc = int(coarse_map.max()) + 1 if n else 0
+    rows = coarse_map[np.repeat(np.arange(n, dtype=np.int64), np.diff(adj.indptr))]
+    cols = coarse_map[adj.indices]
+    off_diag = rows != cols
+    key = rows[off_diag] * nc + cols[off_diag]
+    uniq, inverse = np.unique(key, return_inverse=True)
+    weights = np.bincount(inverse, weights=adj.data[off_diag], minlength=len(uniq))
+    crow = (uniq // nc).astype(np.int64)
+    ccol = (uniq % nc).astype(np.int64)
+    indptr = np.zeros(nc + 1, dtype=np.int64)
+    np.cumsum(np.bincount(crow, minlength=nc), out=indptr[1:])
+    coarse = sp.csr_matrix((weights, ccol, indptr), shape=(nc, nc))
+    cw = np.bincount(coarse_map, weights=vertex_weights, minlength=nc)
     return coarse, cw
 
 
@@ -159,6 +289,20 @@ class MetisLikePartitioner:
         30 * k)`` vertices.
     refine_passes:
         FM passes applied per uncoarsening level.
+    use_vectorized:
+        Handshake matching + segment-reduction contraction + boundary FM
+        (default) vs the legacy scalar paths (sequential matching scan,
+        matmul contraction, full-snapshot FM with a Python move loop),
+        kept callable for the ingest bench's end-to-end comparison.  The
+        paths consume rng state differently, so they produce different
+        (equally valid) partitionings from one seed; each path is
+        deterministic in (seed, template, k).
+    subgraph_aware:
+        Run the final fragment-consolidation pass balancing subgraph count
+        and size across partitions (never increases the edge cut).
+    fragment_fraction:
+        A subgraph is a movable *fragment* when its vertex weight is at most
+        this fraction of the ideal partition weight.
     """
 
     def __init__(
@@ -168,11 +312,17 @@ class MetisLikePartitioner:
         imbalance: float = 1.03,
         coarsen_until: int = 200,
         refine_passes: int = 4,
+        use_vectorized: bool = True,
+        subgraph_aware: bool = True,
+        fragment_fraction: float = 0.1,
     ) -> None:
         self.seed = int(seed)
         self.imbalance = float(imbalance)
         self.coarsen_until = int(coarsen_until)
         self.refine_passes = int(refine_passes)
+        self.use_vectorized = bool(use_vectorized)
+        self.subgraph_aware = bool(subgraph_aware)
+        self.fragment_fraction = float(fragment_fraction)
 
     def assign(self, template: GraphTemplate, num_partitions: int) -> np.ndarray:
         k = num_partitions
@@ -194,18 +344,42 @@ class MetisLikePartitioner:
         target = max(self.coarsen_until, 30 * k)
         while levels[-1].adj.shape[0] > target:
             top = levels[-1]
-            coarse_map = heavy_edge_matching(top.adj, rng)
+            coarse_map = heavy_edge_matching(
+                top.adj, rng, use_vectorized=self.use_vectorized
+            )
             nc = int(coarse_map.max()) + 1
             if nc > 0.95 * top.adj.shape[0]:
                 break  # matching stalled (e.g. star graphs); stop coarsening
-            cadj, cw = coarsen_graph(top.adj, top.vertex_weights, coarse_map)
+            cadj, cw = coarsen_graph(
+                top.adj, top.vertex_weights, coarse_map,
+                use_vectorized=self.use_vectorized,
+            )
             levels.append(_Level(cadj, cw, coarse_map))
+            if self.use_vectorized and cadj.nnz > _NNZ_STALL_RATIO * top.adj.nnz:
+                # Contraction stopped shrinking the edge set (small-world
+                # graphs densify as they coarsen): further levels repeat the
+                # same O(|E|) work without exposing structure.  (The legacy
+                # path coarsens all the way down, as the pre-vectorization
+                # pipeline did.)
+                break
 
         # ---- initial partition on the coarsest graph ---------------------------
         coarsest = levels[-1]
+        nc0 = coarsest.adj.shape[0]
         total_w = float(coarsest.vertex_weights.sum())
         cap = self.imbalance * total_w / k
-        assignment = _initial_partition(coarsest.adj, coarsest.vertex_weights, k, rng, cap)
+        if self.use_vectorized and nc0 > _BFS_INIT_LIMIT:
+            # Densification-stalled coarsest graph (no region structure for
+            # BFS growing to find, and too large for its scalar loop):
+            # balanced random start; rebalance + extra FM passes in refine
+            # do the actual partitioning work.
+            assignment = rng.permutation(nc0).astype(np.int64) % k
+            init_passes = self.refine_passes * 4
+        else:
+            assignment = _initial_partition(
+                coarsest.adj, coarsest.vertex_weights, k, rng, cap
+            )
+            init_passes = max(self.refine_passes * 2, 8)
         assignment = refine(
             coarsest.adj.indptr,
             coarsest.adj.indices,
@@ -214,7 +388,8 @@ class MetisLikePartitioner:
             assignment,
             k,
             imbalance=self.imbalance,
-            passes=max(self.refine_passes * 2, 8),
+            passes=init_passes,
+            use_vectorized=self.use_vectorized,
         )
 
         # ---- uncoarsening with refinement --------------------------------------
@@ -231,7 +406,83 @@ class MetisLikePartitioner:
                 k,
                 imbalance=self.imbalance,
                 passes=self.refine_passes,
+                use_vectorized=self.use_vectorized,
             )
+
+        # ---- subgraph-count/size balance (arXiv:1508.04265) --------------------
+        if self.subgraph_aware:
+            assignment = self._consolidate_fragments(template, assignment, k, cap)
+        return assignment
+
+    def _consolidate_fragments(
+        self, template: GraphTemplate, assignment: np.ndarray, k: int, cap: float
+    ) -> np.ndarray:
+        """Fold fragment subgraphs into their best-connected partition.
+
+        TI-BSP schedules *subgraphs*, so a partition's load is driven by its
+        subgraph count and sizes, not just its vertex total.  Every subgraph
+        has zero local edges to the rest of its own partition (maximality),
+        so moving one wholesale to the partition it is most cut-connected to
+        strictly reduces the cut — and moving an isolated fragment is free.
+        Targets are chosen by (max connectivity, then fewest subgraphs, then
+        lightest partition) subject to the vertex-weight cap, which is how
+        subgraph count and size enter the balance objective.
+        """
+        from .subgraphs import subgraph_labels
+
+        num_sg, labels = subgraph_labels(template, assignment)
+        if num_sg <= k:
+            return assignment
+        assignment = assignment.copy()
+        # Group vertices by subgraph once so each move is a slice, not a scan.
+        by_sg = np.argsort(labels, kind="stable")
+        sg_counts = np.bincount(labels, minlength=num_sg)
+        sg_starts = np.zeros(num_sg + 1, dtype=np.int64)
+        np.cumsum(sg_counts, out=sg_starts[1:])
+        sg_sizes = sg_counts.astype(np.float64)
+        sg_part = np.zeros(num_sg, dtype=np.int64)
+        sg_part[labels] = assignment
+        part_sizes = np.bincount(assignment, minlength=k).astype(np.float64)
+        part_counts = np.bincount(sg_part, minlength=k)
+
+        # Cut-edge connectivity of each subgraph to each partition.
+        src, dst = template.undirected_edge_view()
+        cut = assignment[src] != assignment[dst]
+        cs, cd = src[cut], dst[cut]
+        pairs = np.concatenate([labels[cs] * k + assignment[cd], labels[cd] * k + assignment[cs]])
+        conn = np.bincount(pairs, minlength=num_sg * k).reshape(num_sg, k)
+
+        ideal = part_sizes.sum() / k
+        fragment_max = max(1.0, self.fragment_fraction * ideal)
+        fragments = np.nonzero(sg_sizes <= fragment_max)[0]
+        # Smallest fragments first: cheapest moves, most count-rebalancing
+        # per unit of weight shifted.
+        for sg in fragments[np.argsort(sg_sizes[fragments], kind="stable")]:
+            p = int(sg_part[sg])
+            if part_counts[p] <= 1:
+                continue  # never empty a partition
+            size = sg_sizes[sg]
+            feasible = part_sizes + size <= cap
+            feasible[p] = False
+            if not feasible.any():
+                continue
+            row = conn[sg]
+            best_conn = row[feasible].max()
+            cand = np.nonzero(feasible & (row == best_conn))[0]
+            if best_conn == 0 and part_counts[p] <= part_counts[cand].min() + 1:
+                continue  # an isolated fragment only moves to improve counts
+            # Subgraph count, then vertex load, break connectivity ties.
+            q = int(cand[np.lexsort((part_sizes[cand], part_counts[cand]))[0]])
+            members = by_sg[sg_starts[sg] : sg_starts[sg + 1]]
+            assignment[members] = q
+            part_sizes[p] -= size
+            part_sizes[q] += size
+            part_counts[p] -= 1
+            part_counts[q] += 1
+            sg_part[sg] = q
+            # The move turned sg↔q cut edges local and left all other
+            # connectivity untouched; zeroing the row retires the fragment.
+            conn[sg] = 0
         return assignment
 
     def edge_cut(self, template: GraphTemplate, assignment: np.ndarray) -> float:

@@ -1,0 +1,83 @@
+"""Ingest trace: spans/events from dataset build + partitioning, replayed."""
+
+import numpy as np
+
+from repro.analysis import crosscheck_ingest, ingest_phase_seconds, replay_ingest_breakdown
+from repro.generators import DatasetCache, paper_datasets
+from repro.observability.tracer import TracePacket, Tracer
+from repro.partition import partition_graph
+from repro.partition.metis_like import MetisLikePartitioner
+
+SCALE = 2_000
+
+
+def _traced_ingest(cache=None):
+    tr = Tracer()
+    data = paper_datasets(SCALE, 5, seed=1, cache=cache, tracer=tr)
+    for name in ("CARN", "WIKI"):
+        partition_graph(
+            data[name]["template"], 4, MetisLikePartitioner(seed=1), cache=cache, tracer=tr
+        )
+    return tr.drain()
+
+
+def test_spans_and_events_emitted():
+    pkt = _traced_ingest()
+    span_names = [s.name for s in pkt.spans]
+    assert span_names.count("dataset_build") == 1
+    assert span_names.count("partition") == 2
+    kinds = [e["kind"] for e in pkt.events]
+    assert kinds.count("partition") == 2
+    assert kinds.count("dataset_build") == 3  # templates + collections x2
+
+
+def test_breakdown_categories():
+    pkt = _traced_ingest()
+    breakdown = replay_ingest_breakdown(pkt.events)
+    assert breakdown["generate"] > 0.0
+    assert breakdown["partition"] > 0.0
+    assert breakdown["cache"] == 0.0  # no cache in play
+    phases = ingest_phase_seconds(pkt.events)
+    assert set(phases) == {"templates", "collections_CARN", "collections_WIKI"}
+
+
+def test_cache_traffic_replayed(tmp_path):
+    cache = DatasetCache(tmp_path)
+    _traced_ingest(cache=cache)  # cold: misses
+    pkt = _traced_ingest(cache=cache)  # warm: hits only
+    breakdown = replay_ingest_breakdown(pkt.events)
+    assert breakdown["generate"] == 0.0  # nothing rebuilt
+    assert breakdown["partition"] == 0.0
+    assert breakdown["cache"] > 0.0
+
+
+def test_crosscheck_clean():
+    pkt = _traced_ingest()
+    assert crosscheck_ingest(pkt) == []
+
+
+def test_crosscheck_catches_missing_event():
+    pkt = _traced_ingest()
+    stripped = TracePacket(
+        pkt.pid,
+        pkt.label,
+        pkt.spans,
+        [e for e in pkt.events if e["kind"] != "partition"],
+        pkt.counters,
+    )
+    problems = crosscheck_ingest(stripped, abs_tol=1e-4)
+    assert any("partition" in p for p in problems)
+
+
+def test_untraced_build_unchanged():
+    """tracer=None must not change results (guarded hot path)."""
+    with_trace = _traced_ingest()
+    assert with_trace is not None
+    a = paper_datasets(SCALE, 5, seed=1)
+    b = paper_datasets(SCALE, 5, seed=1, tracer=Tracer())
+    assert a["WIKI"]["template"].equals(b["WIKI"]["template"])
+    pa = partition_graph(a["CARN"]["template"], 4, MetisLikePartitioner(seed=1))
+    pb = partition_graph(
+        b["CARN"]["template"], 4, MetisLikePartitioner(seed=1), tracer=Tracer()
+    )
+    assert np.array_equal(pa.vertex_partition, pb.vertex_partition)

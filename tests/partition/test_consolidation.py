@@ -1,0 +1,76 @@
+"""Subgraph-aware fragment consolidation (arXiv:1508.04265 balance pass)."""
+
+import numpy as np
+import pytest
+
+from repro.partition import compute_stats, decompose, validate_assignment
+from repro.partition.metis_like import MetisLikePartitioner
+from repro.partition.stats import edge_cut_fraction
+from tests.conftest import make_random_template
+
+
+def _setup(n=400, m=700, seed=0, k=4):
+    rng = np.random.default_rng(seed)
+    tpl = make_random_template(n, m, rng)
+    p = MetisLikePartitioner(seed=seed)
+    base = p.assign(tpl, k)
+    return tpl, p, base, k
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_never_increases_cut(seed):
+    tpl, p, base, k = _setup(seed=seed)
+    cap = 1.03 * tpl.num_vertices / k
+    before = p.edge_cut(tpl, base)
+    after_assignment = p._consolidate_fragments(tpl, base.copy(), k, cap)
+    after = p.edge_cut(tpl, after_assignment)
+    assert after <= before
+    validate_assignment(tpl, after_assignment, k)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_respects_cap(seed):
+    tpl, p, base, k = _setup(seed=seed)
+    cap = 1.03 * tpl.num_vertices / k
+    sizes_before = np.bincount(base, minlength=k)
+    after = p._consolidate_fragments(tpl, base.copy(), k, cap)
+    sizes = np.bincount(after, minlength=k)
+    # Partitions within the cap before the pass stay within it.
+    assert np.all(sizes[sizes_before <= cap] <= cap)
+
+
+def test_reduces_fragment_spread():
+    """Consolidation should not worsen subgraph spread (the pass's purpose)."""
+    rng = np.random.default_rng(7)
+    tpl = make_random_template(600, 500, rng)  # sparse: many components
+    p_off = MetisLikePartitioner(seed=7, subgraph_aware=False)
+    p_on = MetisLikePartitioner(seed=7, subgraph_aware=True)
+    k = 4
+    off = compute_stats(decompose(tpl, np.asarray(p_off.assign(tpl, k)), k))
+    on = compute_stats(decompose(tpl, np.asarray(p_on.assign(tpl, k)), k))
+    assert edge_cut_fraction(tpl, p_on.assign(tpl, k)) <= edge_cut_fraction(
+        tpl, p_off.assign(tpl, k)
+    )
+    # Subgraph counts stay spread across partitions, never collapse to one.
+    assert max(on.subgraphs_per_partition) <= max(off.subgraphs_per_partition) + 1
+
+
+def test_subgraph_aware_off_skips_pass():
+    tpl, _, _, k = _setup()
+    a_on = MetisLikePartitioner(seed=0, subgraph_aware=True).assign(tpl, k)
+    a_off = MetisLikePartitioner(seed=0, subgraph_aware=False).assign(tpl, k)
+    validate_assignment(tpl, a_off, k)
+    # Both are valid; the pass is the only difference in the pipeline.
+    assert len(a_on) == len(a_off)
+
+
+def test_connected_graph_untouched():
+    """A connected graph partitioned into k subgraphs has nothing to fold."""
+    from tests.conftest import make_grid_template
+
+    tpl = make_grid_template(12, 12)
+    p = MetisLikePartitioner(seed=1)
+    a = p.assign(tpl, 4)
+    pg = decompose(tpl, np.asarray(a), 4)
+    stats = compute_stats(pg)
+    assert sum(stats.subgraphs_per_partition) >= 4
